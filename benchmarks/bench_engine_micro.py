@@ -1,0 +1,93 @@
+"""Engine micro-benchmarks: the substrate's own costs.
+
+Not a paper artifact — these pin down the relative costs that the
+reproduction's shapes depend on: index probe ≪ scan, hash join ≪ nested
+loop, lineage tracking ≈ small multiple of plain execution (the paper's
+"provenance costs about a query").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, Engine
+
+from figutil import scaled
+
+ROWS = scaled(20_000)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    db = Database()
+    db.load_table(
+        "big",
+        ["id", "grp", "val"],
+        [(i, i % 100, i % 7) for i in range(ROWS)],
+    )
+    db.load_table("dims", ["grp", "name"], [(g, f"g{g}") for g in range(100)])
+    engine = Engine(db)
+    engine.execute("SELECT * FROM big WHERE id = 1")  # build the index
+    return engine
+
+
+def test_point_lookup_via_index(benchmark, engine):
+    result = benchmark(lambda: engine.execute("SELECT * FROM big WHERE id = 12345"))
+    assert len(result.rows) == 1
+
+
+def test_full_scan_filter(benchmark, engine):
+    result = benchmark(
+        lambda: engine.execute("SELECT COUNT(*) FROM big WHERE grp < 50")
+    )
+    assert result.scalar() == ROWS // 2
+
+
+def test_hash_join(benchmark, engine):
+    result = benchmark(
+        lambda: engine.execute(
+            "SELECT COUNT(*) FROM big b, dims d WHERE b.grp = d.grp"
+        )
+    )
+    assert result.scalar() == ROWS
+
+
+def test_group_by_aggregate(benchmark, engine):
+    result = benchmark(
+        lambda: engine.execute(
+            "SELECT grp, COUNT(*), SUM(val) FROM big GROUP BY grp"
+        )
+    )
+    assert len(result.rows) == 100
+
+
+def test_lineage_overhead(benchmark, engine):
+    """Lineage execution of the workhorse query shape; compare against
+    test_group_by_aggregate in the benchmark table."""
+    result = benchmark(
+        lambda: engine.execute(
+            "SELECT grp, COUNT(*) FROM big GROUP BY grp", lineage=True
+        )
+    )
+    assert result.lineages is not None
+
+
+def test_distinct_on(benchmark, engine):
+    result = benchmark(
+        lambda: engine.execute("SELECT DISTINCT ON (grp), big.id FROM big")
+    )
+    assert len(result.rows) == 100
+
+
+def test_parse_and_plan(benchmark, engine):
+    sql = (
+        "SELECT b.grp, COUNT(DISTINCT b.val) FROM big b, dims d "
+        "WHERE b.grp = d.grp AND b.id > 5 GROUP BY b.grp "
+        "HAVING COUNT(DISTINCT b.val) > 1"
+    )
+
+    def plan_fresh():
+        engine.invalidate_plans()
+        return engine.plan(sql)
+
+    benchmark(plan_fresh)

@@ -1,0 +1,37 @@
+"""Benchmark fixtures: one mid-size MIMIC database shared per session."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.workloads import MimicConfig, build_mimic_database, make_workload
+
+#: Mid-size scale: big enough that W1..W4 spread over ~two orders of
+#: magnitude, small enough that the full bench suite runs in minutes.
+BENCH_CONFIG = MimicConfig(n_patients=300)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> MimicConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def _bench_template():
+    return build_mimic_database(BENCH_CONFIG)
+
+
+@pytest.fixture
+def bench_db(_bench_template):
+    """A fresh clone of the bench database (each bench mutates its logs)."""
+    return _bench_template.clone()
+
+
+@pytest.fixture(scope="session")
+def bench_workload(bench_config):
+    return make_workload(bench_config)

@@ -1,0 +1,77 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each ``bench_*.py`` reproduces one artifact of the paper's evaluation
+(§5). The helpers here render aligned text tables, persist them under
+``benchmarks/results/`` and echo them to the terminal (bypassing pytest's
+capture) so the series appear in ``bench_output.txt``.
+
+Scale note: the paper ran PostgreSQL on 21 GB of MIMIC-II; we run a pure
+Python engine on a synthetic scale-down. Absolute milliseconds differ —
+the *shapes* (who grows, who stays flat, who wins, where the crossover
+falls) are the reproduction target, and each bench asserts them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale factor for bench workloads; raise via REPRO_BENCH_SCALE=2 etc.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Apply the global bench scale to a count."""
+    return max(minimum, int(n * SCALE))
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "  ".join("-" * width for width in widths)
+    parts = ["", "=" * len(title), title, "=" * len(title)]
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered_rows)
+    if note:
+        parts.append("")
+        parts.append(note)
+    parts.append("")
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def publish(capsys, name: str, text: str) -> None:
+    """Print a table to the real terminal and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+    if capsys is not None:
+        with capsys.disabled():
+            print(text)
+    else:  # pragma: no cover - manual runs
+        print(text)
+
+
+def ms(seconds: float) -> float:
+    return seconds * 1000.0

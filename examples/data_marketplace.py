@@ -1,0 +1,129 @@
+"""Data-marketplace scenario: API-style terms of use from Table 1.
+
+Models a data vendor shipping three of the survey's term-of-use patterns:
+
+- **Rate limiting** (Twitter/Foursquare, Table 1 P4): at most N requests
+  per subscriber per window;
+- **Free-tier volume cap** (MS Translator, Table 1 P3): all queries,
+  totaled over a billing window, may return a bounded number of tuples;
+- **No blending of ratings** (Yelp, Table 1 P7): the ratings table may be
+  joined, but its values may not pass through aggregates.
+
+Run:  python examples/data_marketplace.py
+"""
+
+from repro import Enforcer, EnforcerOptions, Policy, SimulatedClock
+from repro.workloads import monthly_quota, no_aggregation
+
+
+def rate_limit_per_user(uid: int, max_requests: int, window: int) -> Policy:
+    """At most ``max_requests`` queries per ``window`` for one subscriber.
+
+    These policies are structurally identical across subscribers, so the
+    offline phase unifies them into a single policy joined with a
+    constants table (§4.2.2) — adding subscribers does not add per-query
+    work.
+    """
+    return Policy.from_sql(
+        f"rate-limit-u{uid}",
+        f"""
+        SELECT DISTINCT 'Rate limit: subscriber {uid} exceeded
+                         {max_requests} requests per window'
+        FROM users u, clock c
+        WHERE u.uid = {uid} AND u.ts > c.ts - {window}
+        HAVING COUNT(DISTINCT u.ts) > {max_requests}
+        """,
+    )
+
+
+def main() -> None:
+    db = __import__("repro").Database()
+    db.load_table(
+        "listings",
+        ["biz_id", "name", "category"],
+        [(i, f"biz-{i}", "food" if i % 2 else "retail") for i in range(50)],
+    )
+    db.load_table(
+        "ratings",
+        ["biz_id", "stars", "review_count"],
+        [(i, 1 + i % 5, 10 * i) for i in range(50)],
+    )
+
+    policies = [
+        # One rate-limit policy per subscriber; unified automatically.
+        *(rate_limit_per_user(uid, max_requests=3, window=1000) for uid in range(1, 6)),
+        monthly_quota("listings", max_tuples=120, window=60_000),
+        no_aggregation("ratings"),
+    ]
+    enforcer = Enforcer(
+        db,
+        policies,
+        clock=SimulatedClock(default_step_ms=100),
+        options=EnforcerOptions.datalawyer(),
+    )
+
+    unified = [r for r in enforcer.runtime_policies() if r.member_names]
+    print(
+        f"{len(policies)} policies installed; "
+        f"{len(unified)} unified group(s) cover "
+        f"{sum(len(r.member_names) for r in unified)} of them\n"
+    )
+
+    def show(label, decision):
+        verdict = "ALLOWED" if decision.allowed else "REJECTED"
+        print(f"{label:<54} {verdict}")
+        for violation in decision.violations:
+            print(f"    {violation.message}")
+
+    # Subscriber 1 burns through the rate limit.
+    for attempt in range(1, 5):
+        show(
+            f"subscriber 1, request {attempt}",
+            enforcer.submit(
+                "SELECT name FROM listings WHERE biz_id = 7", uid=1
+            ),
+        )
+
+    # Subscriber 2 is unaffected by subscriber 1's limit.
+    show(
+        "subscriber 2, first request",
+        enforcer.submit("SELECT name FROM listings WHERE biz_id = 9", uid=2),
+    )
+
+    # Ratings may be displayed next to listings (a join is fine)...
+    show(
+        "join ratings with listings for display",
+        enforcer.submit(
+            "SELECT l.name, r.stars FROM listings l, ratings r "
+            "WHERE l.biz_id = r.biz_id AND l.biz_id < 5",
+            uid=2,
+        ),
+    )
+
+    # ...but blending them into averages is prohibited (Yelp's term).
+    show(
+        "average stars by category (blending)",
+        enforcer.submit(
+            "SELECT l.category, AVG(r.stars) FROM listings l, ratings r "
+            "WHERE l.biz_id = r.biz_id GROUP BY l.category",
+            uid=2,
+        ),
+    )
+
+    # The free tier: repeated wide reads of listings exhaust the volume cap.
+    show(
+        "free tier: first full listings read (50 tuples)",
+        enforcer.submit("SELECT * FROM listings", uid=3),
+    )
+    show(
+        "free tier: second full read (cumulative 100)",
+        enforcer.submit("SELECT * FROM listings", uid=3),
+    )
+    show(
+        "free tier: third full read (would exceed 120)",
+        enforcer.submit("SELECT * FROM listings", uid=3),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""Healthcare scenario: MIMIC-style clinical data under disclosure limits.
+
+Mirrors the paper's evaluation setting (§5): an ICU database whose
+data-use agreement limits what analysts may do —
+
+- P5b (Example 3.1): no query output may be traceable to fewer than
+  k patients (limit information disclosure / re-identification);
+- P2-style: student researchers may not join provider-order data with
+  anything but the medication table;
+- windowed quota: the external analyst (uid 3) may not touch more than
+  half the patient roster within a short window (bulk-extraction
+  tripwire).
+
+Run:  python examples/healthcare_audit.py
+"""
+
+from repro import Enforcer, EnforcerOptions, Policy, SimulatedClock
+from repro.workloads import MimicConfig, build_mimic_database
+
+
+def build_policies(n_patients: int) -> list[Policy]:
+    k_anon = Policy.from_sql(
+        "k-anonymity",
+        """
+        SELECT DISTINCT 'Blocked: output identifies fewer than 4 patients'
+        FROM provenance p
+        WHERE p.irid = 'd_patients'
+        GROUP BY p.ts, p.otid
+        HAVING COUNT(DISTINCT p.itid) < 4
+        """,
+        description="Every output tuple must aggregate >= 4 patients.",
+    )
+    no_order_joins = Policy.from_sql(
+        "student-order-joins",
+        """
+        SELECT DISTINCT 'Blocked: students may only join poe_order with poe_med'
+        FROM users u, schema s1, schema s2, groups g
+        WHERE u.ts = s1.ts AND s1.ts = s2.ts
+          AND u.uid = g.uid AND g.gid = 'students'
+          AND s1.irid = 'poe_order'
+          AND s2.irid <> 'poe_order' AND s2.irid <> 'poe_med'
+        """,
+    )
+    bulk_extraction = Policy.from_sql(
+        "bulk-extraction",
+        f"""
+        SELECT DISTINCT 'Blocked: analyst touched over half the roster in 5s'
+        FROM users u, provenance p, clock c
+        WHERE u.ts = p.ts AND u.uid = 3
+          AND p.irid = 'd_patients' AND p.ts > c.ts - 5000
+        HAVING COUNT(DISTINCT p.itid) > {n_patients // 2}
+        """,
+        description="Rate-limits the external analyst's roster coverage.",
+    )
+    return [k_anon, no_order_joins, bulk_extraction]
+
+
+def show(label: str, decision) -> None:
+    verdict = "ALLOWED" if decision.allowed else "REJECTED"
+    print(f"{label:<58} {verdict}")
+    for violation in decision.violations:
+        print(f"    {violation.message}")
+
+
+def main() -> None:
+    config = MimicConfig(n_patients=200)
+    db = build_mimic_database(config)
+    enforcer = Enforcer(
+        db,
+        build_policies(config.n_patients),
+        clock=SimulatedClock(default_step_ms=50),
+        options=EnforcerOptions.datalawyer(),
+    )
+
+    # A cohort study: every output row aggregates ~100 patients → allowed.
+    show(
+        "cohort statistics (sex ratio across the roster)",
+        enforcer.submit(
+            "SELECT p.sex, COUNT(p.subject_id) FROM d_patients p GROUP BY p.sex",
+            uid=2,
+        ),
+    )
+
+    # A point lookup of one patient is a disclosure risk: k-anonymity fires.
+    show(
+        "point lookup of one patient record",
+        enforcer.submit("SELECT * FROM d_patients WHERE subject_id = 17", uid=2),
+    )
+
+    # Orders-by-medication, joined with patients for demographics. Each
+    # medication group draws on ~40 patients, so k-anonymity is satisfied;
+    # a faculty member (uid 7) may run it...
+    demographics = (
+        "SELECT o.medication, COUNT(DISTINCT p.subject_id) "
+        "FROM poe_order o, d_patients p "
+        "WHERE o.subject_id = p.subject_id "
+        "GROUP BY o.medication"
+    )
+    show("faculty: medication demographics join", enforcer.submit(demographics, uid=7))
+
+    # ...but user 2 is a student, and students may not join poe_order with
+    # anything except poe_med — same query, different verdict.
+    show("student: same medication demographics join",
+         enforcer.submit(demographics, uid=2))
+
+    # The student's allowed path: orders joined with the medication table.
+    show(
+        "student: order dosages (poe_order x poe_med)",
+        enforcer.submit(
+            "SELECT o.medication, COUNT(m.dose) FROM poe_order o, poe_med m "
+            "WHERE o.poe_id = m.poe_id GROUP BY o.medication",
+            uid=2,
+        ),
+    )
+
+    # Bulk-extraction tripwire: the external analyst's first wide scan is
+    # within budget, the follow-up scan inside the window is not.
+    show(
+        "analyst: aggregate over 45% of the roster",
+        enforcer.submit(
+            "SELECT p.sex, COUNT(p.subject_id) FROM d_patients p "
+            f"WHERE p.subject_id <= {config.n_patients * 45 // 100} "
+            "GROUP BY p.sex",
+            uid=3,
+        ),
+    )
+    show(
+        "analyst: immediately scanning another 45%",
+        enforcer.submit(
+            "SELECT p.sex, COUNT(p.subject_id) FROM d_patients p "
+            f"WHERE p.subject_id > {config.n_patients * 55 // 100} "
+            "GROUP BY p.sex",
+            uid=3,
+        ),
+    )
+
+    # After the window passes, the analyst's budget resets.
+    enforcer.clock.sleep(10_000)
+    show(
+        "analyst: same scan after the window expires",
+        enforcer.submit(
+            "SELECT p.sex, COUNT(p.subject_id) FROM d_patients p "
+            f"WHERE p.subject_id > {config.n_patients * 55 // 100} "
+            "GROUP BY p.sex",
+            uid=3,
+        ),
+    )
+
+    print(f"\nusage-log rows retained after compaction: {enforcer.log_sizes()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Usage-based data pricing (§2 of the paper).
+
+"DataLawyer can be used to compute the price of the data dynamically,
+e.g., based on how the data was used during the last billing period."
+(citing Factual's volume+use-case pricing.)
+
+This example runs a mixed workload through DataLawyer and then *queries
+the usage log itself* to produce a bill: per-tuple charges for raw reads
+of the premium table, a discounted rate for aggregate-only use, and a
+flat fee per query that joins premium data with the customer's own.
+
+A retention policy keeps the usage log scoped to the billing window, so
+the billing queries stay cheap no matter how long the system runs.
+
+Run:  python examples/usage_based_pricing.py
+"""
+
+from repro import Database, Enforcer, EnforcerOptions, Policy, SimulatedClock
+
+BILLING_WINDOW_MS = 60_000
+
+PRICE_PER_TUPLE_RAW = 0.02  # raw extraction, per premium tuple used
+PRICE_PER_TUPLE_AGG = 0.004  # aggregate-only use, per premium tuple used
+PRICE_PER_JOIN_QUERY = 0.50  # overlaying premium data with own data
+
+
+def main() -> None:
+    db = Database()
+    db.load_table(
+        "premium_firmographics",
+        ["firm_id", "sector", "revenue"],
+        [(i, ("tech", "retail", "energy")[i % 3], 1000 + 37 * i) for i in range(120)],
+    )
+    db.load_table(
+        "my_leads",
+        ["lead_id", "firm_id"],
+        [(i, i * 3 % 120) for i in range(25)],
+    )
+
+    # The billing period's retention policy: the log must cover the window,
+    # so we install one (never-firing) policy whose witness keeps exactly
+    # the window's worth of provenance and schema history.
+    retention = Policy.from_sql(
+        "billing-retention",
+        f"""
+        SELECT DISTINCT 'unreachable sentinel'
+        FROM users u, schema s, provenance p, clock c
+        WHERE u.ts = s.ts AND s.ts = p.ts
+          AND p.ts > c.ts - {BILLING_WINDOW_MS}
+        HAVING COUNT(DISTINCT u.uid) > 1000000
+        """,
+        description="Keeps one billing window of usage history alive.",
+    )
+
+    enforcer = Enforcer(
+        db,
+        [retention],
+        clock=SimulatedClock(default_step_ms=250),
+        options=EnforcerOptions.datalawyer(),
+    )
+
+    # -- the customer's billing-period activity ---------------------------
+    enforcer.submit(
+        "SELECT firm_id, revenue FROM premium_firmographics WHERE sector = 'tech'",
+        uid=9,
+    )
+    enforcer.submit(
+        "SELECT sector, AVG(revenue) FROM premium_firmographics GROUP BY sector",
+        uid=9,
+    )
+    enforcer.submit(
+        "SELECT l.lead_id, p.revenue FROM my_leads l, premium_firmographics p "
+        "WHERE l.firm_id = p.firm_id",
+        uid=9,
+    )
+    enforcer.submit("SELECT COUNT(*) FROM my_leads", uid=9)  # own data: free
+
+    # -- the bill, computed from the usage log ----------------------------
+    engine = enforcer.engine
+
+    def scalar(sql: str) -> int:
+        return engine.execute(sql).scalar() or 0
+
+    # Premium tuples used by queries whose Schema log shows an aggregate.
+    agg_tuples = scalar(
+        """
+        SELECT COUNT(DISTINCT p.ts || ':' || p.itid)
+        FROM provenance p, schema s
+        WHERE p.ts = s.ts AND p.irid = 'premium_firmographics'
+          AND s.irid = 'premium_firmographics' AND s.agg = TRUE
+        """
+    )
+    total_tuples = scalar(
+        """
+        SELECT COUNT(DISTINCT p.ts || ':' || p.itid)
+        FROM provenance p
+        WHERE p.irid = 'premium_firmographics'
+        """
+    )
+    raw_tuples = total_tuples - agg_tuples
+
+    join_queries = scalar(
+        """
+        SELECT COUNT(DISTINCT s1.ts) FROM schema s1, schema s2
+        WHERE s1.ts = s2.ts
+          AND s1.irid = 'premium_firmographics'
+          AND s2.irid <> 'premium_firmographics'
+        """
+    )
+
+    raw_cost = raw_tuples * PRICE_PER_TUPLE_RAW
+    agg_cost = agg_tuples * PRICE_PER_TUPLE_AGG
+    join_cost = join_queries * PRICE_PER_JOIN_QUERY
+
+    print("Usage-based bill for subscriber 9")
+    print("---------------------------------")
+    print(f"raw premium tuples used:        {raw_tuples:>5}  @ "
+          f"${PRICE_PER_TUPLE_RAW:.3f}  = ${raw_cost:7.2f}")
+    print(f"aggregated premium tuples used: {agg_tuples:>5}  @ "
+          f"${PRICE_PER_TUPLE_AGG:.3f}  = ${agg_cost:7.2f}")
+    print(f"premium-overlay queries:        {join_queries:>5}  @ "
+          f"${PRICE_PER_JOIN_QUERY:.2f}   = ${join_cost:7.2f}")
+    print(f"{'':>38}total = ${raw_cost + agg_cost + join_cost:7.2f}")
+
+    print(f"\nusage-log rows backing the bill: {enforcer.log_sizes()}")
+
+
+if __name__ == "__main__":
+    main()

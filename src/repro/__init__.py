@@ -1,0 +1,101 @@
+"""repro — a from-scratch reproduction of DataLawyer (SIGMOD 2015).
+
+DataLawyer enforces data-use policies at query time: policies are SQL
+queries over a usage log plus the database that return rows exactly when a
+term-of-use is violated. This package provides:
+
+- :mod:`repro.engine` — an in-memory relational engine with lineage;
+- :mod:`repro.log` — the usage log (Users/Schema/Provenance + Clock);
+- :mod:`repro.analysis` — the paper's §4 optimizations as AST rewrites;
+- :mod:`repro.core` — the enforcement pipeline (NoOpt and DataLawyer);
+- :mod:`repro.workloads` — the MIMIC-II-like experimental workload.
+
+Quickstart::
+
+    from repro import Database, Policy, make_datalawyer
+
+    db = Database()
+    db.load_table("navteq", ["id", "lat", "lon"], [(1, 47.6, -122.3)])
+    db.load_table("own_data", ["id", "name"], [(1, "hq")])
+
+    no_joins = Policy.from_sql(
+        "P1",
+        '''SELECT DISTINCT 'No external joins allowed'
+           FROM schema p1, schema p2
+           WHERE p1.ts = p2.ts AND p1.irid = 'navteq'
+             AND p2.irid <> 'navteq' ''',
+    )
+    enforcer = make_datalawyer(db, [no_joins])
+    decision = enforcer.submit("SELECT * FROM navteq", uid=1)       # allowed
+    decision = enforcer.submit(
+        "SELECT n.id FROM navteq n, own_data o WHERE n.id = o.id", uid=1
+    )  # rejected with P1's message
+"""
+
+from .core import (
+    Decision,
+    Enforcer,
+    EnforcerOptions,
+    MetricsLog,
+    Policy,
+    QueryMetrics,
+    Violation,
+    make_datalawyer,
+    make_noopt,
+)
+from .engine import Database, Engine, Result, Table
+from .errors import (
+    BindError,
+    CatalogError,
+    EngineError,
+    ExecutionError,
+    LexError,
+    ParseError,
+    PolicyError,
+    PolicySyntaxError,
+    ReproError,
+    SqlError,
+    UnknownLogRelationError,
+)
+from .log import (
+    LogFunction,
+    LogicalClock,
+    LogRegistry,
+    SimulatedClock,
+    standard_registry,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Decision",
+    "Enforcer",
+    "EnforcerOptions",
+    "MetricsLog",
+    "Policy",
+    "QueryMetrics",
+    "Violation",
+    "make_datalawyer",
+    "make_noopt",
+    "Database",
+    "Engine",
+    "Result",
+    "Table",
+    "LogFunction",
+    "LogicalClock",
+    "LogRegistry",
+    "SimulatedClock",
+    "standard_registry",
+    "ReproError",
+    "SqlError",
+    "LexError",
+    "ParseError",
+    "EngineError",
+    "CatalogError",
+    "BindError",
+    "ExecutionError",
+    "PolicyError",
+    "PolicySyntaxError",
+    "UnknownLogRelationError",
+    "__version__",
+]

@@ -1,0 +1,191 @@
+"""Conjunctive-query containment via homomorphisms (Chandra & Merlin).
+
+The paper's Lemma 4.4 proof rests on the classic result ([30] in its
+bibliography): for conjunctive queries, π ⊆ π' iff there is a query
+homomorphism π' → π. This module implements a sound (conservative)
+containment test for the Boolean policy fragment, used to *statically*
+verify that an approximate policy's screen really is a necessary
+condition (π ⇒ screen), instead of only detecting misses at runtime.
+
+Scope and conservatism:
+
+- both queries must be plain conjunctive blocks: base-table FROM items,
+  conjunctive WHERE, no FROM-subqueries; the *screen* must have no HAVING
+  (a screen's HAVING can only make it stricter, which is unsafe anyway);
+- equality conjuncts are reasoned about through equivalence classes
+  (union-find over columns and constants);
+- any other predicate of the screen must map, under the candidate
+  homomorphism and modulo the equality classes, to a syntactically
+  identical predicate of π;
+- the answer ``True`` is a proof; ``False`` means "not proven" (the test
+  never claims non-containment).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..sql import ast
+
+#: A term in the equality reasoning: a column of an alias, or a constant.
+Term = Union[tuple[str, str], tuple[None, ast.LiteralValue]]
+
+
+@dataclass
+class _Block:
+    """One conjunctive block, decomposed."""
+
+    aliases: dict[str, str]  # alias -> relation name
+    equalities: list[tuple[Term, Term]]
+    other_conjuncts: list[ast.Expr]
+
+    @classmethod
+    def of(cls, select: ast.Select) -> Optional["_Block"]:
+        aliases: dict[str, str] = {}
+        for item in select.from_items:
+            if not isinstance(item, ast.TableRef):
+                return None  # subqueries / joins: out of scope
+            aliases[item.binding_name().lower()] = item.name.lower()
+
+        equalities: list[tuple[Term, Term]] = []
+        others: list[ast.Expr] = []
+        for conjunct in ast.conjuncts(select.where):
+            terms = _equality_terms(conjunct)
+            if terms is not None:
+                equalities.append(terms)
+            else:
+                others.append(conjunct)
+        return cls(aliases, equalities, others)
+
+
+def _equality_terms(conjunct: ast.Expr) -> Optional[tuple[Term, Term]]:
+    if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+        return None
+    left = _as_term(conjunct.left)
+    right = _as_term(conjunct.right)
+    if left is None or right is None:
+        return None
+    return left, right
+
+
+def _as_term(expr: ast.Expr) -> Optional[Term]:
+    if isinstance(expr, ast.ColumnRef) and expr.table is not None:
+        return (expr.table.lower(), expr.name)
+    if isinstance(expr, ast.Literal):
+        return (None, expr.value)
+    return None
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[Term, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        parent = self._parent.setdefault(term, term)
+        if parent == term:
+            return term
+        root = self.find(parent)
+        self._parent[term] = root
+        return root
+
+    def union(self, a: Term, b: Term) -> None:
+        self._parent[self.find(a)] = self.find(b)
+
+    def same(self, a: Term, b: Term) -> bool:
+        return self.find(a) == self.find(b)
+
+
+def _canonicalize(expr: ast.Expr, classes: _UnionFind) -> ast.Expr:
+    """Rewrite each qualified column ref to its equality-class rep."""
+
+    def rep(node: ast.Node) -> Optional[ast.Node]:
+        term = _as_term(node) if isinstance(node, ast.Expr) else None
+        if term is None:
+            return None
+        root = classes.find(term)
+        if root[0] is None:
+            return ast.Literal(root[1])
+        return ast.ColumnRef(root[0], root[1])
+
+    return ast.transform(expr, rep)
+
+
+def cq_implies(policy: ast.Select, screen: ast.Select) -> bool:
+    """Prove π ⇒ screen for conjunctive blocks (False = not proven).
+
+    Looks for a homomorphism mapping the screen's aliases into π's aliases
+    (same relation), under which every screen conjunct is implied by π's
+    conjuncts: equalities must hold in π's equality classes; any other
+    predicate must canonicalize to one of π's predicates.
+    """
+    pi = _Block.of(policy)
+    sc = _Block.of(screen)
+    if pi is None or sc is None:
+        return False
+    if screen.having is not None:
+        return False  # a screen with HAVING can be stricter than π
+
+    # π's equality classes, seeded by its equality conjuncts.
+    classes = _UnionFind()
+    for a, b in pi.equalities:
+        classes.union(a, b)
+    pi_predicates = {_canonicalize(c, classes) for c in pi.other_conjuncts}
+
+    screen_aliases = sorted(sc.aliases)
+    candidate_targets = [
+        [
+            target
+            for target, relation in pi.aliases.items()
+            if relation == sc.aliases[alias]
+        ]
+        for alias in screen_aliases
+    ]
+    if any(not targets for targets in candidate_targets):
+        return False
+
+    for assignment in itertools.product(*candidate_targets):
+        mapping = dict(zip(screen_aliases, assignment))
+        if _mapping_works(sc, mapping, classes, pi_predicates):
+            return True
+    return False
+
+
+def _rename(expr: ast.Expr, mapping: dict[str, str]) -> ast.Expr:
+    def rename(node: ast.Node) -> Optional[ast.Node]:
+        if isinstance(node, ast.ColumnRef) and node.table is not None:
+            target = mapping.get(node.table.lower())
+            if target is not None and target != node.table:
+                return ast.ColumnRef(target, node.name)
+        return None
+
+    return ast.transform(expr, rename)
+
+
+def _mapping_works(
+    screen: _Block,
+    mapping: dict[str, str],
+    classes: _UnionFind,
+    pi_predicates: set,
+) -> bool:
+    def map_term(term: Term) -> Term:
+        if term[0] is None:
+            return term
+        return (mapping.get(term[0], term[0]), term[1])
+
+    for a, b in screen.equalities:
+        if not classes.same(map_term(a), map_term(b)):
+            return False
+    for conjunct in screen.other_conjuncts:
+        renamed = _rename(conjunct, mapping)
+        canonical = _canonicalize(renamed, classes)
+        if canonical not in pi_predicates:
+            return False
+    return True
+
+
+def screen_is_sound(policy: ast.Select, screen: ast.Select) -> bool:
+    """Alias of :func:`cq_implies` with the approximate-policy reading:
+    True proves the screen never misses a violation of ``policy``."""
+    return cq_implies(policy, screen)

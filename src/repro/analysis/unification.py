@@ -1,0 +1,149 @@
+"""Policy unification (§4.2.2).
+
+Policies that differ only in constants are consolidated into a single
+policy that joins a generated constants table, turning O(n) policy
+evaluations into one. Skeletons are computed by replacing every literal in
+the policy AST with a positional placeholder; policies with identical
+skeletons form a group. Each group is rewritten so literal position *j*
+reads column ``c<j>`` of a fresh ``__consts_<k>`` table with one row per
+member policy, and the constant columns are appended to GROUP BY so each
+member's HAVING is judged on its own slice (exactly the paper's Example
+4.6, generalized to any number of differing constants).
+
+Only monotone policies are unified: for a non-monotone scalar HAVING such
+as ``count(...) < k``, the original fires on an empty join (count 0) while
+the unified form produces no group for that constants row — not
+equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..sql import ast
+from .monotonicity import is_monotone
+
+_CONST_ALIAS = "__c"
+
+
+@dataclass(frozen=True)
+class _Placeholder(ast.Expr):
+    """Stands in for the i-th literal when computing skeletons."""
+
+    index: int
+
+
+@dataclass
+class UnifiedGroup:
+    """One consolidated policy covering ``len(member_names)`` originals."""
+
+    select: ast.Select
+    table_name: str
+    column_names: list[str]
+    rows: list[tuple]
+    member_names: list[str]
+
+
+@dataclass
+class UnificationResult:
+    """Partition of the input policies into unified groups and leftovers."""
+
+    groups: list[UnifiedGroup] = field(default_factory=list)
+    #: (name, select) pairs that joined no group.
+    singletons: list[tuple[str, ast.Select]] = field(default_factory=list)
+
+
+def _skeleton_and_literals(
+    select: ast.Select,
+) -> tuple[ast.Select, list[ast.LiteralValue]]:
+    """Replace literals with positional placeholders, collecting values.
+
+    Traversal order is the deterministic pre-order of ``Node.walk`` as
+    realized by ``transform``; two structurally identical policies visit
+    literals in the same order, so positions line up.
+    """
+    literals: list[ast.LiteralValue] = []
+    counter = iter(range(1 << 30))
+
+    def replace(node: ast.Node) -> Optional[ast.Node]:
+        if isinstance(node, ast.Literal):
+            literals.append(node.value)
+            return _Placeholder(next(counter))
+        return None
+
+    skeleton = ast.transform(select, replace)
+    assert isinstance(skeleton, ast.Select)
+    return skeleton, literals
+
+
+def unify_policies(
+    policies: Sequence[tuple[str, ast.Select]],
+    existing_aliases: Optional[set[str]] = None,
+) -> UnificationResult:
+    """Group unifiable policies and build their consolidated rewrites."""
+    result = UnificationResult()
+    by_skeleton: dict[ast.Select, list[tuple[str, list[ast.LiteralValue]]]] = {}
+    skeleton_order: list[ast.Select] = []
+    skipped: list[tuple[str, ast.Select]] = []
+    originals: dict[str, ast.Select] = {}
+
+    for name, select in policies:
+        originals[name] = select
+        if not is_monotone(select):
+            skipped.append((name, select))
+            continue
+        skeleton, literals = _skeleton_and_literals(select)
+        if skeleton not in by_skeleton:
+            skeleton_order.append(skeleton)
+        by_skeleton.setdefault(skeleton, []).append((name, literals))
+
+    result.singletons.extend(skipped)
+    group_counter = 0
+    for skeleton in skeleton_order:
+        members = by_skeleton[skeleton]
+        if len(members) < 2:
+            name = members[0][0]
+            result.singletons.append((name, originals[name]))
+            continue
+        group = _build_group(skeleton, members, group_counter)
+        result.groups.append(group)
+        group_counter += 1
+    return result
+
+
+def _build_group(
+    skeleton: ast.Select,
+    members: list[tuple[str, list[ast.LiteralValue]]],
+    group_index: int,
+) -> UnifiedGroup:
+    literal_count = len(members[0][1])
+    table_name = f"__consts_{group_index}"
+    column_names = [f"c{i}" for i in range(literal_count)]
+
+    def replace(node: ast.Node) -> Optional[ast.Node]:
+        if isinstance(node, _Placeholder):
+            return ast.ColumnRef(_CONST_ALIAS, f"c{node.index}")
+        return None
+
+    rewritten = ast.transform(skeleton, replace)
+    assert isinstance(rewritten, ast.Select)
+
+    const_cols = tuple(
+        ast.ColumnRef(_CONST_ALIAS, column) for column in column_names
+    )
+    rewritten = rewritten.replace(
+        from_items=rewritten.from_items
+        + (ast.TableRef(table_name, _CONST_ALIAS),),
+        group_by=rewritten.group_by + const_cols,
+        distinct=True,
+    )
+
+    rows = [tuple(literals) for _, literals in members]
+    return UnifiedGroup(
+        select=rewritten,
+        table_name=table_name,
+        column_names=column_names,
+        rows=rows,
+        member_names=[name for name, _ in members],
+    )

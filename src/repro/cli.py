@@ -1,0 +1,303 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+- ``check`` — load CSV tables and ``.sql`` policy files, then check one
+  query (or a file of queries) and report each decision;
+- ``shell`` — the same setup, interactively: type SQL, see decisions,
+  ``:explain`` the last rejection, ``:log`` to inspect the usage log;
+- ``demo`` — a self-contained tour on the synthetic MIMIC-II database
+  with the paper's six policies.
+
+CSV files load as tables named after the file (header row = column
+names; values are parsed as int → float → string, empty = NULL). Policy
+files contain one policy query each, named after the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import Enforcer, EnforcerOptions, Policy, explain_decision
+from .engine import Database, SqlValue
+from .errors import ReproError
+from .log import SimulatedClock
+
+
+def _parse_value(text: str) -> SqlValue:
+    if text == "":
+        return None
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    return text
+
+
+def load_csv_table(database: Database, path: Path) -> str:
+    """Load one CSV file as a table named after the file stem."""
+    name = path.stem.lower()
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ReproError(f"{path}: empty CSV file") from None
+        columns = [column.strip().lower() for column in header]
+        rows = [tuple(_parse_value(cell) for cell in row) for row in reader]
+    database.load_table(name, columns, rows)
+    return name
+
+
+def load_policy_file(path: Path) -> Policy:
+    """Load one policy query from a .sql file, named after the file stem."""
+    return Policy.from_sql(path.stem, path.read_text(encoding="utf-8"))
+
+
+def build_enforcer(
+    data_paths: Sequence[str], policy_paths: Sequence[str]
+) -> Enforcer:
+    database = Database()
+    for spec in data_paths:
+        load_csv_table(database, Path(spec))
+    policies = [load_policy_file(Path(spec)) for spec in policy_paths]
+    return Enforcer(
+        database,
+        policies,
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+
+
+def _print_decision(decision, out) -> None:
+    if decision.allowed:
+        result = decision.result
+        print(f"ALLOWED ({len(result.rows) if result else 0} rows)", file=out)
+        if result and result.rows:
+            print("  " + " | ".join(result.columns), file=out)
+            for row in result.rows[:25]:
+                print("  " + " | ".join(str(v) for v in row), file=out)
+            if len(result.rows) > 25:
+                print(f"  ... {len(result.rows) - 25} more rows", file=out)
+    else:
+        print("REJECTED", file=out)
+        for violation in decision.violations:
+            print(f"  {violation}", file=out)
+
+
+def cmd_check(args, out=sys.stdout) -> int:
+    enforcer = build_enforcer(args.data, args.policy)
+    if args.query:
+        queries = [args.query]
+    else:
+        text = Path(args.query_file).read_text(encoding="utf-8")
+        queries = [q.strip() for q in text.split(";") if q.strip()]
+    exit_code = 0
+    for sql in queries:
+        print(f"> {sql}", file=out)
+        try:
+            decision = enforcer.submit(sql, uid=args.uid)
+        except ReproError as error:
+            print(f"ERROR: {error}", file=out)
+            exit_code = 2
+            continue
+        _print_decision(decision, out)
+        if not decision.allowed:
+            exit_code = 1
+            if args.explain:
+                for explanation in explain_decision(enforcer, decision):
+                    print(explanation.render(), file=out)
+    return exit_code
+
+
+def cmd_shell(args, out=sys.stdout, input_fn=input) -> int:
+    enforcer = build_enforcer(args.data, args.policy)
+    print(
+        f"DataLawyer shell — {len(enforcer.policies)} policies over "
+        f"{', '.join(n for n in enforcer.database.table_names())}",
+        file=out,
+    )
+    print("Type SQL, or :explain / :log / :policies / :quit", file=out)
+    last_rejection = None
+    while True:
+        try:
+            line = input_fn("datalawyer> ")
+        except (EOFError, KeyboardInterrupt):
+            print("", file=out)
+            return 0
+        line = line.strip()
+        if not line:
+            continue
+        if line in (":quit", ":q", "exit"):
+            return 0
+        if line == ":log":
+            for name, size in enforcer.log_sizes().items():
+                print(f"  {name}: {size} rows", file=out)
+            continue
+        if line == ":policies":
+            for policy in enforcer.policies:
+                print(f"  {policy.name}: {policy.message}", file=out)
+            continue
+        if line == ":explain":
+            if last_rejection is None:
+                print("  nothing to explain", file=out)
+            else:
+                for explanation in explain_decision(enforcer, last_rejection):
+                    print(explanation.render(), file=out)
+            continue
+        try:
+            decision = enforcer.submit(line, uid=args.uid)
+        except ReproError as error:
+            print(f"ERROR: {error}", file=out)
+            continue
+        _print_decision(decision, out)
+        if not decision.allowed:
+            last_rejection = decision
+
+
+def cmd_demo(args, out=sys.stdout) -> int:
+    from .workloads import (
+        MimicConfig,
+        PolicyParams,
+        build_mimic_database,
+        make_all_policies,
+        make_workload,
+    )
+
+    config = MimicConfig(n_patients=args.patients)
+    params = PolicyParams.for_config(config)
+    enforcer = Enforcer(
+        build_mimic_database(config),
+        make_all_policies(params),
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+    workload = make_workload(config)
+    print(
+        f"Synthetic MIMIC-II ({config.n_patients} patients) under the "
+        "paper's six policies (Table 2).",
+        file=out,
+    )
+    for name, sql in workload.all().items():
+        for uid in (0, 1):
+            decision = enforcer.submit(sql, uid=uid)
+            verdict = "ALLOWED" if decision.allowed else "REJECTED"
+            overhead = decision.metrics.overhead_seconds * 1000
+            query_ms = decision.metrics.query_seconds * 1000
+            print(
+                f"  {name} uid={uid}: {verdict}  "
+                f"query {query_ms:6.2f} ms, enforcement {overhead:6.2f} ms",
+                file=out,
+            )
+    blocked = enforcer.submit(
+        "SELECT o.poe_id FROM poe_order o, d_patients p "
+        "WHERE o.subject_id = p.subject_id",
+        uid=1,
+    )
+    print("  restricted join for uid=1:", file=out)
+    _print_decision(blocked, out)
+    print(f"  usage log after compaction: {enforcer.log_sizes()}", file=out)
+    return 0
+
+
+def cmd_report(args, out=sys.stdout) -> int:
+    """Bundle the benchmark result tables into one report."""
+    results_dir = Path(args.results)
+    if not results_dir.is_dir():
+        print(
+            f"no results at {results_dir} — run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=out,
+        )
+        return 1
+    order = [
+        "fig1_uid0", "fig1_uid1", "fig2a", "fig2b", "fig2c",
+        "fig3_P1", "fig3_P5", "fig3_P6", "fig3_time_independent",
+        "table4", "fig4", "fig5",
+        "ablation_preemptive", "ablation_improved_partial",
+        "ablation_deferred_compaction",
+    ]
+    names = [name for name in order if (results_dir / f"{name}.txt").exists()]
+    names += sorted(
+        path.stem
+        for path in results_dir.glob("*.txt")
+        if path.stem not in order
+    )
+    if not names:
+        print(f"no result tables in {results_dir}", file=out)
+        return 1
+    sections = [
+        (results_dir / f"{name}.txt").read_text(encoding="utf-8")
+        for name in names
+    ]
+    report = (
+        "DataLawyer reproduction — measured evaluation artifacts\n"
+        "(see EXPERIMENTS.md for the paper-vs-measured discussion)\n"
+        + "".join(sections)
+    )
+    print(report, file=out)
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"written to {args.output}", file=out)
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DataLawyer: automatic enforcement of data use policies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check queries against policies")
+    check.add_argument(
+        "--data", action="append", default=[], help="CSV file to load as a table"
+    )
+    check.add_argument(
+        "--policy", action="append", default=[], help=".sql policy file"
+    )
+    check.add_argument("--uid", type=int, default=1, help="submitting user id")
+    check.add_argument("--explain", action="store_true", help="explain rejections")
+    group = check.add_mutually_exclusive_group(required=True)
+    group.add_argument("--query", help="one SQL query")
+    group.add_argument("--query-file", help="file of ';'-separated queries")
+    check.set_defaults(func=cmd_check)
+
+    shell = sub.add_parser("shell", help="interactive policy-checked SQL shell")
+    shell.add_argument("--data", action="append", default=[])
+    shell.add_argument("--policy", action="append", default=[])
+    shell.add_argument("--uid", type=int, default=1)
+    shell.set_defaults(func=cmd_shell)
+
+    demo = sub.add_parser("demo", help="tour on the synthetic MIMIC-II setup")
+    demo.add_argument("--patients", type=int, default=200)
+    demo.set_defaults(func=cmd_demo)
+
+    report = sub.add_parser(
+        "report", help="bundle benchmark result tables into one report"
+    )
+    report.add_argument(
+        "--results", default="benchmarks/results", help="results directory"
+    )
+    report.add_argument("--output", help="also write the report to this file")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Approximate policies (§6, future work in the paper).
+
+"An interesting area of future work is to use approximate policies to
+improve performance: The system first runs a simpler test that quickly
+validates most queries, but occasionally flags a valid query as
+suspicious and spends extra time to do the precise check."
+
+An :class:`ApproximatePolicy` pairs a precise policy with a cheap *screen*
+query. Semantics: if the screen returns no rows, the policy is declared
+satisfied without evaluating the precise query; if the screen fires, the
+precise policy decides. This is sound exactly when the screen is a
+*necessary condition* (π ⇒ screen): screens may over-fire (false alarms
+cost only time) but must never under-fire.
+
+Two ways to get a sound screen:
+
+- :func:`derive_screen` builds one automatically from the §4.2.1 partial-
+  policy machinery — the partial over the policy's cheapest log relation,
+  which is implied by construction;
+- hand-written screens can be checked empirically with
+  ``validate=True``, which evaluates both and raises
+  :class:`UnsoundScreenError` on the first query where the screen misses
+  a genuine violation (use in staging, drop in production).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine import Engine
+from ..errors import PolicyError
+from ..log import LogRegistry
+from ..sql import ast, parse, print_query
+from ..analysis import partial_chain
+from .policy import Policy
+
+
+class UnsoundScreenError(PolicyError):
+    """The screen declared a query compliant while the policy fired."""
+
+
+@dataclass
+class ApproximatePolicy:
+    """A policy with a fast necessary-condition screen."""
+
+    policy: Policy
+    screen: ast.Select
+    #: When True, every screen pass is double-checked against the precise
+    #: policy (staging mode); screen misses raise UnsoundScreenError.
+    validate: bool = False
+
+    #: Counters for reporting the approximation's effectiveness.
+    screened_out: int = 0
+    escalations: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.policy.name
+
+    @property
+    def screen_sql(self) -> str:
+        return print_query(self.screen)
+
+    def check(self, engine: Engine) -> bool:
+        """True when the policy is violated (same contract as π ≠ ∅)."""
+        screen_fired = not engine.is_empty(self.screen)
+        if not screen_fired:
+            if self.validate and not engine.is_empty(self.policy.select):
+                raise UnsoundScreenError(
+                    f"screen for policy {self.policy.name!r} missed a "
+                    "violation — it is not a necessary condition"
+                )
+            self.screened_out += 1
+            return False
+        self.escalations += 1
+        return not engine.is_empty(self.policy.select)
+
+    def stats(self) -> dict:
+        total = self.screened_out + self.escalations
+        return {
+            "checks": total,
+            "screened_out": self.screened_out,
+            "escalations": self.escalations,
+            "screen_rate": (self.screened_out / total) if total else 0.0,
+        }
+
+
+def from_screen_sql(
+    policy: Policy,
+    screen_sql: str,
+    validate: bool = False,
+    verify: bool = False,
+) -> ApproximatePolicy:
+    """Wrap a policy with a hand-written screen.
+
+    ``verify=True`` statically proves the screen sound via conjunctive-
+    query containment (Chandra-Merlin homomorphism; see
+    :mod:`repro.analysis.containment`) and raises :class:`PolicyError`
+    when no proof is found. Conservative: a correct-but-unprovable screen
+    is rejected too — fall back to ``validate=True`` runtime checking.
+    """
+    screen = parse(screen_sql)
+    if not isinstance(screen, ast.Select):
+        raise PolicyError("a screen must be a single SELECT")
+    if verify:
+        from ..analysis.containment import screen_is_sound
+
+        if not screen_is_sound(policy.select, screen):
+            raise PolicyError(
+                f"cannot prove the screen for {policy.name!r} is a "
+                "necessary condition (no homomorphism found)"
+            )
+    return ApproximatePolicy(policy=policy, screen=screen, validate=validate)
+
+
+def derive_screen(
+    policy: Policy,
+    registry: LogRegistry,
+    database=None,
+    keep_relations: Optional[set] = None,
+) -> ApproximatePolicy:
+    """Derive a provably sound screen from the partial-policy chain.
+
+    By Lemma 4.4, π ⇒ π_S for the partials the chain builds, so the
+    partial over ``keep_relations`` (default: the cheapest log relation,
+    usually Users) is a valid necessary condition. Raises
+    :class:`PolicyError` when no useful partial exists (e.g. the policy
+    only references one relation and the partial equals the policy).
+    """
+    from ..analysis.monotonicity import is_monotone
+
+    chain = partial_chain(
+        policy.select,
+        registry,
+        database,
+        keep_having=is_monotone(policy.select),
+    )
+    from ..analysis import referenced_log_relations
+
+    if keep_relations is not None:
+        wanted = frozenset(keep_relations)
+        candidates = [s for stage, s in chain if stage == wanted]
+        screen = candidates[0] if candidates else None
+    else:
+        # Prefer the first partial that actually consults a log relation:
+        # the S = ∅ partial (database tables only) is rarely selective.
+        screen = None
+        fallback = None
+        for stage, partial in chain:
+            if partial is None or partial == policy.select:
+                continue
+            if referenced_log_relations(partial, registry):
+                screen = partial
+                break
+            fallback = fallback or partial
+        screen = screen or fallback
+    if screen is None or screen == policy.select:
+        raise PolicyError(
+            f"no useful screen derivable for policy {policy.name!r}"
+        )
+    return ApproximatePolicy(policy=policy, screen=screen)

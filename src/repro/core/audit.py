@@ -1,0 +1,196 @@
+"""Audit trail: a durable record of every enforcement decision.
+
+The paper's §7 situates DataLawyer against after-the-fact auditing
+systems; an online enforcer naturally subsumes them by *recording* its
+decisions as it makes them. :class:`AuditTrail` captures, per submitted
+query: timestamp, user, SQL, verdict, fired policies, and the phase
+timings — enough to answer "who tried what, when, and what stopped them"
+without replaying anything.
+
+The trail is kept outside the policy-visible usage log on purpose: the
+paper excludes policies over DataLawyer's own actions (§6), and keeping
+the trail separate enforces that boundary structurally.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional
+
+from .policy import Decision
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One decision, flattened for reporting."""
+
+    timestamp: int
+    uid: int
+    sql: str
+    allowed: bool
+    policies_fired: tuple[str, ...]
+    messages: tuple[str, ...]
+    overhead_seconds: float
+    query_seconds: float
+
+    @classmethod
+    def from_decision(cls, decision: Decision) -> "AuditRecord":
+        metrics = decision.metrics
+        return cls(
+            timestamp=decision.timestamp,
+            uid=decision.uid,
+            sql=decision.sql,
+            allowed=decision.allowed,
+            policies_fired=tuple(
+                violation.policy_name for violation in decision.violations
+            ),
+            messages=tuple(
+                violation.message for violation in decision.violations
+            ),
+            overhead_seconds=(
+                metrics.overhead_seconds if metrics is not None else 0.0
+            ),
+            query_seconds=(
+                metrics.query_seconds if metrics is not None else 0.0
+            ),
+        )
+
+
+class AuditTrail:
+    """An append-only list of :class:`AuditRecord` with reporting helpers."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        """``capacity`` bounds memory: oldest records are dropped beyond it."""
+        self._records: list[AuditRecord] = []
+        self._capacity = capacity
+
+    def record(self, decision: Decision) -> AuditRecord:
+        entry = AuditRecord.from_decision(decision)
+        self._records.append(entry)
+        if self._capacity is not None and len(self._records) > self._capacity:
+            del self._records[: len(self._records) - self._capacity]
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    # -- queries ------------------------------------------------------------
+
+    def rejections(self) -> list[AuditRecord]:
+        return [r for r in self._records if not r.allowed]
+
+    def for_user(self, uid: int) -> list[AuditRecord]:
+        return [r for r in self._records if r.uid == uid]
+
+    def since(self, timestamp: int) -> list[AuditRecord]:
+        return [r for r in self._records if r.timestamp >= timestamp]
+
+    def where(
+        self, predicate: Callable[[AuditRecord], bool]
+    ) -> list[AuditRecord]:
+        return [r for r in self._records if predicate(r)]
+
+    def rejection_counts_by_policy(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.rejections():
+            for name in record.policies_fired:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def rejection_counts_by_user(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for record in self.rejections():
+            counts[record.uid] = counts.get(record.uid, 0) + 1
+        return counts
+
+    def summary(self) -> dict:
+        total = len(self._records)
+        rejected = len(self.rejections())
+        return {
+            "queries": total,
+            "allowed": total - rejected,
+            "rejected": rejected,
+            "rejection_rate": (rejected / total) if total else 0.0,
+            "by_policy": self.rejection_counts_by_policy(),
+            "by_user": self.rejection_counts_by_user(),
+        }
+
+    # -- export -------------------------------------------------------------
+
+    def to_csv(self, path: Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "timestamp",
+                    "uid",
+                    "allowed",
+                    "policies_fired",
+                    "messages",
+                    "query_seconds",
+                    "overhead_seconds",
+                    "sql",
+                ]
+            )
+            for r in self._records:
+                writer.writerow(
+                    [
+                        r.timestamp,
+                        r.uid,
+                        int(r.allowed),
+                        ";".join(r.policies_fired),
+                        ";".join(r.messages),
+                        f"{r.query_seconds:.6f}",
+                        f"{r.overhead_seconds:.6f}",
+                        r.sql,
+                    ]
+                )
+
+    def to_jsonl(self, path: Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for r in self._records:
+                handle.write(
+                    json.dumps(
+                        {
+                            "timestamp": r.timestamp,
+                            "uid": r.uid,
+                            "sql": r.sql,
+                            "allowed": r.allowed,
+                            "policies_fired": list(r.policies_fired),
+                            "messages": list(r.messages),
+                            "query_seconds": r.query_seconds,
+                            "overhead_seconds": r.overhead_seconds,
+                        }
+                    )
+                    + "\n"
+                )
+
+
+def attach_audit_trail(
+    enforcer, capacity: Optional[int] = None
+) -> AuditTrail:
+    """Wrap an enforcer's ``submit`` so every decision is recorded.
+
+    Returns the trail; the enforcer keeps working as before.
+    """
+    trail = AuditTrail(capacity=capacity)
+    original_submit = enforcer.submit
+
+    def audited_submit(*args, **kwargs) -> Decision:
+        decision = original_submit(*args, **kwargs)
+        trail.record(decision)
+        return decision
+
+    enforcer.submit = audited_submit
+    enforcer.audit_trail = trail
+    return trail

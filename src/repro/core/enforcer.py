@@ -1,0 +1,650 @@
+"""The DataLawyer enforcement pipeline (§4) and the NoOpt baseline.
+
+One :class:`Enforcer` class implements both systems; :class:`EnforcerOptions`
+toggles each optimization independently so the benchmarks can ablate them:
+
+- ``NoOpt`` (Algorithm 1 + the two straightforward optimizations): only
+  generate logs that policies mention, stage increments in memory and flush
+  on success, evaluate the policies as one UNION query. No compaction — the
+  log grows without bound.
+- ``DataLawyer`` (§4.4): offline, unify same-shape policies and rewrite
+  time-independent ones; online, interleaved evaluation over partial
+  policies (Algorithm 3), full evaluation of the non-interleavable rest,
+  then log compaction (mark via absolute-witness queries, delete, insert)
+  with preemptive pruning, and finally the user's query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..analysis import (
+    WitnessSet,
+    analyze_structure,
+    can_interleave,
+    is_monotone,
+    is_time_independent,
+    partial_chain,
+    partial_witness_probe,
+    referenced_log_relations,
+    rewrite_time_independent,
+    substitute_current_time,
+    unify_policies,
+    witness_queries,
+)
+from ..engine import Database, Engine, Result
+from ..log import Clock, LogicalClock, LogRegistry, QueryContext, standard_registry
+from ..log.store import LogStore
+from ..sql import ast
+from .metrics import (
+    PHASE_DELETE,
+    PHASE_INSERT,
+    PHASE_MARK,
+    PHASE_POLICY,
+    PHASE_QUERY,
+    MetricsLog,
+    QueryMetrics,
+)
+from .policy import Decision, Policy, Violation
+
+
+@dataclass(frozen=True)
+class EnforcerOptions:
+    """Feature toggles for the enforcement pipeline."""
+
+    interleaved: bool = True
+    log_compaction: bool = True
+    time_independent: bool = True
+    unification: bool = True
+    preemptive_compaction: bool = True
+    #: §4.3 improved partial policies (lineage-based increment-dependence
+    #: test). Off by default, matching the paper's main configuration.
+    improved_partial: bool = False
+    #: Policy evaluation strategy when ``interleaved`` is off:
+    #: "serial" (one statement per policy) or "union" (one big statement).
+    eval_strategy: str = "union"
+    #: Run the mark/delete phases only every k-th query (§5.2: "DataLawyer
+    #: could compact the log less frequently or whenever the system has
+    #: idle resources"). Increments are still persisted every query, so
+    #: deferral trades log size for per-query compaction cost; it is always
+    #: sound because witnesses are *absolute* (valid at any future time).
+    compaction_every: int = 1
+    #: Whether ``submit`` runs the user's query after a positive decision.
+    execute_queries: bool = True
+
+    @classmethod
+    def datalawyer(cls, **overrides) -> "EnforcerOptions":
+        """All optimizations on (the paper's DataLawyer configuration)."""
+        return cls(**overrides)
+
+    @classmethod
+    def noopt(cls, **overrides) -> "EnforcerOptions":
+        """The NoOpt baseline configuration."""
+        defaults = dict(
+            interleaved=False,
+            log_compaction=False,
+            time_independent=False,
+            unification=False,
+            preemptive_compaction=False,
+            improved_partial=False,
+            eval_strategy="union",
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class RuntimePolicy:
+    """A policy after the offline phase: rewrites and evaluation artifacts."""
+
+    name: str
+    message: str
+    #: Effective query (after time-independent rewrite, if applied).
+    select: ast.Select
+    original: ast.Select
+    log_relations: set[str] = field(default_factory=set)
+    time_independent: bool = False
+    monotone: bool = False
+    interleavable: bool = False
+    #: Stage set → partial policy; only stages where the partial changes.
+    chain_map: dict[frozenset, Optional[ast.Select]] = field(default_factory=dict)
+    witness: Optional[WitnessSet] = None
+    improved_partial_safe: bool = False
+    #: For unified groups: the names of the original member policies.
+    member_names: list[str] = field(default_factory=list)
+
+
+class Enforcer:
+    """Checks every submitted query against the policy set."""
+
+    def __init__(
+        self,
+        database: Database,
+        policies: Sequence[Policy] = (),
+        registry: Optional[LogRegistry] = None,
+        clock: Optional[Clock] = None,
+        options: Optional[EnforcerOptions] = None,
+    ):
+        self.database = database
+        self.engine = Engine(database)
+        self.registry = registry or standard_registry()
+        self.clock = clock or LogicalClock()
+        self.options = options or EnforcerOptions.datalawyer()
+        self.store = LogStore(database, self.registry)
+        self.metrics_log = MetricsLog()
+        self.policies: list[Policy] = list(policies)
+        self._runtime: list[RuntimePolicy] = []
+        self._persist_relations: set[str] = set()
+        self._union_select: Optional[ast.Query] = None
+        self._const_tables: list[str] = []
+        self._queries_since_compaction = 0
+        self._prepare()
+
+    # ------------------------------------------------------------------
+    # Offline phase (§4.4)
+    # ------------------------------------------------------------------
+
+    def add_policy(self, policy: Policy) -> None:
+        """Register a policy mid-stream; its history starts now.
+
+        Per the paper (§4.1.2 footnote), the new policy only sees log
+        entries from the current time onward: we conjoin
+        ``R.ts > now`` for every log occurrence.
+        """
+        now = self.clock.now()
+        structure = analyze_structure(policy.select, self.registry, self.database)
+        extra = [
+            ast.BinaryOp(">", ast.col(alias, "ts"), ast.lit(now))
+            for alias in sorted(structure.log_occurrences)
+        ]
+        if extra:
+            select = policy.select.replace(
+                where=ast.conjoin(ast.conjuncts(policy.select.where) + extra)
+            )
+            policy = replace(policy, select=select)
+        self.policies.append(policy)
+        self._prepare()
+
+    def remove_policy(self, name: str) -> None:
+        self.policies = [p for p in self.policies if p.name != name]
+        self._prepare()
+
+    def _prepare(self) -> None:
+        """Run the offline phase over the current policy set."""
+        for table in self._const_tables:
+            if self.database.has_table(table):
+                self.database.drop_table(table)
+        self._const_tables = []
+        self.engine.invalidate_plans()
+
+        effective: list[RuntimePolicy] = []
+        if self.options.unification and len(self.policies) > 1:
+            unified = unify_policies(
+                [(p.name, p.select) for p in self.policies]
+            )
+            by_name = {p.name: p for p in self.policies}
+            for group in unified.groups:
+                self.database.load_table(
+                    group.table_name, group.column_names, group.rows
+                )
+                self._const_tables.append(group.table_name)
+                effective.append(
+                    RuntimePolicy(
+                        name="+".join(group.member_names),
+                        message="",  # per-member messages come from rows
+                        select=group.select,
+                        original=group.select,
+                        member_names=group.member_names,
+                    )
+                )
+            for name, select in unified.singletons:
+                policy = by_name[name]
+                effective.append(
+                    RuntimePolicy(
+                        name=policy.name,
+                        message=policy.message,
+                        select=select,
+                        original=select,
+                    )
+                )
+            self.engine.invalidate_plans()
+        else:
+            for policy in self.policies:
+                effective.append(
+                    RuntimePolicy(
+                        name=policy.name,
+                        message=policy.message,
+                        select=policy.select,
+                        original=policy.select,
+                    )
+                )
+
+        for runtime in effective:
+            self._analyze(runtime)
+
+        self._runtime = effective
+        self._persist_relations = set()
+        for runtime in effective:
+            if self.options.log_compaction:
+                if runtime.witness is not None:
+                    self._persist_relations |= runtime.witness.relations()
+            elif not (self.options.time_independent and runtime.time_independent):
+                self._persist_relations |= runtime.log_relations
+
+        self._union_select = None
+        if effective:
+            union: ast.Query = effective[0].select
+            for runtime in effective[1:]:
+                union = ast.SetOp("union", union, runtime.select)
+            self._union_select = union
+
+    def _analyze(self, runtime: RuntimePolicy) -> None:
+        select = runtime.original
+        runtime.log_relations = referenced_log_relations(select, self.registry)
+
+        runtime.time_independent = is_time_independent(
+            select, self.registry, self.database
+        )
+        if self.options.time_independent and runtime.time_independent:
+            select = rewrite_time_independent(select, self.registry, self.database)
+        runtime.select = select
+
+        runtime.monotone = is_monotone(select)
+        runtime.interleavable = can_interleave(select)
+        if self.options.interleaved and runtime.interleavable:
+            chain = partial_chain(
+                select,
+                self.registry,
+                self.database,
+                keep_having=runtime.monotone,
+            )
+            runtime.chain_map = dict(chain)
+
+        skip_compaction = (
+            self.options.time_independent and runtime.time_independent
+        )
+        if self.options.log_compaction and not skip_compaction:
+            runtime.witness = witness_queries(select, self.registry, self.database)
+
+        # §4.3 improved partial policies are sound only when (a) the policy
+        # is monotone, (b) every clock predicate is window-limiting (the
+        # satisfying region shrinks as time passes), and (c) all log
+        # occurrences share one timestamp-equivalence class — then any
+        # current-time violation must involve the current increment, so a
+        # lineage test on a partial that contains at least one log atom is
+        # conclusive.
+        structure = analyze_structure(select, self.registry, self.database)
+        occurrences = list(structure.log_occurrences)
+        one_component = bool(occurrences) and set(occurrences) == (
+            structure.ts_components.get(occurrences[0], {occurrences[0]})
+            if occurrences
+            else set()
+        )
+        runtime.improved_partial_safe = (
+            runtime.monotone
+            and one_component
+            and structure.clock_predicates is not None
+            and all(
+                predicate.op in ("<", "<=", "=")
+                for predicate in structure.clock_predicates
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Online phase (§4.4)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        uid: int = 0,
+        execute: Optional[bool] = None,
+        attributes: Optional[dict] = None,
+    ) -> Decision:
+        """Check a query against all policies; run it if compliant."""
+        timestamp = self.clock.advance()
+        self.store.set_time(timestamp)
+        metrics = QueryMetrics(timestamp=timestamp, uid=uid)
+        context = QueryContext.create(
+            sql, uid, timestamp, self.engine, attributes
+        )
+        generated: set[str] = set()
+
+        def ensure_log(name: str) -> None:
+            if name in generated:
+                return
+            function = self.registry.get(name)
+            with metrics.timed(f"log:{name}"):
+                rows = function.generate(context)
+                staged = self.store.stage(name, rows, timestamp)
+            metrics.add_count("tuples_staged", staged)
+            generated.add(name)
+
+        if self.options.interleaved:
+            violations = self._interleaved_round(metrics, ensure_log)
+        else:
+            violations = self._direct_round(metrics, ensure_log)
+
+        if violations:
+            self.store.discard_staged()
+            metrics.allowed = False
+            self.metrics_log.record(metrics)
+            return Decision(
+                allowed=False,
+                timestamp=timestamp,
+                violations=violations,
+                metrics=metrics,
+                sql=sql,
+                uid=uid,
+            )
+
+        self._commit_logs(metrics, ensure_log, generated, timestamp)
+
+        result: Optional[Result] = None
+        should_execute = (
+            self.options.execute_queries if execute is None else execute
+        )
+        if should_execute:
+            with metrics.timed(PHASE_QUERY):
+                result = self.engine.execute(context.query)
+            metrics.add_count("statements")
+
+        metrics.counts["log_size"] = self.store.total_live_size()
+        self.metrics_log.record(metrics)
+        return Decision(
+            allowed=True,
+            timestamp=timestamp,
+            result=result,
+            metrics=metrics,
+            sql=sql,
+            uid=uid,
+        )
+
+    # -- policy evaluation ------------------------------------------------
+
+    def _interleaved_round(
+        self,
+        metrics: QueryMetrics,
+        ensure_log: Callable[[str], None],
+    ) -> list[Violation]:
+        """Algorithm 3 over the interleavable policies, then the rest."""
+        violations: list[Violation] = []
+        active = [r for r in self._runtime if r.interleavable and r.chain_map]
+        active_ids = {id(r) for r in active}
+        deferred = [r for r in self._runtime if id(r) not in active_ids]
+
+        stage: set[str] = set()
+        still_active: list[RuntimePolicy] = []
+        for runtime in active:
+            verdict = self._eval_stage(runtime, frozenset(), metrics)
+            if verdict == "violation":
+                violations.append(self._violation_for(runtime, metrics))
+            elif verdict == "keep":
+                still_active.append(runtime)
+        active = still_active
+
+        for function in self.registry.ordered():
+            if not active:
+                break
+            name = function.name
+            if any(name in runtime.log_relations for runtime in active):
+                ensure_log(name)
+            stage.add(name)
+            frozen = frozenset(stage)
+            still_active = []
+            for runtime in active:
+                verdict = self._eval_stage(runtime, frozen, metrics)
+                if verdict == "violation":
+                    violations.append(self._violation_for(runtime, metrics))
+                elif verdict == "keep":
+                    still_active.append(runtime)
+            active = still_active
+
+        # Anything that cannot interleave is evaluated in full (§4.4 step 2).
+        for runtime in deferred:
+            for name in sorted(runtime.log_relations):
+                ensure_log(name)
+            with metrics.timed(PHASE_POLICY):
+                empty = self.engine.is_empty(runtime.select)
+            metrics.add_count("statements")
+            if not empty:
+                violations.append(self._violation_for(runtime, metrics))
+        return violations
+
+    def _eval_stage(
+        self,
+        runtime: RuntimePolicy,
+        stage: frozenset,
+        metrics: QueryMetrics,
+    ) -> str:
+        """Evaluate one partial; returns 'pruned', 'keep' or 'violation'."""
+        if stage not in runtime.chain_map:
+            return "keep"  # partial unchanged at this stage
+        partial = runtime.chain_map[stage]
+        if partial is None:
+            return "keep"  # degenerate partial: nothing useful to check
+        is_full = partial == runtime.select
+
+        # The lineage-based dependence test is only conclusive when the
+        # partial contains a log atom (see _analyze); and the final full
+        # evaluation is always decisive on its own.
+        use_lineage = (
+            self.options.improved_partial
+            and runtime.improved_partial_safe
+            and not is_full
+            and bool(referenced_log_relations(partial, self.registry))
+        )
+        with metrics.timed(PHASE_POLICY):
+            if use_lineage:
+                result = self.engine.execute(partial, lineage=True)
+                empty = not result.rows
+            else:
+                result = None
+                empty = self.engine.is_empty(partial)
+        metrics.add_count("statements")
+
+        if empty:
+            return "pruned"
+        if use_lineage and result is not None:
+            if not self._depends_on_increment(result):
+                # §4.3: the non-empty answer predates this query's increment,
+                # and the policy held before — it still holds.
+                return "pruned"
+        return "violation" if is_full else "keep"
+
+    def _depends_on_increment(self, result: Result) -> bool:
+        assert result.lineages is not None
+        staged: dict[str, set[int]] = {
+            name: set(self.store.staged_tids(name))
+            for name in self.store.staged_relations()
+        }
+        for lineage in result.lineages:
+            for table, tid in lineage:
+                if tid in staged.get(table, ()):
+                    return True
+        return False
+
+    def _direct_round(
+        self,
+        metrics: QueryMetrics,
+        ensure_log: Callable[[str], None],
+    ) -> list[Violation]:
+        """Non-interleaved evaluation: one UNION statement or serial."""
+        needed: set[str] = set()
+        for runtime in self._runtime:
+            needed |= runtime.log_relations
+        for name in self.registry.names():
+            if name in needed:
+                ensure_log(name)
+
+        violations: list[Violation] = []
+        if self.options.eval_strategy == "union" and self._union_select is not None:
+            with metrics.timed(PHASE_POLICY):
+                result = self.engine.execute(self._union_select)
+            metrics.add_count("statements")
+            for row in result.rows:
+                message = row[0] if row and isinstance(row[0], str) else "violated"
+                violations.append(Violation("policy-set", " ".join(message.split())))
+        else:
+            for runtime in self._runtime:
+                with metrics.timed(PHASE_POLICY):
+                    empty = self.engine.is_empty(runtime.select)
+                metrics.add_count("statements")
+                if not empty:
+                    violations.append(self._violation_for(runtime, metrics))
+        return violations
+
+    def _violation_for(
+        self, runtime: RuntimePolicy, metrics: QueryMetrics
+    ) -> Violation:
+        """Build the violation report, re-running the policy for evidence."""
+        with metrics.timed(PHASE_POLICY):
+            result = self.engine.execute(runtime.select)
+        metrics.add_count("statements")
+        message = runtime.message
+        if result.rows and isinstance(result.rows[0][0], str):
+            message = " ".join(result.rows[0][0].split())
+        return Violation(
+            policy_name=runtime.name,
+            message=message or f"policy {runtime.name!r} violated",
+            evidence_rows=len(result.rows),
+        )
+
+    # -- compaction & flush --------------------------------------------------
+
+    def _commit_logs(
+        self,
+        metrics: QueryMetrics,
+        ensure_log: Callable[[str], None],
+        generated: set[str],
+        timestamp: int,
+    ) -> None:
+        compact_now = False
+        if self.options.log_compaction:
+            self._queries_since_compaction += 1
+            interval = max(1, self.options.compaction_every)
+            compact_now = self._queries_since_compaction >= interval
+        if compact_now:
+            self._queries_since_compaction = 0
+            marks: Optional[dict[str, set[int]]] = {
+                name: set() for name in self._persist_relations
+            }
+            for runtime in self._runtime:
+                if runtime.witness is not None:
+                    self._mark_policy(
+                        runtime.witness, metrics, ensure_log, generated, timestamp, marks
+                    )
+        else:
+            # Either compaction is off, or this query is between compaction
+            # points: persist the increments untouched (always sound).
+            marks = None
+            if self.options.log_compaction:
+                # Between compaction points there is no witness run to pull
+                # in lazily skipped increments, and a skipped increment is
+                # lost forever — so every persisted relation's increment
+                # must be generated now. (Under eager compaction the
+                # witness/probe machinery does this on demand.)
+                for name in sorted(self._persist_relations):
+                    ensure_log(name)
+
+        persist = (
+            self._persist_relations
+            if self.options.log_compaction
+            else self._persist_relations & generated
+        )
+        stats = self.store.commit(marks, persist)
+        metrics.add_seconds(PHASE_DELETE, stats.delete_seconds)
+        metrics.add_seconds(PHASE_INSERT, stats.insert_seconds)
+        metrics.add_count("tuples_deleted", stats.tuples_deleted)
+        metrics.add_count("tuples_inserted", stats.tuples_inserted)
+
+    def _mark_policy(
+        self,
+        witness: WitnessSet,
+        metrics: QueryMetrics,
+        ensure_log: Callable[[str], None],
+        generated: set[str],
+        timestamp: int,
+        marks: dict[str, set[int]],
+    ) -> None:
+        for relation, templates in witness.per_relation.items():
+            collected = marks.setdefault(relation, set())
+            for template in templates:
+                missing = (
+                    referenced_log_relations(template, self.registry) - generated
+                )
+                if missing and self.options.preemptive_compaction:
+                    probe = partial_witness_probe(
+                        template, generated, self.registry
+                    )
+                    if probe is not None:
+                        instantiated = substitute_current_time(probe, timestamp)
+                        with metrics.timed(PHASE_MARK):
+                            probe_empty = self.engine.is_empty(instantiated)
+                        metrics.add_count("statements")
+                        if probe_empty:
+                            continue  # the full witness is provably empty
+                for name in sorted(missing):
+                    ensure_log(name)
+                    generated.add(name)
+                instantiated = substitute_current_time(template, timestamp)
+                with metrics.timed(PHASE_MARK):
+                    result = self.engine.execute(instantiated, lineage=True)
+                metrics.add_count("statements")
+                assert result.lineages is not None
+                for lineage in result.lineages:
+                    for table, tid in lineage:
+                        if table == relation:
+                            collected.add(tid)
+        for relation in witness.retain_all:
+            with metrics.timed(PHASE_MARK):
+                marks.setdefault(relation, set()).update(
+                    self.database.table(relation).tids()
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def runtime_policies(self) -> list[RuntimePolicy]:
+        return list(self._runtime)
+
+    def log_sizes(self) -> dict[str, int]:
+        return {
+            name: self.store.live_size(name) for name in self.registry.names()
+        }
+
+
+def make_datalawyer(
+    database: Database,
+    policies: Sequence[Policy],
+    registry: Optional[LogRegistry] = None,
+    clock: Optional[Clock] = None,
+    **option_overrides,
+) -> Enforcer:
+    """An :class:`Enforcer` with every optimization enabled."""
+    return Enforcer(
+        database,
+        policies,
+        registry=registry,
+        clock=clock,
+        options=EnforcerOptions.datalawyer(**option_overrides),
+    )
+
+
+def make_noopt(
+    database: Database,
+    policies: Sequence[Policy],
+    registry: Optional[LogRegistry] = None,
+    clock: Optional[Clock] = None,
+    **option_overrides,
+) -> Enforcer:
+    """The NoOpt baseline of Algorithm 1."""
+    return Enforcer(
+        database,
+        policies,
+        registry=registry,
+        clock=clock,
+        options=EnforcerOptions.noopt(**option_overrides),
+    )

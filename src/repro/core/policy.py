@@ -1,0 +1,113 @@
+"""Policy definition and validation (§3.1).
+
+A policy is a SQL query of the fixed shape::
+
+    SELECT DISTINCT '<error message>' FROM ... WHERE ... GROUP BY ... HAVING ...
+
+over the database, the usage log, and the one-row Clock. The policy is
+*satisfied* when the query returns no rows; any returned row is a
+violation and its first column is reported to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import PolicySyntaxError
+from ..sql import ast, parse, print_query
+
+
+@dataclass
+class Policy:
+    """A named, parsed data-use policy."""
+
+    name: str
+    select: ast.Select
+    #: Human-readable violation message (the select-list literal when the
+    #: policy follows the standard shape).
+    message: str
+    #: Free-form description for documentation/UIs.
+    description: str = ""
+
+    @classmethod
+    def from_sql(cls, name: str, sql: str, description: str = "") -> "Policy":
+        """Parse and validate a policy written in SQL."""
+        query = parse(sql)
+        if not isinstance(query, ast.Select):
+            raise PolicySyntaxError(
+                f"policy {name!r} must be a single SELECT statement"
+            )
+        select = query
+        if not select.from_items:
+            raise PolicySyntaxError(f"policy {name!r} needs a FROM clause")
+        if len(select.items) != 1:
+            raise PolicySyntaxError(
+                f"policy {name!r} must select exactly one item (the error message)"
+            )
+        item = select.items[0]
+        if isinstance(item.expr, ast.Star):
+            raise PolicySyntaxError(f"policy {name!r} cannot select '*'")
+        if isinstance(item.expr, ast.Literal) and isinstance(item.expr.value, str):
+            # Collapse the incidental whitespace of multi-line SQL literals.
+            message = " ".join(item.expr.value.split())
+        else:
+            message = f"policy {name!r} violated"
+        if select.order_by or select.limit is not None:
+            raise PolicySyntaxError(
+                f"policy {name!r} cannot use ORDER BY or LIMIT"
+            )
+        _reject_disjunctions(name, select)
+        return cls(name=name, select=select, message=message, description=description)
+
+    @property
+    def sql(self) -> str:
+        return print_query(self.select)
+
+    def __str__(self) -> str:
+        return f"Policy({self.name}): {self.sql}"
+
+
+def _reject_disjunctions(name: str, select: ast.Select) -> None:
+    """WHERE and HAVING must be conjunctions of atomic predicates (§3.1)."""
+    for clause, label in ((select.where, "WHERE"), (select.having, "HAVING")):
+        if clause is None:
+            continue
+        for conjunct in ast.conjuncts(clause):
+            for node in conjunct.walk():
+                if isinstance(node, ast.BinaryOp) and node.op == "or":
+                    raise PolicySyntaxError(
+                        f"policy {name!r}: {label} must be a conjunction of "
+                        "atomic predicates (no OR)"
+                    )
+
+
+@dataclass
+class Violation:
+    """One policy violation detected for a query."""
+
+    policy_name: str
+    message: str
+    #: Rows the policy query returned (their first column is the message).
+    evidence_rows: int = 1
+
+    def __str__(self) -> str:
+        return f"[{self.policy_name}] {self.message}"
+
+
+@dataclass
+class Decision:
+    """The outcome of submitting a query to the enforcer."""
+
+    allowed: bool
+    timestamp: int
+    violations: list[Violation] = field(default_factory=list)
+    #: The query result when the query was allowed and executed.
+    result: Optional[object] = None
+    metrics: Optional[object] = None
+    #: The submitted query and user (used by explain_decision).
+    sql: str = ""
+    uid: int = 0
+
+    def __bool__(self) -> bool:
+        return self.allowed

@@ -1,0 +1,111 @@
+"""Query execution facade.
+
+:class:`Engine` plans and runs SQL (text or AST) against a
+:class:`~repro.engine.database.Database` and returns a :class:`Result`.
+Passing ``lineage=True`` makes every result row carry the set of
+``(table, tid)`` base tuples that contributed to it — the mechanism behind
+the ``Provenance`` usage log and the §4.3 improved-partial-policy check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..sql import ast, parse
+from .database import Database
+from .planner import Plan, plan_query
+from .table import Row
+
+
+@dataclass
+class Result:
+    """The outcome of a query execution."""
+
+    columns: list[str]
+    rows: list[Row]
+    lineages: Optional[list[frozenset]] = None
+    #: Number of base-table rows read while executing (cost accounting).
+    statements: int = 1
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def scalar(self):
+        """The single value of a 1×1 result (None when empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list:
+        """All values of one output column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as dictionaries keyed by output column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def lineage_tables(self) -> set[str]:
+        """All base tables mentioned in any row's lineage."""
+        if self.lineages is None:
+            return set()
+        tables: set[str] = set()
+        for lineage in self.lineages:
+            tables.update(table for table, _ in lineage)
+        return tables
+
+
+class Engine:
+    """Plans and executes queries against one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._plan_cache: dict[str, Plan] = {}
+
+    def plan(self, query: Union[str, ast.Query]) -> Plan:
+        """Plan a query; textual queries get a tiny plan cache."""
+        if isinstance(query, str):
+            cached = self._plan_cache.get(query)
+            if cached is not None:
+                return cached
+            plan = plan_query(parse(query), self.database)
+            if len(self._plan_cache) < 256:
+                self._plan_cache[query] = plan
+            return plan
+        return plan_query(query, self.database)
+
+    def invalidate_plans(self) -> None:
+        """Drop cached plans (after schema changes)."""
+        self._plan_cache.clear()
+
+    def execute(
+        self, query: Union[str, ast.Query], lineage: bool = False
+    ) -> Result:
+        """Run a query and materialize its result."""
+        plan = self.plan(query)
+        rows: list[Row] = []
+        lineages: Optional[list[frozenset]] = [] if lineage else None
+        for row, lin in plan.op.execute(self.database, lineage):
+            rows.append(row)
+            if lineage:
+                assert lineages is not None
+                lineages.append(lin or frozenset())
+        return Result(columns=list(plan.columns), rows=rows, lineages=lineages)
+
+    def is_empty(self, query: Union[str, ast.Query]) -> bool:
+        """True if the query returns no rows (stops at the first row)."""
+        plan = self.plan(query)
+        for _ in plan.op.execute(self.database, False):
+            return False
+        return True
+
+    def explain(self, query: Union[str, ast.Query]) -> str:
+        """Render the physical plan as an indented operator tree."""
+        from .explain import explain_plan
+
+        plan = self.plan(query)
+        return explain_plan(plan.op, plan.columns)

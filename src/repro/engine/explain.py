@@ -1,0 +1,123 @@
+"""EXPLAIN: render a physical plan as an indented operator tree.
+
+``Engine.explain(sql)`` returns text like::
+
+    Project [a, n]
+      Group keys=1 aggs=1
+        HashJoin keys=1
+          IndexScan r (col 0)
+          Scan s
+
+Names are physical operators, not SQL clauses — the point is to see what
+the planner actually chose (index probe vs. scan, hash join vs. nested
+loop, where filters landed).
+"""
+
+from __future__ import annotations
+
+from .operators import (
+    DistinctOnOp,
+    DistinctOp,
+    ExceptOp,
+    FilterOp,
+    GroupOp,
+    HashJoinOp,
+    IndexScanOp,
+    IntersectOp,
+    LeftJoinOp,
+    LimitOp,
+    MaterializedScanOp,
+    NestedLoopOp,
+    Operator,
+    OrderOp,
+    ProjectOp,
+    ScanOp,
+    UnionOp,
+    ValuesOp,
+)
+
+
+def explain_plan(op: Operator, columns: list[str]) -> str:
+    """Render the operator tree with the plan's output columns on top."""
+    lines = [f"Output [{', '.join(columns)}]"]
+    _render(op, 1, lines)
+    return "\n".join(lines)
+
+
+def _render(op: Operator, depth: int, lines: list[str]) -> None:
+    indent = "  " * depth
+    if isinstance(op, ScanOp):
+        lines.append(f"{indent}Scan {op.table_name}")
+        return
+    if isinstance(op, IndexScanOp):
+        lines.append(f"{indent}IndexScan {op.table_name} (col {op.column})")
+        return
+    if isinstance(op, MaterializedScanOp):
+        lines.append(f"{indent}MaterializedScan {op.label}")
+        return
+    if isinstance(op, ValuesOp):
+        lines.append(f"{indent}Values ({len(op.rows)} rows)")
+        return
+    if isinstance(op, FilterOp):
+        lines.append(f"{indent}Filter")
+        _render(op.child, depth + 1, lines)
+        return
+    if isinstance(op, ProjectOp):
+        lines.append(f"{indent}Project ({len(op.exprs)} exprs)")
+        _render(op.child, depth + 1, lines)
+        return
+    if isinstance(op, HashJoinOp):
+        lines.append(f"{indent}HashJoin ({len(op.left_keys)} keys)")
+        _render(op.left, depth + 1, lines)
+        _render(op.right, depth + 1, lines)
+        return
+    if isinstance(op, NestedLoopOp):
+        label = "NestedLoop" + (" (filtered)" if op.predicate else " (product)")
+        lines.append(f"{indent}{label}")
+        _render(op.left, depth + 1, lines)
+        _render(op.right, depth + 1, lines)
+        return
+    if isinstance(op, LeftJoinOp):
+        lines.append(f"{indent}LeftJoin (pad {op.right_width})")
+        _render(op.left, depth + 1, lines)
+        _render(op.right, depth + 1, lines)
+        return
+    if isinstance(op, GroupOp):
+        lines.append(
+            f"{indent}Group ({len(op.key_fns)} keys, "
+            f"{len(op.agg_factories)} aggregates)"
+        )
+        _render(op.child, depth + 1, lines)
+        return
+    if isinstance(op, DistinctOp):
+        lines.append(f"{indent}Distinct")
+        _render(op.child, depth + 1, lines)
+        return
+    if isinstance(op, DistinctOnOp):
+        lines.append(f"{indent}DistinctOn ({len(op.key_fns)} keys)")
+        _render(op.child, depth + 1, lines)
+        return
+    if isinstance(op, UnionOp):
+        lines.append(f"{indent}Union{' All' if op.all_rows else ''}")
+        _render(op.left, depth + 1, lines)
+        _render(op.right, depth + 1, lines)
+        return
+    if isinstance(op, ExceptOp):
+        lines.append(f"{indent}Except")
+        _render(op.left, depth + 1, lines)
+        _render(op.right, depth + 1, lines)
+        return
+    if isinstance(op, IntersectOp):
+        lines.append(f"{indent}Intersect")
+        _render(op.left, depth + 1, lines)
+        _render(op.right, depth + 1, lines)
+        return
+    if isinstance(op, OrderOp):
+        lines.append(f"{indent}Order ({len(op.key_fns)} keys)")
+        _render(op.child, depth + 1, lines)
+        return
+    if isinstance(op, LimitOp):
+        lines.append(f"{indent}Limit {op.limit}")
+        _render(op.child, depth + 1, lines)
+        return
+    lines.append(f"{indent}{type(op).__name__}")  # pragma: no cover

@@ -1,0 +1,441 @@
+"""Physical operators.
+
+Every operator produces an iterator of ``(row, lineage)`` pairs. ``row`` is
+a tuple of SQL values; ``lineage`` is either ``None`` (lineage tracking
+off) or a frozenset of ``(table_name, tid)`` pairs identifying the base
+tuples that contributed to the row — the *set of contributing tuples*
+provenance the paper adopts from Cui/Widom lineage ([43] in the paper).
+
+Lineage combination rules:
+
+- scan: each base row carries its own ``{(table, tid)}``;
+- join/product: union of the two sides;
+- group-by: union over every row in the group;
+- distinct / set-union: union over all duplicates merged into one output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+from .aggregates import AccumulatorFactory
+from .database import Database
+from .expressions import RowFn
+from .table import Table
+from .types import SqlValue, sort_key
+
+Lineage = Optional[frozenset]
+Stream = Iterator[tuple[tuple, Lineage]]
+PredFn = Callable[[tuple], bool]
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        raise NotImplementedError
+
+
+class ScanOp(Operator):
+    """Full scan of a base table."""
+
+    def __init__(self, table_name: str):
+        self.table_name = table_name.lower()
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        table = database.table(self.table_name)
+        if lineage:
+            name = table.name
+            for tid, row in table.scan():
+                yield row, frozenset(((name, tid),))
+        else:
+            for row in table.rows():
+                yield row, None
+
+
+class IndexScanOp(Operator):
+    """Equality lookup through a table's lazy hash index.
+
+    ``value_fn`` is evaluated once per execution (on the empty row) so the
+    probe value may be any constant expression.
+    """
+
+    def __init__(self, table_name: str, column: int, value_fn: Callable[[tuple], SqlValue]):
+        self.table_name = table_name.lower()
+        self.column = column
+        self.value_fn = value_fn
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        table = database.table(self.table_name)
+        value = self.value_fn(())
+        matches = table.index_probe(self.column, value)
+        if lineage:
+            name = table.name
+            for tid, row in matches:
+                yield row, frozenset(((name, tid),))
+        else:
+            for _, row in matches:
+                yield row, None
+
+
+class MaterializedScanOp(Operator):
+    """Scan over an externally supplied table object (temp/increment data).
+
+    Used by the log store to run compaction queries over the union of the
+    disk-resident log and the in-memory increment without copying rows into
+    the catalog.
+    """
+
+    def __init__(self, table: Table, label: Optional[str] = None):
+        self.table = table
+        self.label = label or table.name
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        if lineage:
+            label = self.label
+            for tid, row in self.table.scan():
+                yield row, frozenset(((label, tid),))
+        else:
+            for row in self.table.rows():
+                yield row, None
+
+
+class FilterOp(Operator):
+    """Keeps rows satisfying a compiled predicate."""
+
+    def __init__(self, child: Operator, predicate: PredFn):
+        self.child = child
+        self.predicate = predicate
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        predicate = self.predicate
+        for row, lin in self.child.execute(database, lineage):
+            if predicate(row):
+                yield row, lin
+
+
+class ProjectOp(Operator):
+    """Row-wise projection through compiled expressions."""
+
+    def __init__(self, child: Operator, exprs: Sequence[RowFn]):
+        self.child = child
+        self.exprs = list(exprs)
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        exprs = self.exprs
+        for row, lin in self.child.execute(database, lineage):
+            yield tuple(fn(row) for fn in exprs), lin
+
+
+class HashJoinOp(Operator):
+    """Inner equi-join; builds on the right input, probes with the left.
+
+    Output rows are ``left_row + right_row`` so downstream column offsets
+    follow FROM order (the planner always joins left-deep in FROM order).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[RowFn],
+        right_keys: Sequence[RowFn],
+    ):
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        buckets: dict[tuple, list[tuple[tuple, Lineage]]] = {}
+        for row, lin in self.right.execute(database, lineage):
+            key = tuple(fn(row) for fn in self.right_keys)
+            if any(value is None for value in key):
+                continue  # NULL never equi-joins
+            buckets.setdefault(key, []).append((row, lin))
+
+        for row, lin in self.left.execute(database, lineage):
+            key = tuple(fn(row) for fn in self.left_keys)
+            if any(value is None for value in key):
+                continue
+            matches = buckets.get(key)
+            if not matches:
+                continue
+            for right_row, right_lin in matches:
+                combined = row + right_row
+                if lineage:
+                    yield combined, (lin or frozenset()) | (right_lin or frozenset())
+                else:
+                    yield combined, None
+
+
+class NestedLoopOp(Operator):
+    """Cross product with an optional residual predicate over the pair."""
+
+    def __init__(
+        self, left: Operator, right: Operator, predicate: Optional[PredFn] = None
+    ):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        right_rows = list(self.right.execute(database, lineage))
+        predicate = self.predicate
+        for row, lin in self.left.execute(database, lineage):
+            for right_row, right_lin in right_rows:
+                combined = row + right_row
+                if predicate is not None and not predicate(combined):
+                    continue
+                if lineage:
+                    yield combined, (lin or frozenset()) | (right_lin or frozenset())
+                else:
+                    yield combined, None
+
+
+class LeftJoinOp(Operator):
+    """Left outer join with an arbitrary ON predicate.
+
+    Unmatched left rows are padded with ``right_width`` NULLs; their
+    lineage is the left row's alone (no right tuple contributed).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        predicate: PredFn,
+        right_width: int,
+    ):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.right_width = right_width
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        right_rows = list(self.right.execute(database, lineage))
+        padding = (None,) * self.right_width
+        predicate = self.predicate
+        for row, lin in self.left.execute(database, lineage):
+            matched = False
+            for right_row, right_lin in right_rows:
+                combined = row + right_row
+                if predicate(combined):
+                    matched = True
+                    if lineage:
+                        yield combined, (lin or frozenset()) | (
+                            right_lin or frozenset()
+                        )
+                    else:
+                        yield combined, None
+            if not matched:
+                yield row + padding, lin
+
+
+class GroupOp(Operator):
+    """Hash aggregation.
+
+    Emits *group rows* of shape ``key_values + aggregate_results``; the
+    planner compiles HAVING and the select list against that layout. When
+    ``key_fns`` is empty, a single group is emitted even for empty input
+    (standard scalar-aggregate semantics).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        key_fns: Sequence[RowFn],
+        agg_factories: Sequence[AccumulatorFactory],
+    ):
+        self.child = child
+        self.key_fns = list(key_fns)
+        self.agg_factories = list(agg_factories)
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for row, lin in self.child.execute(database, lineage):
+            key = tuple(fn(row) for fn in self.key_fns)
+            state = groups.get(key)
+            if state is None:
+                accumulators = [factory() for factory in self.agg_factories]
+                state = [accumulators, frozenset() if lineage else None]
+                groups[key] = state
+                order.append(key)
+            for accumulator in state[0]:
+                accumulator.add(row)
+            if lineage:
+                state[1] = state[1] | (lin or frozenset())
+
+        if not groups and not self.key_fns:
+            accumulators = [factory() for factory in self.agg_factories]
+            results = tuple(acc.result() for acc in accumulators)
+            yield results, (frozenset() if lineage else None)
+            return
+
+        for key in order:
+            accumulators, lin = groups[key]
+            results = tuple(acc.result() for acc in accumulators)
+            yield key + results, lin
+
+
+class DistinctOp(Operator):
+    """Set semantics: one output per distinct row, lineages unioned."""
+
+    def __init__(self, child: Operator):
+        self.child = child
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        if not lineage:
+            seen: set = set()
+            for row, _ in self.child.execute(database, lineage):
+                if row not in seen:
+                    seen.add(row)
+                    yield row, None
+            return
+        merged: dict[tuple, frozenset] = {}
+        order: list[tuple] = []
+        for row, lin in self.child.execute(database, lineage):
+            if row in merged:
+                merged[row] = merged[row] | (lin or frozenset())
+            else:
+                merged[row] = lin or frozenset()
+                order.append(row)
+        for row in order:
+            yield row, merged[row]
+
+
+class DistinctOnOp(Operator):
+    """PostgreSQL-style ``DISTINCT ON``: first row per key expression tuple.
+
+    The key is computed on the *input* row; the output row comes from the
+    projection functions. The choice of representative is whatever arrives
+    first, matching the paper's note that the witness "nondeterministically
+    chooses any tuple" from each group.
+    """
+
+    def __init__(
+        self, child: Operator, key_fns: Sequence[RowFn], out_fns: Sequence[RowFn]
+    ):
+        self.child = child
+        self.key_fns = list(key_fns)
+        self.out_fns = list(out_fns)
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        seen: set = set()
+        for row, lin in self.child.execute(database, lineage):
+            key = tuple(fn(row) for fn in self.key_fns)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield tuple(fn(row) for fn in self.out_fns), lin
+
+
+class UnionOp(Operator):
+    """UNION / UNION ALL over two inputs of identical arity."""
+
+    def __init__(self, left: Operator, right: Operator, all_rows: bool):
+        self.left = left
+        self.right = right
+        self.all_rows = all_rows
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        def chained() -> Stream:
+            yield from self.left.execute(database, lineage)
+            yield from self.right.execute(database, lineage)
+
+        if self.all_rows:
+            yield from chained()
+        else:
+            yield from DistinctOp(_Wrapped(chained())).execute(database, lineage)
+
+
+class ExceptOp(Operator):
+    """Set difference (always distinct, like SQL EXCEPT)."""
+
+    def __init__(self, left: Operator, right: Operator):
+        self.left = left
+        self.right = right
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        removed = {row for row, _ in self.right.execute(database, False)}
+        emitted: set = set()
+        for row, lin in self.left.execute(database, lineage):
+            if row in removed or row in emitted:
+                continue
+            emitted.add(row)
+            yield row, lin
+
+
+class IntersectOp(Operator):
+    """Set intersection (always distinct, like SQL INTERSECT)."""
+
+    def __init__(self, left: Operator, right: Operator):
+        self.left = left
+        self.right = right
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        keep = {row for row, _ in self.right.execute(database, False)}
+        emitted: set = set()
+        for row, lin in self.left.execute(database, lineage):
+            if row not in keep or row in emitted:
+                continue
+            emitted.add(row)
+            yield row, lin
+
+
+class OrderOp(Operator):
+    """Stable sort by key functions with per-key direction."""
+
+    def __init__(
+        self, child: Operator, key_fns: Sequence[RowFn], descending: Sequence[bool]
+    ):
+        self.child = child
+        self.key_fns = list(key_fns)
+        self.descending = list(descending)
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        rows = list(self.child.execute(database, lineage))
+        # Stable multi-key sort: apply keys right-to-left.
+        for fn, desc in reversed(list(zip(self.key_fns, self.descending))):
+            rows.sort(key=lambda pair: sort_key(fn(pair[0])), reverse=desc)
+        yield from rows
+
+
+class LimitOp(Operator):
+    """Emit at most ``limit`` rows."""
+
+    def __init__(self, child: Operator, limit: int):
+        self.child = child
+        self.limit = limit
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for row, lin in self.child.execute(database, lineage):
+            yield row, lin
+            remaining -= 1
+            if remaining == 0:
+                return
+
+
+class ValuesOp(Operator):
+    """A constant relation (used for the one-row Clock and for tests)."""
+
+    def __init__(self, rows: Sequence[tuple]):
+        self.rows = [tuple(row) for row in rows]
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        for row in self.rows:
+            yield row, (frozenset() if lineage else None)
+
+
+class _Wrapped(Operator):
+    """Adapts an existing stream to the Operator interface."""
+
+    def __init__(self, stream: Stream):
+        self._stream = stream
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        return self._stream

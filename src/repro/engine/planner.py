@@ -1,0 +1,635 @@
+"""Translates a bound AST into a physical operator tree.
+
+Planning decisions, in order:
+
+1. FROM items are planned left-deep in syntactic order. Single-table WHERE
+   conjuncts are pushed below the joins onto their scan; plain
+   column-equality conjuncts linking the new item to the accumulated prefix
+   become hash-join keys; everything else lands in one residual filter.
+2. If the query groups or aggregates, a :class:`GroupOp` materializes
+   ``key + aggregate`` rows and the select list / HAVING / ORDER BY are
+   compiled against that layout (non-grouped column refs are rejected, as
+   in standard SQL).
+3. ``DISTINCT ON`` keys are evaluated on the pre-projection row, matching
+   PostgreSQL, which is what the paper's witness queries (Lemma 4.2) rely
+   on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import BindError
+from ..sql import ast
+from .aggregates import make_accumulator_factory
+from .database import Database
+from .expressions import (
+    RowFn,
+    compile_expr,
+    compile_predicate,
+    contains_aggregate,
+    is_aggregate_call,
+)
+from .operators import (
+    DistinctOnOp,
+    DistinctOp,
+    ExceptOp,
+    FilterOp,
+    GroupOp,
+    HashJoinOp,
+    IntersectOp,
+    LimitOp,
+    NestedLoopOp,
+    Operator,
+    OrderOp,
+    ProjectOp,
+    ScanOp,
+    UnionOp,
+    ValuesOp,
+)
+
+
+@dataclass
+class Binding:
+    """One FROM item's contribution to the concatenated row."""
+
+    name: str
+    columns: list[str]
+    offset: int
+
+
+class Layout:
+    """Column resolution over a list of bindings."""
+
+    def __init__(self, bindings: list[Binding]):
+        self.bindings = bindings
+        self._by_name = {binding.name: binding for binding in bindings}
+
+    @property
+    def width(self) -> int:
+        return sum(len(binding.columns) for binding in self.bindings)
+
+    def binding(self, name: str) -> Binding:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise BindError(f"unknown table or alias {name!r}") from None
+
+    def has_binding(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def resolve_position(self, ref: ast.ColumnRef) -> int:
+        """Absolute index of a column ref in the concatenated row."""
+        if ref.table is not None:
+            binding = self.binding(ref.table)
+            if ref.name not in binding.columns:
+                raise BindError(
+                    f"table {binding.name!r} has no column {ref.name!r}"
+                )
+            if binding.columns.count(ref.name) > 1:
+                raise BindError(
+                    f"column {ref.name!r} of {binding.name!r} is ambiguous "
+                    "(duplicate output name)"
+                )
+            return binding.offset + binding.columns.index(ref.name)
+        matches = [
+            binding
+            for binding in self.bindings
+            if ref.name in binding.columns
+        ]
+        if not matches:
+            raise BindError(f"unknown column {ref.name!r}")
+        if len(matches) > 1:
+            names = ", ".join(binding.name for binding in matches)
+            raise BindError(f"column {ref.name!r} is ambiguous (in {names})")
+        binding = matches[0]
+        return binding.offset + binding.columns.index(ref.name)
+
+    def qualifier_of(self, ref: ast.ColumnRef) -> str:
+        """Binding name a column ref resolves to (for normalization)."""
+        if ref.table is not None:
+            return self.binding(ref.table).name
+        matches = [b for b in self.bindings if ref.name in b.columns]
+        if len(matches) != 1:
+            raise BindError(f"cannot uniquely resolve column {ref.name!r}")
+        return matches[0].name
+
+    def column_fn(self, ref: ast.ColumnRef) -> RowFn:
+        index = self.resolve_position(ref)
+        return lambda row: row[index]
+
+    def bindings_of(self, expr: ast.Expr) -> set[str]:
+        """Binding names an expression's column refs resolve into."""
+        names = set()
+        for ref in ast.column_refs(expr):
+            names.add(self.qualifier_of(ref))
+        return names
+
+
+@dataclass
+class Plan:
+    """An executable operator tree plus its output column names."""
+
+    op: Operator
+    columns: list[str]
+
+
+def normalize_expr(expr: ast.Expr, layout: Layout) -> ast.Expr:
+    """Fully qualify every column ref so syntactic equality is meaningful."""
+
+    def qualify(node: ast.Node) -> Optional[ast.Node]:
+        if isinstance(node, ast.ColumnRef) and node.table is None:
+            return ast.ColumnRef(layout.qualifier_of(node), node.name)
+        if isinstance(node, ast.ColumnRef) and node.table is not None:
+            resolved = layout.qualifier_of(node)
+            if resolved != node.table:
+                return ast.ColumnRef(resolved, node.name)
+        return None
+
+    return ast.transform(expr, qualify)
+
+
+class Planner:
+    """Plans one query against a database catalog."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    # -- entry points --------------------------------------------------------
+
+    def plan(self, query: ast.Query) -> Plan:
+        if isinstance(query, ast.Select):
+            return self._plan_select(query)
+        if isinstance(query, ast.SetOp):
+            return self._plan_setop(query)
+        raise BindError(f"cannot plan {type(query).__name__}")
+
+    # -- set operations ---------------------------------------------------------
+
+    def _plan_setop(self, query: ast.SetOp) -> Plan:
+        left = self.plan(query.left)
+        right = self.plan(query.right)
+        if len(left.columns) != len(right.columns):
+            raise BindError(
+                f"{query.op.upper()} inputs have different arity: "
+                f"{len(left.columns)} vs {len(right.columns)}"
+            )
+        if query.op == "union":
+            op: Operator = UnionOp(left.op, right.op, all_rows=query.all)
+        elif query.op == "except":
+            op = ExceptOp(left.op, right.op)
+        elif query.op == "intersect":
+            op = IntersectOp(left.op, right.op)
+        else:
+            raise BindError(f"unknown set operation {query.op!r}")
+        return Plan(op, left.columns)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _plan_select(self, select: ast.Select) -> Plan:
+        layout, from_op, residual = self._plan_from(select)
+
+        if residual is not None:
+            from_op = FilterOp(
+                from_op, compile_predicate(residual, layout.column_fn)
+            )
+
+        grouped = bool(select.group_by) or self._select_has_aggregates(select)
+        if grouped:
+            return self._plan_grouped(select, layout, from_op)
+        return self._plan_plain(select, layout, from_op)
+
+    @staticmethod
+    def _select_has_aggregates(select: ast.Select) -> bool:
+        exprs: list[ast.Expr] = [
+            item.expr
+            for item in select.items
+            if not isinstance(item.expr, ast.Star)
+        ]
+        if select.having is not None:
+            exprs.append(select.having)
+        exprs.extend(order.expr for order in select.order_by)
+        return any(contains_aggregate(expr) for expr in exprs)
+
+    # -- FROM clause + joins ------------------------------------------------------
+
+    def _plan_from(
+        self, select: ast.Select
+    ) -> tuple[Layout, Operator, Optional[ast.Expr]]:
+        if not select.from_items:
+            # SELECT without FROM: a single empty row.
+            return Layout([]), ValuesOp([()]), select.where
+
+        # A "unit" is one FROM item planned in isolation: a scan, a
+        # subquery, or a whole (left-)join tree, carrying one or more
+        # bindings. Units then join left-deep in FROM order.
+        units: list[tuple[list[Binding], Operator]] = []
+        offset = 0
+        seen_names: set[str] = set()
+        for item in select.from_items:
+            bindings, op = self._plan_source_item(item, offset)
+            for binding in bindings:
+                if binding.name in seen_names:
+                    raise BindError(
+                        f"duplicate table alias {binding.name!r} in FROM"
+                    )
+                seen_names.add(binding.name)
+                offset += len(binding.columns)
+            units.append((bindings, op))
+
+        layout = Layout(
+            [binding for bindings, _ in units for binding in bindings]
+        )
+        conjuncts = list(ast.conjuncts(select.where))
+        consumed: set[int] = set()
+
+        # Push single-binding conjuncts onto single-binding units. Never
+        # push below a join unit: filtering the right side of a LEFT JOIN
+        # before the join changes which rows get NULL-padded.
+        pushable = {
+            bindings[0].name
+            for bindings, _ in units
+            if len(bindings) == 1
+        }
+        per_binding: dict[str, list[ast.Expr]] = {}
+        for index, conjunct in enumerate(conjuncts):
+            refs = layout.bindings_of(conjunct)
+            if (
+                len(refs) == 1
+                and next(iter(refs)) in pushable
+                and not contains_aggregate(conjunct)
+            ):
+                per_binding.setdefault(next(iter(refs)), []).append(conjunct)
+                consumed.add(index)
+
+        planned: list[tuple[list[Binding], Operator]] = []
+        for bindings, op in units:
+            if len(bindings) == 1:
+                binding = bindings[0]
+                local = list(per_binding.get(binding.name, ()))
+                if local and isinstance(op, ScanOp):
+                    # Equality-with-constant conjuncts probe the hash index.
+                    index_scan, local = self._try_index_scan(op, binding, local)
+                    if index_scan is not None:
+                        op = index_scan
+                if local:
+                    solo = Layout([Binding(binding.name, binding.columns, 0)])
+                    predicate = compile_predicate(
+                        ast.conjoin(local), solo.column_fn
+                    )
+                    op = FilterOp(op, predicate)
+            planned.append((bindings, op))
+
+        # Left-deep joins in FROM order, consuming equi-join conjuncts.
+        first_bindings, acc_op = planned[0]
+        acc_binding_names = {binding.name for binding in first_bindings}
+        for bindings, op in planned[1:]:
+            unit_names = {binding.name for binding in bindings}
+            local_layout = self._local_layout(bindings)
+            left_keys: list[RowFn] = []
+            right_keys: list[RowFn] = []
+            for index, conjunct in enumerate(conjuncts):
+                if index in consumed:
+                    continue
+                keys = self._equi_join_keys(
+                    conjunct, layout, acc_binding_names, unit_names
+                )
+                if keys is None:
+                    continue
+                left_ref, right_ref = keys
+                left_keys.append(layout.column_fn(left_ref))
+                right_keys.append(local_layout.column_fn(right_ref))
+                consumed.add(index)
+            if left_keys:
+                acc_op = HashJoinOp(acc_op, op, left_keys, right_keys)
+            else:
+                acc_op = NestedLoopOp(acc_op, op)
+            acc_binding_names |= unit_names
+
+        residual = ast.conjoin(
+            [c for i, c in enumerate(conjuncts) if i not in consumed]
+        )
+        return layout, acc_op, residual
+
+    def _plan_source_item(
+        self, item: ast.FromItem, offset: int
+    ) -> tuple[list[Binding], Operator]:
+        """Plan one FROM item into (bindings with global offsets, operator)."""
+        if isinstance(item, ast.TableRef):
+            table = self.database.table(item.name)
+            columns = list(table.schema.column_names)
+            binding = Binding(item.binding_name().lower(), columns, offset)
+            return [binding], ScanOp(item.name)
+        if isinstance(item, ast.SubqueryRef):
+            subplan = self.plan(item.query)
+            binding = Binding(
+                item.binding_name().lower(), subplan.columns, offset
+            )
+            return [binding], subplan.op
+        if isinstance(item, ast.JoinRef):
+            return self._plan_join(item, offset)
+        raise BindError(f"unsupported FROM item {type(item).__name__}")
+
+    def _plan_join(
+        self, join: ast.JoinRef, offset: int
+    ) -> tuple[list[Binding], Operator]:
+        from .operators import LeftJoinOp
+
+        if join.kind != "left":
+            raise BindError(f"unsupported join kind {join.kind!r}")
+        left_bindings, left_op = self._plan_source_item(join.left, offset)
+        left_width = sum(len(b.columns) for b in left_bindings)
+        right_bindings, right_op = self._plan_source_item(
+            join.right, offset + left_width
+        )
+        right_width = sum(len(b.columns) for b in right_bindings)
+        bindings = left_bindings + right_bindings
+        predicate = compile_predicate(
+            join.condition, self._local_layout(bindings).column_fn
+        )
+        return bindings, LeftJoinOp(left_op, right_op, predicate, right_width)
+
+    @staticmethod
+    def _local_layout(bindings: list[Binding]) -> Layout:
+        """Rebase a unit's bindings to offset 0 (the unit's own rows)."""
+        rebased = []
+        position = 0
+        for binding in bindings:
+            rebased.append(Binding(binding.name, binding.columns, position))
+            position += len(binding.columns)
+        return Layout(rebased)
+
+    @staticmethod
+    def _try_index_scan(
+        scan: ScanOp, binding: Binding, local: list[ast.Expr]
+    ) -> tuple[Optional[Operator], list[ast.Expr]]:
+        """Convert the first ``col = constant`` conjunct into an index probe.
+
+        Returns ``(index_scan_or_None, leftover_conjuncts)``.
+        """
+        from .operators import IndexScanOp
+
+        for index, conjunct in enumerate(local):
+            if not (
+                isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="
+            ):
+                continue
+            for column_side, value_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(column_side, ast.ColumnRef):
+                    continue
+                if column_side.name not in binding.columns:
+                    continue
+                if ast.column_refs(value_side):
+                    continue  # not a constant expression
+                value_fn = compile_expr(value_side, _no_columns)
+                position = binding.columns.index(column_side.name)
+                leftover = local[:index] + local[index + 1 :]
+                return IndexScanOp(scan.table_name, position, value_fn), leftover
+        return None, local
+
+    @staticmethod
+    def _equi_join_keys(
+        conjunct: ast.Expr,
+        layout: Layout,
+        accumulated: set[str],
+        unit_names: set[str],
+    ) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
+        """If ``conjunct`` is ``col = col`` linking accumulated ↔ the new
+        unit, return the pair ordered (accumulated_side, unit_side)."""
+        if not (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            return None
+        left_binding = layout.qualifier_of(conjunct.left)
+        right_binding = layout.qualifier_of(conjunct.right)
+        if left_binding in accumulated and right_binding in unit_names:
+            return conjunct.left, conjunct.right
+        if right_binding in accumulated and left_binding in unit_names:
+            return conjunct.right, conjunct.left
+        return None
+
+    # -- plain (non-grouped) tail ---------------------------------------------
+
+    def _plan_plain(
+        self, select: ast.Select, layout: Layout, child: Operator
+    ) -> Plan:
+        out_fns, out_names = self._output_exprs(select, layout, grouped=False)
+
+        key_fn = layout.column_fn  # input-context resolver
+
+        if select.order_by and not (select.distinct or select.distinct_on):
+            order_fns, descending = self._order_keys_input_context(
+                select, layout, out_names
+            )
+            child = OrderOp(child, order_fns, descending)
+
+        if select.distinct_on:
+            on_fns = [
+                compile_expr(expr, key_fn) for expr in select.distinct_on
+            ]
+            op: Operator = DistinctOnOp(child, on_fns, out_fns)
+        else:
+            op = ProjectOp(child, out_fns)
+            if select.distinct:
+                op = DistinctOp(op)
+
+        op = self._order_and_limit_post(select, op, out_names)
+        return Plan(op, out_names)
+
+    def _order_keys_input_context(
+        self, select: ast.Select, layout: Layout, out_names: list[str]
+    ) -> tuple[list[RowFn], list[bool]]:
+        """Compile ORDER BY keys over pre-projection rows; bare column refs
+        that match a select alias order by that select expression."""
+        alias_exprs = {
+            item.alias: item.expr
+            for item in select.items
+            if item.alias is not None and not isinstance(item.expr, ast.Star)
+        }
+        fns: list[RowFn] = []
+        descending: list[bool] = []
+        for order in select.order_by:
+            expr = order.expr
+            if (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name in alias_exprs
+            ):
+                expr = alias_exprs[expr.name]
+            fns.append(compile_expr(expr, layout.column_fn))
+            descending.append(order.descending)
+        return fns, descending
+
+    def _order_and_limit_post(
+        self, select: ast.Select, op: Operator, out_names: list[str]
+    ) -> Operator:
+        """ORDER BY after DISTINCT (output columns only) and LIMIT."""
+        if select.order_by and (select.distinct or select.distinct_on):
+            fns: list[RowFn] = []
+            descending: list[bool] = []
+            for order in select.order_by:
+                expr = order.expr
+                if not (
+                    isinstance(expr, ast.ColumnRef) and expr.table is None
+                ):
+                    raise BindError(
+                        "ORDER BY with DISTINCT must reference output columns"
+                    )
+                if expr.name not in out_names:
+                    raise BindError(
+                        f"ORDER BY column {expr.name!r} is not in the output"
+                    )
+                index = out_names.index(expr.name)
+                fns.append(lambda row, i=index: row[i])
+                descending.append(order.descending)
+            op = OrderOp(op, fns, descending)
+        if select.limit is not None:
+            op = LimitOp(op, select.limit)
+        return op
+
+    def _output_exprs(
+        self, select: ast.Select, layout: Layout, grouped: bool
+    ) -> tuple[list[RowFn], list[str]]:
+        """Compile the select list (non-grouped path) and name the output."""
+        fns: list[RowFn] = []
+        names: list[str] = []
+        for position, item in enumerate(select.items):
+            if isinstance(item.expr, ast.Star):
+                if grouped:
+                    raise BindError("'*' cannot be used with GROUP BY")
+                bindings = (
+                    [layout.binding(item.expr.table)]
+                    if item.expr.table
+                    else layout.bindings
+                )
+                for binding in bindings:
+                    for column_index, column in enumerate(binding.columns):
+                        index = binding.offset + column_index
+                        fns.append(lambda row, i=index: row[i])
+                        names.append(column)
+                continue
+            fns.append(compile_expr(item.expr, layout.column_fn))
+            names.append(self._output_name(item, position))
+        return fns, names
+
+    @staticmethod
+    def _output_name(item: ast.SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias.lower()
+        if isinstance(item.expr, ast.ColumnRef):
+            return item.expr.name
+        if isinstance(item.expr, ast.FuncCall):
+            return item.expr.name
+        return f"col{position + 1}"
+
+    # -- grouped tail --------------------------------------------------------
+
+    def _plan_grouped(
+        self, select: ast.Select, layout: Layout, child: Operator
+    ) -> Plan:
+        key_exprs = [normalize_expr(e, layout) for e in select.group_by]
+        key_index = {expr: i for i, expr in enumerate(key_exprs)}
+        key_fns = [compile_expr(e, layout.column_fn) for e in key_exprs]
+
+        # Collect distinct aggregate calls across all post-agg expressions.
+        agg_order: list[ast.FuncCall] = []
+        agg_index: dict[ast.FuncCall, int] = {}
+
+        def collect(expr: ast.Expr) -> None:
+            for node in expr.walk():
+                if is_aggregate_call(node):
+                    normalized = normalize_expr(node, layout)
+                    assert isinstance(normalized, ast.FuncCall)
+                    if normalized not in agg_index:
+                        agg_index[normalized] = len(agg_order)
+                        agg_order.append(normalized)
+
+        post_agg_exprs: list[ast.Expr] = [
+            item.expr
+            for item in select.items
+            if not isinstance(item.expr, ast.Star)
+        ]
+        if select.having is not None:
+            post_agg_exprs.append(select.having)
+        post_agg_exprs.extend(order.expr for order in select.order_by)
+        post_agg_exprs.extend(select.distinct_on)
+        for expr in post_agg_exprs:
+            collect(expr)
+
+        def compile_agg_arg(expr: ast.Expr) -> RowFn:
+            return compile_expr(expr, layout.column_fn)
+
+        factories = [
+            make_accumulator_factory(call, compile_agg_arg)
+            for call in agg_order
+        ]
+        group_width = len(key_exprs)
+
+        def resolve_special(expr: ast.Expr) -> Optional[RowFn]:
+            """Group-context hook: key sub-expressions and aggregates become
+            slot lookups into the (keys + aggregates) group row."""
+            try:
+                normalized = normalize_expr(expr, layout)
+            except BindError:
+                return None
+            if normalized in key_index:
+                index = key_index[normalized]
+                return lambda row: row[index]
+            if is_aggregate_call(expr):
+                assert isinstance(normalized, ast.FuncCall)
+                index = group_width + agg_index[normalized]
+                return lambda row: row[index]
+            return None
+
+        def grouped_column(ref: ast.ColumnRef) -> RowFn:
+            raise BindError(
+                f"column {ref} must appear in GROUP BY or inside an aggregate"
+            )
+
+        def compile_grouped(expr: ast.Expr) -> RowFn:
+            return compile_expr(expr, grouped_column, resolve_special)
+
+        op: Operator = GroupOp(child, key_fns, factories)
+        if select.having is not None:
+            having_fn = compile_grouped(select.having)
+            op = FilterOp(op, lambda row: having_fn(row) is True)
+
+        fns: list[RowFn] = []
+        names: list[str] = []
+        for position, item in enumerate(select.items):
+            if isinstance(item.expr, ast.Star):
+                raise BindError("'*' cannot be used with GROUP BY")
+            fns.append(compile_grouped(item.expr))
+            names.append(self._output_name(item, position))
+
+        if select.order_by and not (select.distinct or select.distinct_on):
+            order_fns = [compile_grouped(o.expr) for o in select.order_by]
+            descending = [o.descending for o in select.order_by]
+            op = OrderOp(op, order_fns, descending)
+
+        if select.distinct_on:
+            on_fns = [compile_grouped(e) for e in select.distinct_on]
+            op = DistinctOnOp(op, on_fns, fns)
+        else:
+            op = ProjectOp(op, fns)
+            if select.distinct:
+                op = DistinctOp(op)
+
+        op = self._order_and_limit_post(select, op, names)
+        return Plan(op, names)
+
+
+def _no_columns(ref: ast.ColumnRef) -> RowFn:
+    raise BindError(f"unexpected column reference {ref} in constant expression")
+
+
+def plan_query(query: ast.Query, database: Database) -> Plan:
+    """Convenience wrapper around :class:`Planner`."""
+    return Planner(database).plan(query)

@@ -1,0 +1,57 @@
+"""Table schemas for the engine catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named column. ``type_name`` is advisory (the engine is dynamically
+    typed, like SQLite); it documents intent and feeds pretty-printing."""
+
+    name: str
+    type_name: str = "any"
+
+
+@dataclass
+class TableSchema:
+    """An ordered list of columns with fast name → position lookup."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._index:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            self._index[column.name] = position
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+
+def make_schema(name: str, column_names: list[str]) -> TableSchema:
+    """Build a schema from bare column names (all dynamically typed)."""
+    return TableSchema(name, [Column(column) for column in column_names])

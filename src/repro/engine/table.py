@@ -1,0 +1,152 @@
+"""In-memory tables with stable tuple identifiers.
+
+Each row receives a monotonically increasing tuple id (tid) when inserted.
+Tids are the currency of lineage tracking (:mod:`repro.engine.lineage`) and
+of log compaction, whose *mark* phase collects the tids to retain and whose
+*delete* phase removes the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import EngineError
+from .schema import TableSchema, make_schema
+from .types import SqlValue
+
+Row = tuple  # tuple[SqlValue, ...], kept short for signature readability
+
+
+class Table:
+    """A bag of rows plus per-row tuple ids."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._tids: list[int] = []
+        self._next_tid = 0
+        #: Lazily built hash indexes: column position → value → row indexes.
+        #: Any mutation invalidates them; static tables keep them forever.
+        self._indexes: dict[int, dict] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, name: str, column_names: list[str], rows: Iterable[Sequence[SqlValue]]
+    ) -> "Table":
+        table = cls(make_schema(name, column_names))
+        table.insert_many(rows)
+        return table
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> list[Row]:
+        """The current rows (do not mutate the returned list)."""
+        return self._rows
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """Yield ``(tid, row)`` pairs in insertion order."""
+        return zip(self._tids, self._rows)
+
+    def tids(self) -> list[int]:
+        return self._tids
+
+    def row_for_tid(self, tid: int) -> Row:
+        """Fetch a row by tuple id (linear scan; used only in tests/debug)."""
+        for existing_tid, row in self.scan():
+            if existing_tid == tid:
+                return row
+        raise EngineError(f"table {self.name!r} has no tuple with tid {tid}")
+
+    # -- hash indexes -----------------------------------------------------------
+
+    def index_probe(self, column: int, value: SqlValue) -> list[tuple[int, Row]]:
+        """``(tid, row)`` pairs where ``row[column] == value``.
+
+        Builds a hash index on first use; mutations invalidate it. NULL is
+        never indexed (SQL equality with NULL is unknown).
+        """
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            for position, row in enumerate(self._rows):
+                key = row[column]
+                if key is not None:
+                    index.setdefault(key, []).append(position)
+            self._indexes[column] = index
+        if value is None:
+            return []
+        try:
+            positions = index.get(value, ())
+        except TypeError:  # unhashable probe value
+            return []
+        return [(self._tids[p], self._rows[p]) for p in positions]
+
+    def _invalidate_indexes(self) -> None:
+        if self._indexes:
+            self._indexes = {}
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, row: Sequence[SqlValue]) -> int:
+        """Insert one row; returns its tid."""
+        if len(row) != self.schema.arity:
+            raise EngineError(
+                f"arity mismatch inserting into {self.name!r}: "
+                f"expected {self.schema.arity} values, got {len(row)}"
+            )
+        tid = self._next_tid
+        self._next_tid += 1
+        self._rows.append(tuple(row))
+        self._tids.append(tid)
+        self._invalidate_indexes()
+        return tid
+
+    def insert_many(self, rows: Iterable[Sequence[SqlValue]]) -> list[int]:
+        """Insert rows in order; returns their tids."""
+        return [self.insert(row) for row in rows]
+
+    def delete_tids(self, doomed: set[int]) -> int:
+        """Remove all rows whose tid is in ``doomed``; returns removal count."""
+        if not doomed:
+            return 0
+        kept_rows: list[Row] = []
+        kept_tids: list[int] = []
+        removed = 0
+        for tid, row in self.scan():
+            if tid in doomed:
+                removed += 1
+            else:
+                kept_rows.append(row)
+                kept_tids.append(tid)
+        self._rows = kept_rows
+        self._tids = kept_tids
+        self._invalidate_indexes()
+        return removed
+
+    def retain_tids(self, keep: set[int]) -> int:
+        """Keep only rows whose tid is in ``keep``; returns removal count."""
+        doomed = {tid for tid in self._tids if tid not in keep}
+        return self.delete_tids(doomed)
+
+    def clear(self) -> None:
+        """Remove all rows (tids keep increasing; they are never reused)."""
+        self._rows = []
+        self._tids = []
+        self._invalidate_indexes()
+
+    def clone(self) -> "Table":
+        """Deep-enough copy: rows are immutable tuples, so sharing is safe."""
+        copy = Table(self.schema)
+        copy._rows = list(self._rows)
+        copy._tids = list(self._tids)
+        copy._next_tid = self._next_tid
+        return copy

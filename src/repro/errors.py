@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch one base class. Subsystems raise more specific types:
+the SQL front end raises :class:`SqlError` subclasses, the engine raises
+:class:`EngineError` subclasses, and the policy layer raises
+:class:`PolicyError` subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer meets a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser meets an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class EngineError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class CatalogError(EngineError):
+    """Raised for unknown/duplicate tables or columns."""
+
+
+class BindError(EngineError):
+    """Raised when a name in a query cannot be resolved, or is ambiguous."""
+
+
+class ExecutionError(EngineError):
+    """Raised when a query fails at runtime (e.g. bad operand types)."""
+
+
+class PolicyError(ReproError):
+    """Base class for policy-layer errors."""
+
+
+class PolicySyntaxError(PolicyError):
+    """Raised when a policy does not fit the required SQL shape."""
+
+
+class UnknownLogRelationError(PolicyError):
+    """Raised when a policy references a log relation with no generator."""

@@ -1,0 +1,33 @@
+"""The usage log (§3.2): clock, log-generating functions, and storage."""
+
+from .clock import Clock, LogicalClock, SimulatedClock
+from .context import QueryContext
+from .functions import (
+    PROVENANCE,
+    SCHEMA,
+    STANDARD_LOG_FUNCTIONS,
+    USERS,
+    LogFunction,
+    LogRegistry,
+    standard_registry,
+)
+from .schema_analysis import SchemaAnalyzer
+from .store import CLOCK_TABLE, CompactionStats, LogStore
+
+__all__ = [
+    "Clock",
+    "LogicalClock",
+    "SimulatedClock",
+    "QueryContext",
+    "LogFunction",
+    "LogRegistry",
+    "standard_registry",
+    "USERS",
+    "SCHEMA",
+    "PROVENANCE",
+    "STANDARD_LOG_FUNCTIONS",
+    "SchemaAnalyzer",
+    "LogStore",
+    "CompactionStats",
+    "CLOCK_TABLE",
+]

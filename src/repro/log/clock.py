@@ -1,0 +1,73 @@
+"""Clocks for the usage log.
+
+The paper assumes "an integer clock with sufficient granularity that each
+query has a unique ts attribute" (§3.1). Two implementations:
+
+- :class:`LogicalClock` advances by a fixed step per query — deterministic,
+  ideal for tests and property-based checks;
+- :class:`SimulatedClock` lets the workload driver model wall-clock
+  milliseconds (the experiments' windows are 200 ms – 3 s) by advancing an
+  explicit amount per query, optionally with deterministic jitter.
+
+The enforcer mirrors the current time into the one-row ``clock`` table so
+policies can join against ``Clock c`` exactly as in Example 3.2.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Base clock: monotone integer timestamps."""
+
+    def now(self) -> int:
+        raise NotImplementedError
+
+    def advance(self) -> int:
+        """Move to the next query's timestamp and return it."""
+        raise NotImplementedError
+
+
+class LogicalClock(Clock):
+    """Advances by ``step`` on every query."""
+
+    def __init__(self, start: int = 0, step: int = 1):
+        if step <= 0:
+            raise ValueError("clock step must be positive")
+        self._now = start
+        self._step = step
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self) -> int:
+        self._now += self._step
+        return self._now
+
+
+class SimulatedClock(Clock):
+    """Millisecond clock driven by the workload.
+
+    ``advance()`` moves by ``default_step_ms``; the driver can also call
+    :meth:`sleep` to model think time between queries. All units are
+    integer milliseconds, so windowed policies use constants like
+    ``300`` (300 ms) or ``1209600000`` (14 days).
+    """
+
+    def __init__(self, start_ms: int = 0, default_step_ms: int = 10):
+        if default_step_ms <= 0:
+            raise ValueError("default step must be positive")
+        self._now = start_ms
+        self._step = default_step_ms
+
+    def now(self) -> int:
+        return self._now
+
+    def advance(self) -> int:
+        self._now += self._step
+        return self._now
+
+    def sleep(self, duration_ms: int) -> None:
+        """Model idle time between queries."""
+        if duration_ms < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += duration_ms

@@ -1,0 +1,256 @@
+"""Static schema analysis for the ``Schema`` usage log (Example 3.3).
+
+``f_Schema(q, D)`` inspects the query text only (never the data) and emits
+one row per (output column, contributing input column) pair::
+
+    (ocid, irid, icid, agg)
+
+where ``ocid`` is the output column name, ``irid``/``icid`` identify the
+base relation and column the value derives from, and ``agg`` says whether
+an aggregate sits between them.
+
+Deviation from the paper's example (documented in DESIGN.md): columns that
+are referenced *outside* the select list — in WHERE, GROUP BY, HAVING or
+ORDER BY — are also recorded, with ``ocid`` set to NULL. The paper's
+join-prohibition policies (P1/P2) test which relations a query *touches*;
+with select-list-only rows, a query could join a forbidden pair while
+projecting columns of just one of them and evade the policy. The extra
+rows make those policies airtight and are invisible to policies that
+filter on ``ocid IS NOT NULL``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine import Database
+from ..errors import BindError
+from ..sql import ast
+from ..engine.expressions import AGGREGATE_FUNCTIONS
+
+#: One derivation: (irid, icid, used under an aggregate?)
+Derivation = tuple[str, str, bool]
+
+
+@dataclass
+class _Binding:
+    """A FROM binding: either a base table or an analyzed subquery."""
+
+    name: str
+    columns: list[str]
+    #: For base tables: None. For subqueries: output column → derivations.
+    derived: Optional[dict[str, set[Derivation]]]
+    base_name: Optional[str]
+
+    def derivations_for(self, column: str) -> set[Derivation]:
+        if self.derived is not None:
+            return set(self.derived.get(column, set()))
+        assert self.base_name is not None
+        return {(self.base_name, column, False)}
+
+
+class SchemaAnalyzer:
+    """Computes Schema-log rows for a query via static analysis."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    def analyze(self, query: ast.Query) -> list[tuple]:
+        """Rows ``(ocid, irid, icid, agg)`` for the query, deduplicated."""
+        rows: set[tuple] = set()
+        self._collect(query, rows)
+        return sorted(
+            rows,
+            key=lambda row: (
+                row[0] is None,
+                row[0] or "",
+                row[1],
+                row[2],
+                row[3],
+            ),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _collect(self, query: ast.Query, rows: set[tuple]) -> None:
+        self._output_map(query, rows)
+
+    def _output_map(
+        self, query: ast.Query, rows: Optional[set[tuple]]
+    ) -> dict[str, set[Derivation]]:
+        """Output column → derivations; optionally record log rows."""
+        if isinstance(query, ast.SetOp):
+            left = self._output_map(query.left, rows)
+            right = self._output_map(query.right, rows)
+            merged: dict[str, set[Derivation]] = {}
+            right_values = list(right.values())
+            for index, (name, left_set) in enumerate(left.items()):
+                combined = set(left_set)
+                if index < len(right_values):
+                    combined |= right_values[index]
+                merged[name] = combined
+            return merged
+        if isinstance(query, ast.Select):
+            return self._analyze_select(query, rows)
+        raise BindError(f"cannot analyze {type(query).__name__}")
+
+    def _analyze_select(
+        self, select: ast.Select, rows: Optional[set[tuple]]
+    ) -> dict[str, set[Derivation]]:
+        bindings = self._bind_from(select, rows)
+
+        output: dict[str, set[Derivation]] = {}
+        position = 0
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                expanded = (
+                    [self._binding(bindings, item.expr.table)]
+                    if item.expr.table
+                    else bindings
+                )
+                for binding in expanded:
+                    for column in binding.columns:
+                        output.setdefault(column, set()).update(
+                            binding.derivations_for(column)
+                        )
+                        position += 1
+                continue
+            name = self._output_name(item, position)
+            derivations = self._expr_derivations(item.expr, bindings)
+            output.setdefault(name, set()).update(derivations)
+            position += 1
+
+        if rows is not None:
+            for name, derivations in output.items():
+                for irid, icid, agg in derivations:
+                    rows.add((name, irid, icid, agg))
+            # Non-output references: WHERE / GROUP BY / HAVING / ORDER BY.
+            extra_exprs: list[ast.Expr] = []
+            if select.where is not None:
+                extra_exprs.append(select.where)
+            extra_exprs.extend(select.group_by)
+            if select.having is not None:
+                extra_exprs.append(select.having)
+            extra_exprs.extend(order.expr for order in select.order_by)
+            extra_exprs.extend(select.distinct_on)
+            for item in select.from_items:
+                if isinstance(item, ast.JoinRef):
+                    extra_exprs.extend(
+                        node.condition
+                        for node in item.walk()
+                        if isinstance(node, ast.JoinRef)
+                    )
+            for expr in extra_exprs:
+                for irid, icid, _ in self._expr_derivations(expr, bindings):
+                    rows.add((None, irid, icid, False))
+        return output
+
+    def _bind_from(
+        self, select: ast.Select, rows: Optional[set[tuple]]
+    ) -> list[_Binding]:
+        bindings: list[_Binding] = []
+        flattened: list[ast.FromItem] = []
+        for item in select.from_items:
+            if isinstance(item, ast.JoinRef):
+                flattened.extend(item.leaf_items())
+            else:
+                flattened.append(item)
+        for item in flattened:
+            if isinstance(item, ast.TableRef):
+                table = self.database.table(item.name)
+                bindings.append(
+                    _Binding(
+                        name=item.binding_name().lower(),
+                        columns=list(table.schema.column_names),
+                        derived=None,
+                        base_name=table.name,
+                    )
+                )
+            elif isinstance(item, ast.SubqueryRef):
+                # Recurse: the subquery's own WHERE references are recorded
+                # too (they are part of what the query touches).
+                derived = self._output_map(item.query, rows)
+                bindings.append(
+                    _Binding(
+                        name=item.binding_name().lower(),
+                        columns=list(derived),
+                        derived=derived,
+                        base_name=None,
+                    )
+                )
+            else:  # pragma: no cover
+                raise BindError(f"unsupported FROM item {type(item).__name__}")
+        return bindings
+
+    @staticmethod
+    def _binding(bindings: list[_Binding], name: str) -> _Binding:
+        wanted = name.lower()
+        for binding in bindings:
+            if binding.name == wanted:
+                return binding
+        raise BindError(f"unknown table or alias {name!r}")
+
+    def _expr_derivations(
+        self, expr: ast.Expr, bindings: list[_Binding]
+    ) -> set[Derivation]:
+        """Derivations of every column referenced under ``expr``; refs that
+        sit under an aggregate call carry ``agg=True``."""
+        derivations: set[Derivation] = set()
+        self._walk_expr(expr, bindings, under_agg=False, out=derivations)
+        return derivations
+
+    def _walk_expr(
+        self,
+        expr: ast.Expr,
+        bindings: list[_Binding],
+        under_agg: bool,
+        out: set[Derivation],
+    ) -> None:
+        if isinstance(expr, ast.ColumnRef):
+            binding = self._resolve_column(expr, bindings)
+            for irid, icid, agg in binding.derivations_for(expr.name):
+                out.add((irid, icid, agg or under_agg))
+            return
+        if isinstance(expr, ast.Star):
+            expanded = (
+                [self._binding(bindings, expr.table)] if expr.table else bindings
+            )
+            for binding in expanded:
+                for column in binding.columns:
+                    for irid, icid, agg in binding.derivations_for(column):
+                        out.add((irid, icid, agg or under_agg))
+            return
+        is_agg = (
+            isinstance(expr, ast.FuncCall) and expr.name in AGGREGATE_FUNCTIONS
+        )
+        for child in expr.children():
+            if isinstance(child, ast.Expr):
+                self._walk_expr(child, bindings, under_agg or is_agg, out)
+
+    def _resolve_column(
+        self, ref: ast.ColumnRef, bindings: list[_Binding]
+    ) -> _Binding:
+        if ref.table is not None:
+            binding = self._binding(bindings, ref.table)
+            if ref.name not in binding.columns:
+                raise BindError(
+                    f"table {binding.name!r} has no column {ref.name!r}"
+                )
+            return binding
+        matches = [b for b in bindings if ref.name in b.columns]
+        if not matches:
+            raise BindError(f"unknown column {ref.name!r}")
+        if len(matches) > 1:
+            raise BindError(f"column {ref.name!r} is ambiguous")
+        return matches[0]
+
+    @staticmethod
+    def _output_name(item: ast.SelectItem, position: int) -> str:
+        if item.alias:
+            return item.alias.lower()
+        if isinstance(item.expr, ast.ColumnRef):
+            return item.expr.name
+        if isinstance(item.expr, ast.FuncCall):
+            return item.expr.name
+        return f"col{position + 1}"

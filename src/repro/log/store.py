@@ -1,0 +1,184 @@
+"""The usage-log store: staged increments, a simulated disk, and the
+three compaction phases of §5.2.
+
+Lifecycle per checked query (matching the paper's NoOpt and DataLawyer):
+
+1. :meth:`LogStore.stage` inserts the increment ``{t} × f_i(q, D)`` into
+   the catalog's log table so policies evaluate over *disk ∪ increment*,
+   while remembering which tids are only staged (in memory).
+2. If any policy fires, :meth:`discard_staged` reverts the log (Eq. 1's
+   ``L_t = L_{t-1}`` branch).
+3. Otherwise :meth:`commit` runs the *delete* and *insert* phases against
+   the simulated disk (the *mark* phase — evaluating the witness queries —
+   belongs to the enforcement layer, which passes the marked tids in).
+
+The "disk" is a per-relation list of rows that is genuinely rebuilt on
+delete and appended on insert, so phase timings reflect real work with the
+same asymptotics PostgreSQL exhibits in Figure 3.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..engine import Database, Table
+from ..errors import PolicyError
+from .functions import LogRegistry
+
+CLOCK_TABLE = "clock"
+
+
+@dataclass
+class CompactionStats:
+    """Wall-clock seconds and tuple counts for the commit phases."""
+
+    delete_seconds: float = 0.0
+    insert_seconds: float = 0.0
+    tuples_deleted: int = 0
+    tuples_inserted: int = 0
+    tuples_discarded: int = 0  # staged tuples dropped without persisting
+
+
+class LogStore:
+    """Owns the log relations of one enforcement instance."""
+
+    def __init__(self, database: Database, registry: LogRegistry):
+        self.database = database
+        self.registry = registry
+        self._staged: dict[str, list[int]] = {}
+        self._disk: dict[str, list[tuple[int, tuple]]] = {}
+
+        for function in registry.ordered():
+            if not database.has_table(function.name):
+                database.create_table(function.name, function.full_columns)
+            self._disk[function.name.lower()] = []
+        if not database.has_table(CLOCK_TABLE):
+            database.create_table(CLOCK_TABLE, ["ts"])
+
+    # -- clock ---------------------------------------------------------------
+
+    def set_time(self, timestamp: int) -> None:
+        """Refresh the one-row Clock relation."""
+        clock = self.database.table(CLOCK_TABLE)
+        clock.clear()
+        clock.insert((timestamp,))
+
+    def current_time(self) -> Optional[int]:
+        clock = self.database.table(CLOCK_TABLE)
+        rows = clock.rows()
+        return rows[0][0] if rows else None
+
+    # -- staging ---------------------------------------------------------------
+
+    def stage(self, name: str, rows: Iterable[tuple], timestamp: int) -> int:
+        """Append ``{timestamp} × rows`` as an in-memory increment."""
+        key = name.lower()
+        if key not in self._disk:
+            raise PolicyError(f"{name!r} is not a registered log relation")
+        table = self.database.table(key)
+        tids = table.insert_many((timestamp, *row) for row in rows)
+        self._staged.setdefault(key, []).extend(tids)
+        return len(tids)
+
+    def staged_relations(self) -> list[str]:
+        return [name for name, tids in self._staged.items() if tids]
+
+    def staged_tids(self, name: str) -> list[int]:
+        return list(self._staged.get(name.lower(), []))
+
+    def is_staged(self, name: str) -> bool:
+        return bool(self._staged.get(name.lower()))
+
+    def discard_staged(self) -> int:
+        """Revert every staged increment (policy violation path)."""
+        dropped = 0
+        for name, tids in self._staged.items():
+            if tids:
+                dropped += self.database.table(name).delete_tids(set(tids))
+        self._staged.clear()
+        return dropped
+
+    # -- commit: delete + insert phases -------------------------------------------
+
+    def commit(
+        self,
+        marks: Optional[dict[str, set[int]]],
+        persist_relations: Optional[Iterable[str]] = None,
+    ) -> CompactionStats:
+        """Finish the query: apply compaction marks and persist increments.
+
+        ``marks`` maps relation name → tids to retain; ``None`` means "no
+        compaction — retain everything" (the NoOpt behaviour).
+        ``persist_relations`` limits which staged relations reach disk;
+        staged tuples of other relations are discarded entirely (the
+        time-independent optimization never stores their log).
+        """
+        stats = CompactionStats()
+        persisted = (
+            {name.lower() for name in persist_relations}
+            if persist_relations is not None
+            else set(self._disk)
+        )
+
+        for name in list(self._disk):
+            staged = set(self._staged.get(name, ()))
+            table = self.database.table(name)
+
+            if name not in persisted:
+                if staged:
+                    stats.tuples_discarded += table.delete_tids(staged)
+                continue
+
+            if marks is None:
+                keep_disk = None  # retain all disk tuples
+                keep_staged = staged
+            else:
+                marked = marks.get(name, set())
+                keep_disk = marked
+                keep_staged = staged & marked
+
+            stats_delete_start = time.perf_counter()
+            doomed: set[int] = set()
+            if keep_disk is not None:
+                for tid, _ in self._disk[name]:
+                    if tid not in keep_disk:
+                        doomed.add(tid)
+            doomed |= staged - keep_staged
+            if doomed:
+                table.delete_tids(doomed)
+                self._disk[name] = [
+                    entry for entry in self._disk[name] if entry[0] not in doomed
+                ]
+            stats.tuples_deleted += len(doomed)
+            stats.delete_seconds += time.perf_counter() - stats_delete_start
+
+            insert_start = time.perf_counter()
+            if keep_staged:
+                # Real append work: materialize the persisted image.
+                by_tid = dict(zip(table.tids(), table.rows()))
+                disk_list = self._disk[name]
+                for tid in sorted(keep_staged):
+                    disk_list.append((tid, by_tid[tid]))
+                stats.tuples_inserted += len(keep_staged)
+            stats.insert_seconds += time.perf_counter() - insert_start
+
+        self._staged.clear()
+        return stats
+
+    # -- introspection ------------------------------------------------------------
+
+    def disk_size(self, name: str) -> int:
+        """Number of persisted tuples for one relation."""
+        return len(self._disk[name.lower()])
+
+    def live_size(self, name: str) -> int:
+        """Number of visible tuples (disk + staged) for one relation."""
+        return len(self.database.table(name))
+
+    def total_live_size(self) -> int:
+        return sum(self.live_size(name) for name in self._disk)
+
+    def table(self, name: str) -> Table:
+        return self.database.table(name)

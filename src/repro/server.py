@@ -1,0 +1,202 @@
+"""A minimal HTTP facade: DataLawyer as middleware.
+
+The paper positions DataLawyer as "a middleware layer on top of a
+relational DBMS that allows users to run normal SQL queries, but before
+letting a query execute, it checks all policies." This module exposes an
+:class:`~repro.core.Enforcer` over HTTP (stdlib only) so non-Python
+clients can submit queries:
+
+- ``POST /query``    ``{"sql": ..., "uid": ..., "explain": bool?}`` →
+  decision JSON (result rows when allowed, violations + optional evidence
+  when rejected);
+- ``GET  /policies`` → installed policies;
+- ``POST /policies`` ``{"name": ..., "sql": ...}`` → register a policy
+  (history starts now, per §4.1.2);
+- ``DELETE /policies/<name>`` → remove a policy;
+- ``GET  /log``      → usage-log sizes;
+- ``GET  /health``   → liveness.
+
+The enforcer is single-threaded; a lock serializes requests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .core import Enforcer, Policy, explain_decision
+from .errors import ReproError
+
+
+class EnforcerService:
+    """Thread-safe request handling around one enforcer."""
+
+    def __init__(self, enforcer: Enforcer, max_result_rows: int = 1000):
+        self.enforcer = enforcer
+        self.max_result_rows = max_result_rows
+        self._lock = threading.Lock()
+
+    # -- request handlers -------------------------------------------------
+
+    def submit(self, payload: dict) -> tuple[int, dict]:
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            return 400, {"error": "missing 'sql'"}
+        uid = payload.get("uid", 0)
+        if not isinstance(uid, int):
+            return 400, {"error": "'uid' must be an integer"}
+        want_explain = bool(payload.get("explain", False))
+
+        with self._lock:
+            try:
+                decision = self.enforcer.submit(sql, uid=uid)
+            except ReproError as error:
+                return 400, {"error": str(error)}
+            body: dict = {
+                "allowed": decision.allowed,
+                "timestamp": decision.timestamp,
+            }
+            if decision.allowed and decision.result is not None:
+                rows = decision.result.rows[: self.max_result_rows]
+                body["columns"] = decision.result.columns
+                body["rows"] = [list(row) for row in rows]
+                body["row_count"] = len(decision.result.rows)
+                body["truncated"] = len(decision.result.rows) > len(rows)
+            if not decision.allowed:
+                body["violations"] = [
+                    {"policy": v.policy_name, "message": v.message}
+                    for v in decision.violations
+                ]
+                if want_explain:
+                    body["evidence"] = [
+                        {
+                            "policy": e.policy_name,
+                            "tuples": [
+                                {
+                                    "relation": t.relation,
+                                    "values": t.values,
+                                    "from_current_query": t.from_current_query,
+                                }
+                                for t in e.evidence
+                            ],
+                        }
+                        for e in explain_decision(self.enforcer, decision)
+                    ]
+            status = 200 if decision.allowed else 403
+            return status, body
+
+    def list_policies(self) -> tuple[int, dict]:
+        with self._lock:
+            return 200, {
+                "policies": [
+                    {
+                        "name": p.name,
+                        "sql": p.sql,
+                        "message": p.message,
+                        "description": p.description,
+                    }
+                    for p in self.enforcer.policies
+                ]
+            }
+
+    def add_policy(self, payload: dict) -> tuple[int, dict]:
+        name = payload.get("name")
+        sql = payload.get("sql")
+        if not isinstance(name, str) or not isinstance(sql, str):
+            return 400, {"error": "need 'name' and 'sql'"}
+        with self._lock:
+            if any(p.name == name for p in self.enforcer.policies):
+                return 409, {"error": f"policy {name!r} already exists"}
+            try:
+                policy = Policy.from_sql(
+                    name, sql, payload.get("description", "")
+                )
+                self.enforcer.add_policy(policy)
+            except ReproError as error:
+                return 400, {"error": str(error)}
+            return 201, {"registered": name}
+
+    def remove_policy(self, name: str) -> tuple[int, dict]:
+        with self._lock:
+            if not any(p.name == name for p in self.enforcer.policies):
+                return 404, {"error": f"no policy {name!r}"}
+            self.enforcer.remove_policy(name)
+            return 200, {"removed": name}
+
+    def log_sizes(self) -> tuple[int, dict]:
+        with self._lock:
+            return 200, {"log": self.enforcer.log_sizes()}
+
+
+def make_handler(service: EnforcerService):
+    """Build the request-handler class bound to one service."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # keep tests quiet
+
+        def _send(self, status: int, body: dict) -> None:
+            data = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _read_json(self) -> Optional[dict]:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                payload = json.loads(raw or b"{}")
+            except json.JSONDecodeError:
+                return None
+            return payload if isinstance(payload, dict) else None
+
+        def do_GET(self):  # noqa: N802 - stdlib casing
+            if self.path == "/health":
+                self._send(200, {"status": "ok"})
+            elif self.path == "/policies":
+                self._send(*service.list_policies())
+            elif self.path == "/log":
+                self._send(*service.log_sizes())
+            else:
+                self._send(404, {"error": "not found"})
+
+        def do_POST(self):  # noqa: N802
+            payload = self._read_json()
+            if payload is None:
+                self._send(400, {"error": "invalid JSON body"})
+                return
+            if self.path == "/query":
+                self._send(*service.submit(payload))
+            elif self.path == "/policies":
+                self._send(*service.add_policy(payload))
+            else:
+                self._send(404, {"error": "not found"})
+
+        def do_DELETE(self):  # noqa: N802
+            prefix = "/policies/"
+            if self.path.startswith(prefix):
+                self._send(*service.remove_policy(self.path[len(prefix):]))
+            else:
+                self._send(404, {"error": "not found"})
+
+    return Handler
+
+
+def serve(
+    enforcer: Enforcer, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """Create (but do not start) an HTTP server for the enforcer.
+
+    Call ``serve_forever()`` on the result, or run it in a thread::
+
+        server = serve(enforcer, port=0)          # 0 = ephemeral port
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        ...
+        server.shutdown()
+    """
+    service = EnforcerService(enforcer)
+    return ThreadingHTTPServer((host, port), make_handler(service))

@@ -1,0 +1,29 @@
+"""SQL front end: lexer, parser, AST, and printer.
+
+Typical use::
+
+    from repro.sql import parse, print_query
+
+    query = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+    print(print_query(query))
+"""
+
+from . import ast
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse, parse_expression, parse_select
+from .printer import print_expr, print_query
+from .tokens import Token, TokenType
+
+__all__ = [
+    "ast",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_expression",
+    "parse_select",
+    "print_expr",
+    "print_query",
+    "Token",
+    "TokenType",
+]

@@ -1,0 +1,178 @@
+"""Hand-written SQL lexer.
+
+Turns SQL text into a list of :class:`~repro.sql.tokens.Token`. Supports:
+
+- identifiers (``chartevents``, ``p1.irid``) and double-quoted identifiers,
+- single-quoted string literals with ``''`` escaping,
+- integer and decimal numeric literals (including scientific notation),
+- the operator and punctuation inventory in :mod:`repro.sql.tokens`,
+- ``--`` line comments and ``/* ... */`` block comments.
+
+Keywords are recognized case-insensitively and normalized to upper case;
+identifiers are normalized to lower case (SQL's usual folding), except
+double-quoted identifiers which preserve case.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+
+
+class Lexer:
+    """Single-pass lexer over an SQL string."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole input, returning tokens terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                tokens.append(Token(TokenType.EOF, "", self._line, self._col))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals --------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._text):
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError(
+                        "unterminated block comment", self._pos, self._line, self._col
+                    )
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, col = self._line, self._col
+        char = self._peek()
+
+        if char in _IDENT_START:
+            return self._lex_word(line, col)
+        if char in _DIGITS or (char == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, col)
+        if char == "'":
+            return self._lex_string(line, col)
+        if char == '"':
+            return self._lex_quoted_ident(line, col)
+
+        for op in OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, col)
+        if char in PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCT, char, line, col)
+
+        raise LexError(f"unexpected character {char!r}", self._pos, line, col)
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._text) and self._peek() in _IDENT_CONT:
+            self._advance()
+        word = self._text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, line, col)
+        return Token(TokenType.IDENT, word.lower(), line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == "." and self._peek(1) in _DIGITS:
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1) in _DIGITS
+            or (self._peek(1) in "+-" and self._peek(2) in _DIGITS)
+        ):
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        return Token(TokenType.NUMBER, self._text[start : self._pos], line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        # Opening quote.
+        self._advance()
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexError("unterminated string literal", self._pos, line, col)
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":  # '' escapes a single quote
+                    parts.append("'")
+                    self._advance(2)
+                else:
+                    self._advance()
+                    return Token(TokenType.STRING, "".join(parts), line, col)
+            else:
+                parts.append(char)
+                self._advance()
+
+    def _lex_quoted_ident(self, line: int, col: int) -> Token:
+        self._advance()
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexError("unterminated quoted identifier", self._pos, line, col)
+            char = self._peek()
+            if char == '"':
+                if self._peek(1) == '"':
+                    parts.append('"')
+                    self._advance(2)
+                else:
+                    self._advance()
+                    return Token(TokenType.IDENT, "".join(parts), line, col)
+            else:
+                parts.append(char)
+                self._advance()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: lex ``text`` into a token list."""
+    return Lexer(text).tokenize()

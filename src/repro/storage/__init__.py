@@ -1,0 +1,19 @@
+"""Persistence: JSON-lines snapshots of databases and enforcer state."""
+
+from .format import StorageError, read_table, write_table
+from .snapshot import (
+    load_database,
+    restore_enforcer,
+    save_database,
+    save_enforcer_state,
+)
+
+__all__ = [
+    "StorageError",
+    "read_table",
+    "write_table",
+    "save_database",
+    "load_database",
+    "save_enforcer_state",
+    "restore_enforcer",
+]

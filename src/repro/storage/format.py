@@ -1,0 +1,88 @@
+"""On-disk format helpers: JSON-lines table serialization.
+
+A table is stored as one ``.jsonl`` file: a header object followed by one
+array per row. JSON covers exactly the engine's value domain (int, float,
+str, bool, NULL), keeps files diffable, and needs no dependencies.
+
+Header fields:
+
+- ``table``: table name
+- ``columns``: column names in order
+- ``tids``: parallel list of tuple ids (present for log tables, where tid
+  stability matters across restarts; omitted for plain data tables)
+- ``next_tid``: the tid counter to resume from
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from ..engine import Table
+from ..engine.schema import make_schema
+from ..errors import ReproError
+
+
+class StorageError(ReproError):
+    """Raised for malformed or inconsistent snapshot files."""
+
+
+def write_table(table: Table, path: Path, keep_tids: bool = False) -> None:
+    """Serialize one table to a ``.jsonl`` file."""
+    header: dict = {
+        "table": table.name,
+        "columns": list(table.schema.column_names),
+    }
+    if keep_tids:
+        header["tids"] = list(table.tids())
+        header["next_tid"] = table._next_tid  # noqa: SLF001 - same package
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for row in table.rows():
+            handle.write(json.dumps(list(row)) + "\n")
+
+
+def read_table(path: Path) -> Table:
+    """Deserialize a table written by :func:`write_table`."""
+    with path.open("r", encoding="utf-8") as handle:
+        try:
+            header = json.loads(handle.readline())
+        except json.JSONDecodeError as error:
+            raise StorageError(f"{path}: bad header: {error}") from None
+        for field in ("table", "columns"):
+            if field not in header:
+                raise StorageError(f"{path}: header missing {field!r}")
+        rows = []
+        for line_number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                values = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise StorageError(
+                    f"{path}:{line_number}: bad row: {error}"
+                ) from None
+            if not isinstance(values, list) or len(values) != len(
+                header["columns"]
+            ):
+                raise StorageError(
+                    f"{path}:{line_number}: row arity mismatch"
+                )
+            rows.append(tuple(values))
+
+    table = Table(make_schema(header["table"], list(header["columns"])))
+    tids: Optional[list[int]] = header.get("tids")
+    if tids is not None:
+        if len(tids) != len(rows):
+            raise StorageError(f"{path}: tids/rows length mismatch")
+        table._rows = rows  # noqa: SLF001 - same package
+        table._tids = list(tids)  # noqa: SLF001
+        table._next_tid = int(  # noqa: SLF001
+            header.get("next_tid", (max(tids) + 1) if tids else 0)
+        )
+    else:
+        table.insert_many(rows)
+    return table

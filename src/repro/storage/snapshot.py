@@ -1,0 +1,180 @@
+"""Snapshots: persist and restore databases and enforcer state.
+
+Two levels:
+
+- :func:`save_database` / :func:`load_database` — all tables of a catalog
+  as one directory of ``.jsonl`` files plus a manifest;
+- :func:`save_enforcer_state` / :func:`restore_enforcer` — everything an
+  enforcement deployment needs to survive a restart: the data tables, the
+  usage-log tables *with their tuple ids* (compaction marks reference
+  tids), the persisted-disk image of the log store, the clock, and the
+  policy texts. Restoring rebuilds an :class:`~repro.core.Enforcer` whose
+  subsequent decisions are exactly those the original would have made.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from ..core import Enforcer, EnforcerOptions, Policy
+from ..engine import Database
+from ..log import Clock, LogRegistry, SimulatedClock, standard_registry
+from ..log.store import CLOCK_TABLE
+from .format import StorageError, read_table, write_table
+
+MANIFEST = "manifest.json"
+FORMAT_VERSION = 1
+
+
+def save_database(database: Database, directory: Path) -> None:
+    """Write every table of ``database`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = database.table_names()
+    for name in names:
+        write_table(database.table(name), directory / f"{name}.jsonl")
+    manifest = {"version": FORMAT_VERSION, "tables": names}
+    (directory / MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+
+def load_database(directory: Path) -> Database:
+    """Rebuild a database saved with :func:`save_database`."""
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    database = Database()
+    for name in manifest["tables"]:
+        database.attach(read_table(directory / f"{name}.jsonl"))
+    return database
+
+
+def _read_manifest(directory: Path) -> dict:
+    path = directory / MANIFEST
+    if not path.exists():
+        raise StorageError(f"{directory}: no {MANIFEST}")
+    manifest = json.loads(path.read_text(encoding="utf-8"))
+    if manifest.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"{directory}: unsupported snapshot version "
+            f"{manifest.get('version')!r}"
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Whole-enforcer state
+# ---------------------------------------------------------------------------
+
+
+def save_enforcer_state(enforcer: Enforcer, directory: Path) -> None:
+    """Persist an enforcer's full state.
+
+    Must be called between queries (nothing staged). Unified-constants
+    tables are rebuilt by the offline phase on restore, so they are not
+    stored.
+    """
+    if enforcer.store.staged_relations():
+        raise StorageError("cannot snapshot with staged log increments")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    log_names = set(enforcer.registry.names())
+    skip = log_names | {CLOCK_TABLE} | {
+        name for name in enforcer.database.table_names()
+        if name.startswith("__consts_")
+    }
+    data_tables = [
+        name for name in enforcer.database.table_names() if name not in skip
+    ]
+    for name in data_tables:
+        write_table(enforcer.database.table(name), directory / f"{name}.jsonl")
+    for name in sorted(log_names):
+        write_table(
+            enforcer.database.table(name),
+            directory / f"__log_{name}.jsonl",
+            keep_tids=True,
+        )
+
+    manifest = {
+        "version": FORMAT_VERSION,
+        "tables": data_tables,
+        "log_relations": sorted(log_names),
+        "clock_now": enforcer.clock.now(),
+        "policies": [
+            {
+                "name": policy.name,
+                "sql": policy.sql,
+                "description": policy.description,
+            }
+            for policy in enforcer.policies
+        ],
+        "options": _options_to_dict(enforcer.options),
+        # The disk image: tid → persisted, per relation.
+        "disk_tids": {
+            name: [tid for tid, _ in enforcer.store._disk[name]]  # noqa: SLF001
+            for name in enforcer.store._disk  # noqa: SLF001
+        },
+    }
+    (directory / MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+
+def restore_enforcer(
+    directory: Path,
+    registry: Optional[LogRegistry] = None,
+    clock: Optional[Clock] = None,
+) -> Enforcer:
+    """Rebuild an enforcer from :func:`save_enforcer_state` output.
+
+    A custom ``registry`` must be passed when the snapshot used custom log
+    functions (functions are code; only their data is stored). The clock
+    defaults to a :class:`SimulatedClock` resuming at the stored time.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    registry = registry or standard_registry()
+    stored_logs = set(manifest.get("log_relations", []))
+    if stored_logs - set(registry.names()):
+        missing = sorted(stored_logs - set(registry.names()))
+        raise StorageError(
+            f"snapshot uses log relations {missing} not in the registry; "
+            "pass the matching LogRegistry"
+        )
+
+    database = Database()
+    for name in manifest["tables"]:
+        database.attach(read_table(directory / f"{name}.jsonl"))
+
+    policies = [
+        Policy.from_sql(p["name"], p["sql"], p.get("description", ""))
+        for p in manifest["policies"]
+    ]
+    options = EnforcerOptions(**manifest["options"])
+    clock = clock or SimulatedClock(start_ms=int(manifest["clock_now"]))
+
+    enforcer = Enforcer(
+        database, policies, registry=registry, clock=clock, options=options
+    )
+
+    # Replace the freshly created (empty) log tables with the stored ones.
+    for name in sorted(stored_logs):
+        stored = read_table(directory / f"__log_{name}.jsonl")
+        live = enforcer.database.table(name)
+        live._rows = list(stored.rows())  # noqa: SLF001 - controlled swap
+        live._tids = list(stored.tids())  # noqa: SLF001
+        live._next_tid = stored._next_tid  # noqa: SLF001
+        live._invalidate_indexes()  # noqa: SLF001
+        by_tid = dict(zip(live.tids(), live.rows()))
+        enforcer.store._disk[name] = [  # noqa: SLF001
+            (tid, by_tid[tid])
+            for tid in manifest["disk_tids"].get(name, [])
+            if tid in by_tid
+        ]
+    enforcer.store.set_time(int(manifest["clock_now"]))
+    return enforcer
+
+
+def _options_to_dict(options: EnforcerOptions) -> dict:
+    import dataclasses
+
+    return dataclasses.asdict(options)

@@ -1,0 +1,162 @@
+"""A second workload domain: a commercial data marketplace.
+
+The paper's introduction motivates DataLawyer with commercial data
+vendors (Navteq, Yelp, Twitter, MS Translator, Factual…). This module
+packages that setting as a reusable workload, complementing the clinical
+MIMIC workload of :mod:`repro.workloads.mimic`:
+
+- a deterministic generator for a vendor catalog: ``listings``,
+  ``ratings`` (the premium, restricted table), ``vendors`` and
+  ``subscribers`` (the marketplace's own user directory, joinable by
+  policies);
+- the vendor's standard contract as a policy set, built from the §6
+  template registry: per-subscriber rate limits, a free-tier volume
+  quota on ``listings``, and no blending of ``ratings`` (Yelp's term:
+  joins for display are fine, aggregation is not);
+- canonical queries (M1–M4) spanning lookup, display join, analytics and
+  bulk read — the marketplace analogue of W1–W4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core import BUILTIN_TEMPLATES, Policy
+from ..engine import Database
+
+
+@dataclass(frozen=True)
+class MarketplaceConfig:
+    """Scale and contract knobs."""
+
+    n_listings: int = 400
+    n_subscribers: int = 8
+    n_vendors: int = 12
+    seed: int = 21
+    #: contract terms
+    rate_limit: int = 30
+    rate_window: int = 10_000
+    free_tier_tuples: int = 2_000
+    free_tier_window: int = 100_000
+
+
+CATEGORIES = ("food", "retail", "health", "travel", "services")
+
+
+def build_marketplace_database(
+    config: MarketplaceConfig = MarketplaceConfig(),
+) -> Database:
+    """Generate the marketplace catalog deterministically."""
+    rng = random.Random(config.seed)
+    db = Database()
+
+    db.load_table(
+        "vendors",
+        ["vendor_id", "vname", "tier"],
+        [
+            (v, f"vendor-{v}", rng.choice(["basic", "premium"]))
+            for v in range(1, config.n_vendors + 1)
+        ],
+    )
+
+    listings = []
+    ratings = []
+    for biz in range(1, config.n_listings + 1):
+        vendor = rng.randrange(1, config.n_vendors + 1)
+        listings.append(
+            (
+                biz,
+                f"biz-{biz}",
+                rng.choice(CATEGORIES),
+                vendor,
+                rng.randrange(90001, 99999),
+            )
+        )
+        ratings.append(
+            (biz, 1 + rng.randrange(5), 5 * rng.randrange(1, 200))
+        )
+    db.load_table(
+        "listings",
+        ["biz_id", "name", "category", "vendor_id", "zip"],
+        listings,
+    )
+    db.load_table("ratings", ["biz_id", "stars", "review_count"], ratings)
+
+    db.load_table(
+        "subscribers",
+        ["uid", "plan"],
+        [
+            (uid, "free" if uid % 2 else "paid")
+            for uid in range(1, config.n_subscribers + 1)
+        ],
+    )
+    return db
+
+
+def standard_contract(config: MarketplaceConfig = MarketplaceConfig()) -> list[Policy]:
+    """The vendor's terms of use as enforceable policies.
+
+    Rate limits are one templated policy per subscriber (the offline phase
+    unifies them); the remaining terms are shared.
+    """
+    policies: list[Policy] = [
+        BUILTIN_TEMPLATES.instantiate(
+            "rate-limit",
+            policy_name=f"rate-u{uid}",
+            uid=uid,
+            max_requests=config.rate_limit,
+            window=config.rate_window,
+        )
+        for uid in range(1, config.n_subscribers + 1)
+    ]
+    policies.append(
+        BUILTIN_TEMPLATES.instantiate(
+            "no-aggregation", policy_name="no-blending", relation="ratings"
+        )
+    )
+    policies.append(
+        BUILTIN_TEMPLATES.instantiate(
+            "volume-quota",
+            policy_name="free-tier",
+            relation="listings",
+            max_tuples=config.free_tier_tuples,
+            window=config.free_tier_window,
+        )
+    )
+    return policies
+
+
+@dataclass(frozen=True)
+class MarketplaceWorkload:
+    """Canonical marketplace queries, cheapest to heaviest."""
+
+    m1: str  # point lookup
+    m2: str  # display join (allowed by the Yelp-style term)
+    m3: str  # category analytics over listings only
+    m4: str  # bulk read of the catalog
+
+    def all(self) -> dict[str, str]:
+        return {"M1": self.m1, "M2": self.m2, "M3": self.m3, "M4": self.m4}
+
+    def __getitem__(self, name: str) -> str:
+        return self.all()[name.upper()]
+
+
+def make_marketplace_workload(
+    config: MarketplaceConfig = MarketplaceConfig(),
+) -> MarketplaceWorkload:
+    target = max(1, config.n_listings // 3)
+    return MarketplaceWorkload(
+        m1=f"SELECT name, category FROM listings WHERE biz_id = {target}",
+        m2=(
+            "SELECT l.name, r.stars, r.review_count "
+            "FROM listings l, ratings r "
+            f"WHERE l.biz_id = r.biz_id AND l.biz_id = {target}"
+        ),
+        m3=(
+            "SELECT category, COUNT(*) FROM listings "
+            "GROUP BY category"
+        ),
+        m4="SELECT * FROM listings",
+    )

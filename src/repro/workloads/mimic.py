@@ -1,0 +1,146 @@
+"""Synthetic stand-in for the MIMIC-II clinical database.
+
+The paper evaluates on MIMIC-II (Multiparameter Intelligent Monitoring in
+Intensive Care): ICU monitoring readings and clinical data for ~33k
+patients, 21 GB. MIMIC-II is gated behind a data-use agreement — fittingly,
+given the paper's topic — so this module generates a deterministic
+synthetic database with the same relations, key structure and cardinality
+*ratios*, scaled to laptop size:
+
+- ``d_patients(subject_id, sex, dob, dod, hospital_expire_flg)``
+- ``chartevents(subject_id, itemid, charttime, value1num, icustay_id)`` —
+  many rows per patient; itemid 211 is the heart-rate series the paper's
+  queries filter on
+- ``poe_order(poe_id, subject_id, medication, start_dt)`` and
+  ``poe_med(poe_id, dose, route)`` — provider order entries (policy P2
+  restricts joining these)
+- ``icustay_detail(icustay_id, subject_id, los)``
+- ``groups(uid, gid)`` — the user-group relation policies join against
+  (group ``'X'`` contains user 1 but not user 0, as in §5's setup)
+
+Everything is derived from a seeded PRNG, so two databases built with the
+same :class:`MimicConfig` are identical row for row.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..engine import Database
+
+
+@dataclass(frozen=True)
+class MimicConfig:
+    """Scale knobs for the synthetic MIMIC-II database."""
+
+    n_patients: int = 1500
+    #: Heart-rate (itemid 211) events per patient: base + pid-dependent.
+    hr_events_base: int = 4
+    hr_events_spread: int = 9
+    #: Other-vitals (itemid 618) events per patient.
+    other_events_base: int = 2
+    other_events_spread: int = 3
+    orders_per_patient: int = 2
+    seed: int = 7
+    #: Extra users placed in group 'X' besides user 1 (users 2..k+1).
+    extra_group_x_users: int = 4
+
+    @property
+    def half_patients(self) -> int:
+        return self.n_patients // 2
+
+
+def hr_event_count(config: MimicConfig, subject_id: int) -> int:
+    """Deterministic itemid-211 event count for one patient."""
+    return config.hr_events_base + (subject_id * 7) % config.hr_events_spread
+
+
+def build_mimic_database(config: MimicConfig = MimicConfig()) -> Database:
+    """Generate the full synthetic database."""
+    rng = random.Random(config.seed)
+    database = Database()
+
+    patients = []
+    for subject_id in range(1, config.n_patients + 1):
+        sex = "m" if rng.random() < 0.55 else "f"
+        dob = 1920 + rng.randrange(80)
+        expired = rng.random() < 0.11
+        dod = dob + 40 + rng.randrange(45) if expired else None
+        patients.append((subject_id, sex, dob, dod, expired))
+    database.load_table(
+        "d_patients",
+        ["subject_id", "sex", "dob", "dod", "hospital_expire_flg"],
+        patients,
+    )
+
+    chartevents = []
+    icustays = []
+    for subject_id in range(1, config.n_patients + 1):
+        icustay_id = 10000 + subject_id
+        icustays.append((icustay_id, subject_id, round(rng.uniform(0.5, 21.0), 1)))
+        charttime = rng.randrange(1000)
+        for _ in range(hr_event_count(config, subject_id)):
+            charttime += rng.randrange(1, 60)
+            chartevents.append(
+                (subject_id, 211, charttime, 55 + rng.randrange(90), icustay_id)
+            )
+        count_other = config.other_events_base + subject_id % config.other_events_spread
+        for _ in range(count_other):
+            charttime += rng.randrange(1, 60)
+            chartevents.append(
+                (subject_id, 618, charttime, 8 + rng.randrange(30), icustay_id)
+            )
+    database.load_table(
+        "chartevents",
+        ["subject_id", "itemid", "charttime", "value1num", "icustay_id"],
+        chartevents,
+    )
+    database.load_table(
+        "icustay_detail", ["icustay_id", "subject_id", "los"], icustays
+    )
+
+    medications = ("heparin", "insulin", "propofol", "vancomycin", "fentanyl")
+    routes = ("iv", "po", "im")
+    orders = []
+    meds = []
+    poe_id = 0
+    for subject_id in range(1, config.n_patients + 1):
+        for _ in range(config.orders_per_patient):
+            poe_id += 1
+            orders.append(
+                (poe_id, subject_id, rng.choice(medications), rng.randrange(1000))
+            )
+            meds.append(
+                (poe_id, round(rng.uniform(0.5, 20.0), 1), rng.choice(routes))
+            )
+    database.load_table(
+        "poe_order", ["poe_id", "subject_id", "medication", "start_dt"], orders
+    )
+    database.load_table("poe_med", ["poe_id", "dose", "route"], meds)
+
+    group_rows = [(1, "x")]
+    for uid in range(2, 2 + config.extra_group_x_users):
+        group_rows.append((uid, "x"))
+    group_rows.extend(
+        [(1, "researchers"), (0, "staff"), (2, "students"), (3, "students")]
+    )
+    database.load_table("groups", ["uid", "gid"], group_rows)
+
+    return database
+
+
+@dataclass
+class MimicStats:
+    """Row counts of a generated database, for sanity checks and docs."""
+
+    tables: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, database: Database) -> "MimicStats":
+        return cls(
+            tables={
+                name: len(database.table(name))
+                for name in database.table_names()
+            }
+        )

@@ -1,0 +1,241 @@
+"""The six experiment policies P1–P6 (Table 2) and Table 1 exemplars.
+
+Windows are integer clock units; with
+:class:`~repro.log.clock.SimulatedClock` they read as milliseconds, so the
+defaults match the paper's 200 ms / 3 s / 300 ms windows. Thresholds are
+parameterized so tests can force violations while the benchmarks keep the
+workload compliant (the paper measures the all-policies-satisfied path).
+
+Expected classification, verified by the test suite:
+
+========  ==========  =================  ============  ===================
+policy    logs used   time-independent?  monotone?     window
+========  ==========  =================  ============  ===================
+P1        users       no                 yes           200 (ms)
+P2        u + schema  yes                yes           —
+P3        u + prov    yes                yes           —
+P4        u + prov    yes                no (<=)       —
+P5        u + prov    no                 yes           3000 (ms)
+P6        u + prov    no                 yes           300 (ms)
+========  ==========  =================  ============  ===================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import Policy
+from .mimic import MimicConfig
+
+
+@dataclass(frozen=True)
+class PolicyParams:
+    """Thresholds and windows for P1–P6."""
+
+    #: P1: max distinct group-X users per window.
+    p1_max_users: int = 10
+    p1_window: int = 200
+    #: P2/P3/P4 target this user.
+    restricted_uid: int = 1
+    #: P3: max output tuples from d_patients.
+    p3_max_output: int = 400
+    #: P4: minimum provenance support per output tuple (violation at <=).
+    p4_min_support: int = 3
+    #: P5: max distinct d_patients tuples used per window.
+    p5_max_tuples: int = 750
+    p5_window: int = 3000
+    #: P6: max uses of the same d_patients tuple per window.
+    p6_max_uses: int = 1000
+    p6_window: int = 300
+
+    @classmethod
+    def for_config(cls, config: MimicConfig, **overrides) -> "PolicyParams":
+        """Defaults scaled to the database: P5's cap is half of d_patients
+        (the paper's phrasing), P3's cap sits above W4's output size."""
+        values = dict(
+            p5_max_tuples=config.half_patients,
+            p3_max_output=max(100, config.n_patients // 3),
+        )
+        values.update(overrides)
+        return cls(**values)
+
+
+def make_p1(params: PolicyParams = PolicyParams()) -> Policy:
+    return Policy.from_sql(
+        "P1",
+        f"""SELECT DISTINCT 'P1 violated: more than {params.p1_max_users} users
+            from group x queried within {params.p1_window} time units'
+            FROM users u, groups g, clock c
+            WHERE u.uid = g.uid AND g.gid = 'x'
+              AND u.ts > c.ts - {params.p1_window}
+            HAVING COUNT(DISTINCT u.uid) > {params.p1_max_users}""",
+        description="Rate limit on group-X users (Table 2, P1).",
+    )
+
+
+def make_p2(params: PolicyParams = PolicyParams()) -> Policy:
+    uid = params.restricted_uid
+    return Policy.from_sql(
+        "P2",
+        f"""SELECT DISTINCT 'P2 violated: user {uid} joined poe_order with a
+            relation other than poe_med'
+            FROM users u, schema s1, schema s2
+            WHERE u.ts = s1.ts AND s1.ts = s2.ts AND u.uid = {uid}
+              AND s1.irid = 'poe_order'
+              AND s2.irid <> 'poe_order' AND s2.irid <> 'poe_med'""",
+        description="Join restriction on poe_order (Table 2, P2).",
+    )
+
+
+def make_p3(params: PolicyParams = PolicyParams()) -> Policy:
+    uid = params.restricted_uid
+    return Policy.from_sql(
+        "P3",
+        f"""SELECT DISTINCT 'P3 violated: user {uid} query on d_patients
+            returned more than {params.p3_max_output} tuples'
+            FROM users u, provenance p
+            WHERE u.ts = p.ts AND u.uid = {uid} AND p.irid = 'd_patients'
+            GROUP BY p.ts
+            HAVING COUNT(DISTINCT p.otid) > {params.p3_max_output}""",
+        description="Output-size cap on d_patients (Table 2, P3).",
+    )
+
+
+def make_p4(params: PolicyParams = PolicyParams()) -> Policy:
+    uid = params.restricted_uid
+    return Policy.from_sql(
+        "P4",
+        f"""SELECT DISTINCT 'P4 violated: an output tuple over chartevents
+            for user {uid} has {params.p4_min_support} or fewer
+            contributing input tuples'
+            FROM users u, provenance p
+            WHERE u.ts = p.ts AND u.uid = {uid} AND p.irid = 'chartevents'
+            GROUP BY p.ts, p.otid
+            HAVING COUNT(DISTINCT p.itid) <= {params.p4_min_support}""",
+        description="Minimum aggregation support (Table 2, P4; like P5 of "
+        "Table 1 — prevents identifying individuals).",
+    )
+
+
+def make_p5(params: PolicyParams = PolicyParams()) -> Policy:
+    uid = params.restricted_uid
+    return Policy.from_sql(
+        "P5",
+        f"""SELECT DISTINCT 'P5 violated: user {uid} used more than
+            {params.p5_max_tuples} distinct d_patients tuples within
+            {params.p5_window} time units'
+            FROM users u, provenance p, clock c
+            WHERE u.ts = p.ts AND u.uid = {uid} AND p.irid = 'd_patients'
+              AND p.ts > c.ts - {params.p5_window}
+            HAVING COUNT(DISTINCT p.itid) > {params.p5_max_tuples}""",
+        description="Windowed cap on total d_patients usage (Table 2, P5).",
+    )
+
+
+def make_p6(params: PolicyParams = PolicyParams()) -> Policy:
+    uid = params.restricted_uid
+    return Policy.from_sql(
+        "P6",
+        f"""SELECT DISTINCT 'P6 violated: user {uid} used one d_patients
+            tuple more than {params.p6_max_uses} times within
+            {params.p6_window} time units'
+            FROM users u, provenance p, clock c
+            WHERE u.ts = p.ts AND u.uid = {uid} AND p.irid = 'd_patients'
+              AND p.ts > c.ts - {params.p6_window}
+            GROUP BY p.itid
+            HAVING COUNT(p.ts) > {params.p6_max_uses}""",
+        description="Windowed per-tuple reuse cap (Table 2, P6).",
+    )
+
+
+_MAKERS = {
+    "P1": make_p1,
+    "P2": make_p2,
+    "P3": make_p3,
+    "P4": make_p4,
+    "P5": make_p5,
+    "P6": make_p6,
+}
+
+
+def make_policy(name: str, params: PolicyParams = PolicyParams()) -> Policy:
+    """Build one of P1–P6 by name."""
+    return _MAKERS[name.upper()](params)
+
+
+def make_all_policies(params: PolicyParams = PolicyParams()) -> list[Policy]:
+    """All six experiment policies."""
+    return [maker(params) for maker in _MAKERS.values()]
+
+
+# ---------------------------------------------------------------------------
+# Table 1 exemplars: the survey policies the introduction motivates.
+# ---------------------------------------------------------------------------
+
+
+def navteq_no_overlay() -> Policy:
+    """Table 1, P1: overlaying Navteq data with other data is prohibited."""
+    return Policy.from_sql(
+        "navteq-no-overlay",
+        """SELECT DISTINCT 'Overlaying navteq data with other data is
+           prohibited'
+           FROM schema p1, schema p2
+           WHERE p1.ts = p2.ts AND p1.irid = 'navteq'
+             AND p2.irid <> 'navteq'""",
+        description="Navteq terms of use: no joins with external datasets.",
+    )
+
+
+def rate_limit(max_requests: int, window: int, relation: str) -> Policy:
+    """Table 1, P4: at most ``max_requests`` queries over ``relation`` per
+    window (Twitter/Foursquare-style rate limiting)."""
+    return Policy.from_sql(
+        f"rate-limit-{relation}",
+        f"""SELECT DISTINCT 'Rate limit exceeded: more than {max_requests}
+            requests in {window} time units'
+            FROM users u, schema s, clock c
+            WHERE u.ts = s.ts AND s.irid = '{relation}'
+              AND u.ts > c.ts - {window}
+            HAVING COUNT(DISTINCT u.ts) > {max_requests}""",
+        description="API rate limiting via the usage log.",
+    )
+
+
+def k_anonymity(relation: str, k: int) -> Policy:
+    """Table 1, P5 / Example 3.1 (P5b): every output tuple must draw on at
+    least ``k`` tuples of ``relation``."""
+    return Policy.from_sql(
+        f"k-anon-{relation}",
+        f"""SELECT DISTINCT 'Fewer than {k} {relation} tuples contribute to
+            an answer'
+            FROM provenance p
+            WHERE p.irid = '{relation}'
+            GROUP BY p.ts, p.otid
+            HAVING COUNT(DISTINCT p.itid) < {k}""",
+        description="Limit information disclosure (MIMIC-style).",
+    )
+
+
+def no_aggregation(relation: str) -> Policy:
+    """Table 1, P7 (Yelp): joins/unions allowed, aggregation prohibited."""
+    return Policy.from_sql(
+        f"no-aggregation-{relation}",
+        f"""SELECT DISTINCT 'Aggregating {relation} data is prohibited'
+            FROM schema s
+            WHERE s.irid = '{relation}' AND s.agg = TRUE""",
+        description="Yelp terms: star ratings must stand on their own.",
+    )
+
+
+def monthly_quota(relation: str, max_tuples: int, window: int) -> Policy:
+    """Table 1, P3 (MS Translator): total output volume cap per window."""
+    # Output tuples are identified by (ts, otid); otid alone restarts at 0
+    # for every query, so the distinct count keys on their concatenation.
+    return Policy.from_sql(
+        f"quota-{relation}",
+        f"""SELECT DISTINCT 'Free-tier quota exceeded for {relation}'
+            FROM provenance p, clock c
+            WHERE p.irid = '{relation}' AND p.ts > c.ts - {window}
+            HAVING COUNT(DISTINCT p.ts || ':' || p.otid) > {max_tuples}""",
+        description="Volume cap per billing window.",
+    )

@@ -1,0 +1,76 @@
+"""The four experiment queries W1–W4 (Table 3 of the paper).
+
+The queries are chosen to cover a wide range of runtimes: W1 is a point
+lookup, W2 aggregates one patient's chart events, W3 a ~5% subject range,
+W4 a ~43% subject range. The subject-id constants and HAVING thresholds
+are expressed relative to the database scale so the same *shape* holds for
+any :class:`~repro.workloads.mimic.MimicConfig` (at the default 1500
+patients they match the paper's constants in spirit: 186, 489, 930–1000,
+800–1450).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mimic import MimicConfig
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Named SQL texts for the four experiment queries."""
+
+    w1: str
+    w2: str
+    w3: str
+    w4: str
+
+    def all(self) -> dict[str, str]:
+        return {"W1": self.w1, "W2": self.w2, "W3": self.w3, "W4": self.w4}
+
+    def __getitem__(self, name: str) -> str:
+        return self.all()[name.upper()]
+
+
+def make_workload(config: MimicConfig = MimicConfig()) -> Workload:
+    """Build W1–W4 scaled to ``config``."""
+    n = config.n_patients
+
+    def pid(fraction: float) -> int:
+        return max(1, min(n, round(n * fraction)))
+
+    w1_subject = pid(186 / 1500)
+    w2_subject = pid(489 / 1500)
+    w3_low, w3_high = pid(930 / 1500), pid(1000 / 1500)
+    w4_low, w4_high = pid(800 / 1500), pid(1450 / 1500)
+
+    # Per-patient itemid-211 counts range over
+    # [hr_events_base, hr_events_base + hr_events_spread).
+    w3_threshold = config.hr_events_base + config.hr_events_spread // 3
+    w4_threshold = config.hr_events_base + (2 * config.hr_events_spread) // 3
+
+    w1 = f"SELECT * FROM d_patients WHERE subject_id = {w1_subject}"
+    w2 = (
+        "SELECT c.subject_id, p.sex, COUNT(c.subject_id) "
+        "FROM chartevents c, d_patients p "
+        f"WHERE c.subject_id = {w2_subject} AND p.subject_id = c.subject_id "
+        "AND itemid = 211 "
+        "GROUP BY c.subject_id, p.sex HAVING COUNT(c.subject_id) > 1"
+    )
+    w3 = (
+        "SELECT c.subject_id, p.sex, COUNT(c.subject_id) "
+        "FROM chartevents c, d_patients p "
+        f"WHERE c.subject_id < {w3_high} AND c.subject_id > {w3_low} "
+        "AND p.subject_id = c.subject_id AND itemid = 211 "
+        "GROUP BY c.subject_id, p.sex "
+        f"HAVING COUNT(c.subject_id) > {w3_threshold}"
+    )
+    w4 = (
+        "SELECT c.subject_id, p.sex, COUNT(c.subject_id) "
+        "FROM chartevents c, d_patients p "
+        f"WHERE c.subject_id < {w4_high} AND c.subject_id > {w4_low} "
+        "AND p.subject_id = c.subject_id AND itemid = 211 "
+        "GROUP BY c.subject_id, p.sex "
+        f"HAVING COUNT(c.subject_id) > {w4_threshold}"
+    )
+    return Workload(w1=w1, w2=w2, w3=w3, w4=w4)

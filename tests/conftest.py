@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, Engine
+from repro.workloads import MimicConfig, build_mimic_database
+
+
+@pytest.fixture
+def small_db() -> Database:
+    """A tiny two-table database used across engine tests."""
+    db = Database()
+    db.load_table(
+        "t",
+        ["a", "b", "c"],
+        [
+            (1, "x", 10),
+            (2, "y", 20),
+            (2, "z", 30),
+            (3, "x", None),
+            (None, "w", 40),
+        ],
+    )
+    db.load_table(
+        "u",
+        ["a", "d"],
+        [(1, 100), (2, 200), (4, 400)],
+    )
+    return db
+
+
+@pytest.fixture
+def engine(small_db: Database) -> Engine:
+    return Engine(small_db)
+
+
+@pytest.fixture(scope="session")
+def tiny_mimic_config() -> MimicConfig:
+    """A very small MIMIC scale for fast enforcement tests."""
+    return MimicConfig(n_patients=60)
+
+
+@pytest.fixture(scope="session")
+def _mimic_template(tiny_mimic_config: MimicConfig) -> Database:
+    return build_mimic_database(tiny_mimic_config)
+
+
+@pytest.fixture
+def mimic_db(_mimic_template: Database) -> Database:
+    """A fresh (cloned) small MIMIC database per test."""
+    return _mimic_template.clone()

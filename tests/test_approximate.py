@@ -1,0 +1,152 @@
+"""Approximate policies (§6 future work, implemented)."""
+
+import pytest
+
+from repro.core import Policy
+from repro.core.approximate import (
+    ApproximatePolicy,
+    UnsoundScreenError,
+    derive_screen,
+    from_screen_sql,
+)
+from repro.engine import Database, Engine
+from repro.errors import PolicyError
+from repro.log import LogStore, standard_registry
+
+P2B = Policy.from_sql(
+    "p2b",
+    "SELECT DISTINCT 'too many students' FROM users u, schema s, groups g "
+    "WHERE u.ts = s.ts AND s.irid = 'patients' AND u.uid = g.uid "
+    "AND g.gid = 'students' HAVING COUNT(DISTINCT u.uid) > 1",
+)
+
+
+@pytest.fixture
+def setup():
+    registry = standard_registry()
+    db = Database()
+    db.load_table("groups", ["uid", "gid"], [(1, "students"), (2, "students")])
+    store = LogStore(db, registry)
+    engine = Engine(db)
+    return registry, db, store, engine
+
+
+def load(store, entries):
+    for ts, uid, irid in entries:
+        store.stage("users", [(uid,)], ts)
+        store.stage("schema", [("o", irid, "x", False)], ts)
+    store.commit(None)
+
+
+class TestDeriveScreen:
+    def test_derived_screen_is_users_partial(self, setup):
+        registry, db, _, _ = setup
+        approx = derive_screen(P2B, registry, db)
+        assert "users" in approx.screen_sql
+        assert "schema" not in approx.screen_sql
+
+    def test_screen_for_specific_stage(self, setup):
+        registry, db, _, _ = setup
+        approx = derive_screen(P2B, registry, db, keep_relations={"users"})
+        assert "users u" in approx.screen_sql
+
+    def test_no_screen_for_single_relation_policy(self, setup):
+        registry, db, _, _ = setup
+        policy = Policy.from_sql(
+            "solo", "SELECT DISTINCT 'x' FROM users u WHERE u.uid = 1"
+        )
+        with pytest.raises(PolicyError):
+            derive_screen(policy, registry, db)
+
+    def test_screen_passes_compliant_state(self, setup):
+        registry, db, store, engine = setup
+        approx = derive_screen(P2B, registry, db)
+        load(store, [(1, 1, "patients")])  # one student only
+        assert approx.check(engine) is False
+        assert approx.stats()["checks"] == 1
+
+    def test_escalation_catches_violation(self, setup):
+        registry, db, store, engine = setup
+        approx = derive_screen(P2B, registry, db)
+        load(store, [(1, 1, "patients"), (2, 2, "patients")])
+        assert approx.check(engine) is True
+        assert approx.escalations == 1
+
+    def test_screen_overfires_but_precise_decides(self, setup):
+        registry, db, store, engine = setup
+        approx = derive_screen(P2B, registry, db)
+        # two students queried, but NOT patients: screen (no schema atom)
+        # fires, the precise policy clears it.
+        load(store, [(1, 1, "other"), (2, 2, "other")])
+        assert approx.check(engine) is False
+        assert approx.escalations == 1
+        assert approx.screened_out == 0
+
+    def test_screen_rate_reported(self, setup):
+        registry, db, store, engine = setup
+        approx = derive_screen(P2B, registry, db)
+        assert approx.check(engine) is False  # empty log: screened out
+        load(store, [(1, 1, "patients"), (2, 2, "patients")])
+        approx.check(engine)
+        stats = approx.stats()
+        assert stats["checks"] == 2
+        assert 0 < stats["screen_rate"] < 1
+
+
+class TestHandWrittenScreens:
+    def test_sound_screen(self, setup):
+        registry, db, store, engine = setup
+        approx = from_screen_sql(
+            P2B,
+            "SELECT DISTINCT 1 FROM users u, groups g "
+            "WHERE u.uid = g.uid AND g.gid = 'students'",
+            validate=True,
+        )
+        load(store, [(1, 1, "patients"), (2, 2, "patients")])
+        assert approx.check(engine) is True
+
+    def test_unsound_screen_detected_in_validate_mode(self, setup):
+        registry, db, store, engine = setup
+        # screen requires uid = 99: misses real violations
+        approx = from_screen_sql(
+            P2B,
+            "SELECT DISTINCT 1 FROM users u WHERE u.uid = 99",
+            validate=True,
+        )
+        load(store, [(1, 1, "patients"), (2, 2, "patients")])
+        with pytest.raises(UnsoundScreenError):
+            approx.check(engine)
+
+    def test_unsound_screen_silent_without_validation(self, setup):
+        registry, db, store, engine = setup
+        approx = from_screen_sql(
+            P2B, "SELECT DISTINCT 1 FROM users u WHERE u.uid = 99"
+        )
+        load(store, [(1, 1, "patients"), (2, 2, "patients")])
+        # documented hazard: without validation, a bad screen hides the
+        # violation (screens are the author's responsibility)
+        assert approx.check(engine) is False
+
+    def test_screen_must_be_select(self, setup):
+        with pytest.raises(PolicyError):
+            from_screen_sql(P2B, "SELECT 1 FROM a UNION SELECT 1 FROM b")
+
+
+class TestScreenSoundnessProperty:
+    def test_derived_screens_never_miss(self, setup):
+        """Random log states: derived screen empty ⇒ policy empty."""
+        import random
+
+        registry, db, store, engine = setup
+        approx = derive_screen(P2B, registry, db)
+        rng = random.Random(11)
+        for ts in range(1, 40):
+            uid = rng.choice([1, 2, 3])
+            irid = rng.choice(["patients", "other"])
+            store.stage("users", [(uid,)], ts)
+            store.stage("schema", [("o", irid, "x", False)], ts)
+            store.commit(None)
+            screen_empty = engine.is_empty(approx.screen)
+            policy_fired = not engine.is_empty(P2B.select)
+            if screen_empty:
+                assert not policy_fired

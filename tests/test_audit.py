@@ -1,0 +1,118 @@
+"""Audit trail tests."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.core.audit import AuditRecord, AuditTrail, attach_audit_trail
+from repro.engine import Database
+from repro.log import SimulatedClock
+
+
+@pytest.fixture
+def enforcer():
+    db = Database()
+    db.load_table("navteq", ["id"], [(1,), (2,)])
+    db.load_table("other", ["id"], [(1,)])
+    policy = Policy.from_sql(
+        "no-joins",
+        "SELECT DISTINCT 'no external joins' FROM schema p1, schema p2 "
+        "WHERE p1.ts = p2.ts AND p1.irid = 'navteq' AND p2.irid <> 'navteq'",
+    )
+    return Enforcer(
+        db,
+        [policy],
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+
+
+JOIN = "SELECT n.id FROM navteq n, other o WHERE n.id = o.id"
+
+
+@pytest.fixture
+def audited(enforcer):
+    trail = attach_audit_trail(enforcer)
+    enforcer.submit("SELECT id FROM navteq", uid=1)
+    enforcer.submit(JOIN, uid=1)
+    enforcer.submit("SELECT id FROM other", uid=2)
+    enforcer.submit(JOIN, uid=2)
+    enforcer.submit(JOIN, uid=2)
+    return enforcer, trail
+
+
+class TestRecording:
+    def test_every_decision_recorded(self, audited):
+        _, trail = audited
+        assert len(trail) == 5
+
+    def test_record_fields(self, audited):
+        _, trail = audited
+        record = list(trail)[1]
+        assert isinstance(record, AuditRecord)
+        assert record.sql == JOIN
+        assert record.uid == 1
+        assert not record.allowed
+        assert record.policies_fired == ("no-joins",)
+        assert record.overhead_seconds > 0
+
+    def test_rejections(self, audited):
+        _, trail = audited
+        assert len(trail.rejections()) == 3
+
+    def test_for_user_and_since(self, audited):
+        _, trail = audited
+        assert len(trail.for_user(2)) == 3
+        latest = list(trail)[-1].timestamp
+        assert len(trail.since(latest)) == 1
+
+    def test_where(self, audited):
+        _, trail = audited
+        joins = trail.where(lambda r: "other o" in r.sql)
+        assert len(joins) == 3
+
+    def test_summary(self, audited):
+        _, trail = audited
+        summary = trail.summary()
+        assert summary["queries"] == 5
+        assert summary["rejected"] == 3
+        assert summary["rejection_rate"] == pytest.approx(0.6)
+        assert summary["by_policy"] == {"no-joins": 3}
+        assert summary["by_user"] == {1: 1, 2: 2}
+
+    def test_empty_summary(self):
+        assert AuditTrail().summary()["rejection_rate"] == 0.0
+
+    def test_capacity_bound(self, enforcer):
+        trail = attach_audit_trail(enforcer, capacity=3)
+        for _ in range(6):
+            enforcer.submit("SELECT id FROM navteq", uid=1)
+        assert len(trail) == 3
+
+    def test_decisions_unaffected(self, audited):
+        enforcer, _ = audited
+        decision = enforcer.submit("SELECT id FROM navteq", uid=1)
+        assert decision.allowed and decision.result is not None
+
+
+class TestExport:
+    def test_csv_export(self, audited, tmp_path):
+        _, trail = audited
+        path = tmp_path / "audit.csv"
+        trail.to_csv(path)
+        with path.open(newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5
+        assert rows[1]["allowed"] == "0"
+        assert rows[1]["policies_fired"] == "no-joins"
+
+    def test_jsonl_export(self, audited, tmp_path):
+        _, trail = audited
+        path = tmp_path / "audit.jsonl"
+        trail.to_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 5
+        assert lines[0]["allowed"] is True
+        assert lines[1]["policies_fired"] == ["no-joins"]

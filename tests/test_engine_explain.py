@@ -1,0 +1,80 @@
+"""Engine.explain: the physical-plan printer."""
+
+import pytest
+
+from repro.engine import Database, Engine
+
+
+@pytest.fixture
+def engine():
+    db = Database()
+    db.load_table("r", ["a", "b"], [(1, 2)])
+    db.load_table("s", ["a", "c"], [(1, 3)])
+    return Engine(db)
+
+
+class TestExplain:
+    def test_scan_and_project(self, engine):
+        text = engine.explain("SELECT a FROM r")
+        assert "Output [a]" in text
+        assert "Project" in text
+        assert "Scan r" in text
+
+    def test_index_scan_chosen_for_equality(self, engine):
+        text = engine.explain("SELECT * FROM r WHERE a = 1")
+        assert "IndexScan r" in text
+        assert "Scan r" not in text.replace("IndexScan r", "")
+
+    def test_filter_for_range(self, engine):
+        text = engine.explain("SELECT * FROM r WHERE a > 1")
+        assert "Filter" in text
+
+    def test_hash_join_chosen_for_equi_join(self, engine):
+        text = engine.explain("SELECT r.a FROM r, s WHERE r.a = s.a")
+        assert "HashJoin (1 keys)" in text
+
+    def test_nested_loop_for_cross_product(self, engine):
+        text = engine.explain("SELECT 1 FROM r, s")
+        assert "NestedLoop (product)" in text
+
+    def test_left_join(self, engine):
+        text = engine.explain(
+            "SELECT r.a FROM r LEFT JOIN s ON r.a = s.a"
+        )
+        assert "LeftJoin (pad 2)" in text
+
+    def test_group(self, engine):
+        text = engine.explain("SELECT a, COUNT(*) FROM r GROUP BY a")
+        assert "Group (1 keys, 1 aggregates)" in text
+
+    def test_distinct_and_distinct_on(self, engine):
+        assert "Distinct" in engine.explain("SELECT DISTINCT a FROM r")
+        assert "DistinctOn (1 keys)" in engine.explain(
+            "SELECT DISTINCT ON (a), r.b FROM r"
+        )
+
+    def test_union(self, engine):
+        text = engine.explain("SELECT a FROM r UNION ALL SELECT a FROM s")
+        assert "Union All" in text
+
+    def test_order_limit(self, engine):
+        text = engine.explain("SELECT a FROM r ORDER BY a LIMIT 3")
+        assert "Order (1 keys)" in text
+        assert "Limit 3" in text
+
+    def test_indentation_reflects_tree(self, engine):
+        text = engine.explain("SELECT r.a FROM r, s WHERE r.a = s.a")
+        lines = text.splitlines()
+        join_depth = next(
+            line for line in lines if "HashJoin" in line
+        ).index("H")
+        scan_depths = [
+            line.index("Scan") if "Scan" in line and "Index" not in line
+            else line.index("IndexScan")
+            for line in lines
+            if "Scan" in line
+        ]
+        assert all(depth > join_depth for depth in scan_depths)
+
+    def test_no_from(self, engine):
+        assert "Values (1 rows)" in engine.explain("SELECT 1")

@@ -1,0 +1,128 @@
+"""Violation explanations (§6 future work, implemented)."""
+
+import pytest
+
+from repro import Database, Policy, SimulatedClock
+from repro.core import (
+    Enforcer,
+    EnforcerOptions,
+    explain_decision,
+    make_datalawyer,
+)
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    db.load_table("navteq", ["id", "lat"], [(1, 47.0), (2, 40.0)])
+    db.load_table("other", ["id"], [(1,)])
+    db.load_table("groups", ["uid", "gid"], [(1, "students"), (2, "students")])
+    no_joins = Policy.from_sql(
+        "no-joins",
+        "SELECT DISTINCT 'No external joins allowed' FROM schema p1, schema p2 "
+        "WHERE p1.ts = p2.ts AND p1.irid = 'navteq' AND p2.irid <> 'navteq'",
+    )
+    rate = Policy.from_sql(
+        "rate",
+        "SELECT DISTINCT 'too many student queries' FROM users u, groups g, clock c "
+        "WHERE u.uid = g.uid AND g.gid = 'students' AND u.ts > c.ts - 1000 "
+        "HAVING COUNT(DISTINCT u.ts) > 2",
+    )
+    enforcer = Enforcer(
+        db,
+        [no_joins, rate],
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+    return db, enforcer
+
+
+JOIN_SQL = "SELECT n.id FROM navteq n, other o WHERE n.id = o.id"
+
+
+class TestExplainDecision:
+    def test_allowed_decision_has_no_explanation(self, setup):
+        _, enforcer = setup
+        decision = enforcer.submit("SELECT * FROM navteq", uid=1)
+        assert explain_decision(enforcer, decision) == []
+
+    def test_rejected_join_explained(self, setup):
+        _, enforcer = setup
+        decision = enforcer.submit(JOIN_SQL, uid=1)
+        assert not decision.allowed
+        (explanation,) = explain_decision(enforcer, decision)
+        assert explanation.policy_name == "no-joins"
+        assert explanation.message == "No external joins allowed"
+        relations = explanation.evidence_by_relation()
+        assert "schema" in relations
+        irids = {item.values["irid"] for item in relations["schema"]}
+        assert irids == {"navteq", "other"}
+
+    def test_current_query_tuples_marked(self, setup):
+        _, enforcer = setup
+        decision = enforcer.submit(JOIN_SQL, uid=1)
+        (explanation,) = explain_decision(enforcer, decision)
+        schema_items = explanation.evidence_by_relation()["schema"]
+        assert all(item.from_current_query for item in schema_items)
+
+    def test_historic_tuples_not_marked(self, setup):
+        _, enforcer = setup
+        # two student queries build up history; the third violates rate
+        enforcer.submit("SELECT * FROM navteq", uid=1)
+        enforcer.submit("SELECT * FROM navteq", uid=2)
+        decision = enforcer.submit("SELECT * FROM navteq", uid=1)
+        assert not decision.allowed
+        (explanation,) = explain_decision(enforcer, decision)
+        users_items = explanation.evidence_by_relation()["users"]
+        current = [i for i in users_items if i.from_current_query]
+        historic = [i for i in users_items if not i.from_current_query]
+        assert len(current) == 1
+        assert len(historic) == 2
+
+    def test_explanation_renders(self, setup):
+        _, enforcer = setup
+        decision = enforcer.submit(JOIN_SQL, uid=1)
+        (explanation,) = explain_decision(enforcer, decision)
+        text = explanation.render()
+        assert "no-joins" in text
+        assert "schema" in text
+        assert "<- this query" in text
+
+    def test_explain_is_side_effect_free(self, setup):
+        _, enforcer = setup
+        decision = enforcer.submit(JOIN_SQL, uid=1)
+        explain_decision(enforcer, decision)
+        assert enforcer.store.total_live_size() == 0
+        # the system keeps enforcing correctly afterwards
+        assert enforcer.submit("SELECT * FROM navteq", uid=1).allowed
+        assert not enforcer.submit(JOIN_SQL, uid=1).allowed
+
+    def test_clock_excluded_from_evidence(self, setup):
+        _, enforcer = setup
+        enforcer.submit("SELECT * FROM navteq", uid=1)
+        enforcer.submit("SELECT * FROM navteq", uid=2)
+        decision = enforcer.submit("SELECT * FROM navteq", uid=1)
+        (explanation,) = explain_decision(enforcer, decision)
+        assert "clock" not in explanation.evidence_by_relation()
+
+    def test_decision_without_sql_rejected(self, setup):
+        from repro.core import Decision, Violation
+
+        _, enforcer = setup
+        bogus = Decision(
+            allowed=False,
+            timestamp=1,
+            violations=[Violation("x", "y")],
+        )
+        with pytest.raises(ValueError):
+            explain_decision(enforcer, bogus)
+
+    def test_multiple_policies_explained(self, setup):
+        db, enforcer = setup
+        enforcer.submit("SELECT * FROM navteq", uid=1)
+        enforcer.submit("SELECT * FROM navteq", uid=2)
+        # this query violates BOTH the rate limit and the join restriction
+        decision = enforcer.submit(JOIN_SQL, uid=1)
+        assert len(decision.violations) == 2
+        explanations = explain_decision(enforcer, decision)
+        assert {e.policy_name for e in explanations} == {"no-joins", "rate"}

@@ -1,0 +1,258 @@
+"""Integration tests for tricky feature interactions.
+
+Covers combinations the unit tests don't reach: unified *windowed*
+policies under compaction, retain-all policies in long streams, custom
+log registries end-to-end, and policy sets mixing every classification.
+"""
+
+import pytest
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.engine import Database
+from repro.log import (
+    STANDARD_LOG_FUNCTIONS,
+    LogFunction,
+    LogRegistry,
+    SimulatedClock,
+)
+
+
+def build_db():
+    db = Database()
+    db.load_table("items", ["k", "v"], [(i, i * 10) for i in range(10)])
+    db.load_table(
+        "groups", ["uid", "gid"], [(1, "x"), (2, "x"), (3, "y")]
+    )
+    return db
+
+
+def rate_policy(uid, limit=2, window=100):
+    return Policy.from_sql(
+        f"rate-{uid}",
+        f"SELECT DISTINCT 'user {uid} rate limited' FROM users u, clock c "
+        f"WHERE u.uid = {uid} AND u.ts > c.ts - {window} "
+        f"HAVING COUNT(DISTINCT u.ts) > {limit}",
+    )
+
+
+class TestUnifiedWindowedPolicies:
+    """Unified policies that are also time-dependent: the witness must
+    join the generated constants table and still compact correctly."""
+
+    @pytest.fixture
+    def enforcer(self):
+        return Enforcer(
+            build_db(),
+            [rate_policy(uid) for uid in (1, 2, 3)],
+            clock=SimulatedClock(default_step_ms=10),
+            options=EnforcerOptions.datalawyer(),
+        )
+
+    def test_policies_unified(self, enforcer):
+        unified = [r for r in enforcer.runtime_policies() if r.member_names]
+        assert len(unified) == 1 and len(unified[0].member_names) == 3
+
+    def test_unified_policy_has_witness(self, enforcer):
+        (unified,) = [r for r in enforcer.runtime_policies() if r.member_names]
+        assert not unified.time_independent
+        assert unified.witness is not None
+        assert "users" in unified.witness.relations()
+
+    def test_per_member_enforcement(self, enforcer):
+        for _ in range(2):
+            assert enforcer.submit("SELECT * FROM items", uid=1).allowed
+        decision = enforcer.submit("SELECT * FROM items", uid=1)
+        assert not decision.allowed
+        assert "user 1" in decision.violations[0].message
+        assert enforcer.submit("SELECT * FROM items", uid=2).allowed
+
+    def test_window_slides_per_member(self, enforcer):
+        for _ in range(2):
+            enforcer.submit("SELECT * FROM items", uid=1)
+        enforcer.clock.sleep(500)
+        assert enforcer.submit("SELECT * FROM items", uid=1).allowed
+
+    def test_compaction_keeps_log_bounded(self, enforcer):
+        for index in range(30):
+            enforcer.submit("SELECT * FROM items", uid=(index % 3) + 1)
+            enforcer.clock.sleep(60)  # keep everyone under the limit
+        # window is 100ms; at 70ms per query only ~2 entries stay relevant
+        # per member
+        assert enforcer.store.live_size("users") <= 9
+
+    def test_matches_non_unified_decisions(self):
+        policies = [rate_policy(uid) for uid in (1, 2, 3)]
+        stream = [(uid % 3) + 1 for uid in range(12)]
+
+        def run(unification):
+            enforcer = Enforcer(
+                build_db(),
+                policies,
+                clock=SimulatedClock(default_step_ms=10),
+                options=EnforcerOptions.datalawyer(unification=unification),
+            )
+            return [
+                enforcer.submit("SELECT * FROM items", uid=uid, execute=False).allowed
+                for uid in stream
+            ]
+
+        assert run(True) == run(False)
+
+
+class TestRetainAllPolicies:
+    """A policy with an unsupported clock shape compacts nothing but must
+    stay correct over a long stream."""
+
+    @pytest.fixture
+    def policy(self):
+        # <> on the clock: compaction opts out (retain-all).
+        return Policy.from_sql(
+            "odd",
+            "SELECT DISTINCT 'fired' FROM users u, clock c "
+            "WHERE u.uid = 9 AND u.ts <> c.ts "
+            "HAVING COUNT(DISTINCT u.ts) > 2",
+        )
+
+    def test_retain_all_classified(self, policy):
+        enforcer = Enforcer(build_db(), [policy])
+        (runtime,) = enforcer.runtime_policies()
+        assert runtime.witness is not None
+        assert runtime.witness.retain_all == {"users"}
+
+    def test_log_retained_fully_and_decisions_match_noopt(self, policy):
+        def run(options):
+            enforcer = Enforcer(
+                build_db(),
+                [policy],
+                clock=SimulatedClock(default_step_ms=10),
+                options=options,
+            )
+            decisions = [
+                enforcer.submit(
+                    "SELECT * FROM items", uid=9, execute=False
+                ).allowed
+                for _ in range(6)
+            ]
+            return decisions, enforcer.store.live_size("users")
+
+        optimized, size_opt = run(EnforcerOptions.datalawyer())
+        baseline, size_base = run(EnforcerOptions.noopt())
+        assert optimized == baseline
+        assert False in optimized  # the policy eventually fires
+        # retain-all means DataLawyer keeps as much as NoOpt (minus the
+        # increments of rejected queries, which both revert)
+        assert size_opt == size_base
+
+
+class TestCustomRegistryEndToEnd:
+    def test_result_size_log(self):
+        output_size = LogFunction(
+            name="output_size",
+            columns=("n",),
+            generate=lambda ctx: [(len(ctx.lineage_result().rows),)],
+            cost_rank=3,
+        )
+        registry = LogRegistry([*STANDARD_LOG_FUNCTIONS, output_size])
+        policy = Policy.from_sql(
+            "cap",
+            "SELECT DISTINCT 'too many rows' FROM output_size o "
+            "WHERE o.n > 5",
+        )
+        enforcer = Enforcer(
+            build_db(),
+            [policy],
+            registry=registry,
+            options=EnforcerOptions.datalawyer(),
+        )
+        (runtime,) = enforcer.runtime_policies()
+        assert runtime.time_independent  # single relation, no aggregates
+        assert enforcer.submit("SELECT * FROM items WHERE k < 3", uid=1).allowed
+        assert not enforcer.submit("SELECT * FROM items", uid=1).allowed
+        # time-independent → custom log never persisted
+        assert enforcer.store.live_size("output_size") == 0
+
+    def test_custom_log_with_window(self):
+        bytes_log = LogFunction(
+            name="bytes_out",
+            columns=("n",),
+            generate=lambda ctx: [(len(ctx.lineage_result().rows),)],
+            cost_rank=3,
+        )
+        registry = LogRegistry([*STANDARD_LOG_FUNCTIONS, bytes_log])
+        policy = Policy.from_sql(
+            "budget",
+            "SELECT DISTINCT 'volume budget exhausted' "
+            "FROM bytes_out b, clock c WHERE b.ts > c.ts - 100 "
+            "HAVING SUM(b.n) > 15",
+        )
+        enforcer = Enforcer(
+            build_db(),
+            [policy],
+            registry=registry,
+            clock=SimulatedClock(default_step_ms=10),
+            options=EnforcerOptions.datalawyer(),
+        )
+        (runtime,) = enforcer.runtime_policies()
+        assert not runtime.time_independent
+        assert not runtime.monotone  # SUM threshold: conservative
+        assert enforcer.submit("SELECT * FROM items", uid=1).allowed
+        decision = enforcer.submit("SELECT * FROM items", uid=1)
+        assert not decision.allowed  # 10 + 10 > 15 in window
+        enforcer.clock.sleep(300)
+        assert enforcer.submit("SELECT * FROM items", uid=1).allowed
+
+
+class TestMixedPolicySet:
+    """Every classification at once: ti + windowed + non-monotone +
+    unified group + retain-all."""
+
+    def test_mixed_set_matches_noopt(self):
+        policies = [
+            rate_policy(1),
+            rate_policy(2),
+            Policy.from_sql(
+                "no-joins",
+                "SELECT DISTINCT 'no join' FROM schema s1, schema s2 "
+                "WHERE s1.ts = s2.ts AND s1.irid = 'items' "
+                "AND s2.irid <> 'items'",
+            ),
+            Policy.from_sql(
+                "support",
+                "SELECT DISTINCT 'thin output' FROM users u, provenance p "
+                "WHERE u.ts = p.ts AND u.uid = 2 AND p.irid = 'items' "
+                "GROUP BY p.ts, p.otid HAVING COUNT(DISTINCT p.itid) <= 0",
+            ),
+            Policy.from_sql(
+                "odd",
+                "SELECT DISTINCT 'odd fired' FROM users u, clock c "
+                "WHERE u.uid = 3 AND u.ts <> c.ts "
+                "HAVING COUNT(DISTINCT u.ts) > 4",
+            ),
+        ]
+        queries = [
+            ("SELECT * FROM items", 1),
+            ("SELECT * FROM items", 1),
+            ("SELECT * FROM items", 1),
+            ("SELECT i.k FROM items i, groups g WHERE i.k = g.uid", 2),
+            ("SELECT COUNT(*) FROM items", 2),
+            ("SELECT * FROM items", 3),
+            ("SELECT * FROM items", 3),
+            ("SELECT * FROM items", 2),
+        ] * 2
+
+        def run(options):
+            enforcer = Enforcer(
+                build_db(),
+                policies,
+                clock=SimulatedClock(default_step_ms=10),
+                options=options,
+            )
+            return [
+                enforcer.submit(sql, uid=uid, execute=False).allowed
+                for sql, uid in queries
+            ]
+
+        baseline = run(EnforcerOptions.noopt())
+        assert run(EnforcerOptions.datalawyer()) == baseline
+        assert run(EnforcerOptions.datalawyer(improved_partial=True)) == baseline
+        assert False in baseline and True in baseline

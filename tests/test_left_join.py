@@ -1,0 +1,185 @@
+"""LEFT OUTER JOIN: parsing, execution, lineage, and enforcement."""
+
+import pytest
+
+from repro.engine import Database, Engine
+from repro.errors import ParseError
+from repro.sql import ast, parse, parse_select, print_query
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.load_table("emp", ["id", "name", "dept"], [
+        (1, "ann", 10), (2, "bob", 20), (3, "cal", None), (4, "dee", 99),
+    ])
+    db.load_table("dept", ["did", "dname"], [(10, "eng"), (20, "ops")])
+    return db
+
+
+@pytest.fixture
+def engine(db):
+    return Engine(db)
+
+
+class TestParsing:
+    def test_left_join_parses_to_joinref(self):
+        q = parse_select("SELECT 1 FROM a LEFT JOIN b ON a.x = b.x")
+        (item,) = q.from_items
+        assert isinstance(item, ast.JoinRef)
+        assert item.kind == "left"
+
+    def test_left_outer_join_synonym(self):
+        q = parse_select("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert isinstance(q.from_items[0], ast.JoinRef)
+
+    def test_chained_left_joins_nest(self):
+        q = parse_select(
+            "SELECT 1 FROM a LEFT JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        (outer,) = q.from_items
+        assert isinstance(outer, ast.JoinRef)
+        assert isinstance(outer.left, ast.JoinRef)
+        assert [leaf.binding_name() for leaf in outer.leaf_items()] == [
+            "a",
+            "b",
+            "c",
+        ]
+
+    def test_right_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 FROM a OUTER JOIN b ON a.x = b.x")
+
+    def test_roundtrip(self):
+        sql = "SELECT a.x FROM a LEFT JOIN b p ON a.x = p.x WHERE a.y = 1"
+        tree = parse(sql)
+        assert parse(print_query(tree)) == tree
+
+
+class TestExecution:
+    def test_matched_and_padded_rows(self, engine):
+        result = engine.execute(
+            "SELECT e.name, d.dname FROM emp e LEFT JOIN dept d "
+            "ON e.dept = d.did"
+        )
+        assert sorted(result.rows, key=str) == sorted(
+            [("ann", "eng"), ("bob", "ops"), ("cal", None), ("dee", None)],
+            key=str,
+        )
+
+    def test_null_join_key_pads(self, engine):
+        result = engine.execute(
+            "SELECT e.name, d.did FROM emp e LEFT JOIN dept d "
+            "ON e.dept = d.did WHERE e.id = 3"
+        )
+        assert result.rows == [("cal", None)]
+
+    def test_where_on_right_side_applies_after_join(self, engine):
+        # IS NULL after a left join finds the unmatched rows
+        result = engine.execute(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.did "
+            "WHERE d.did IS NULL"
+        )
+        assert sorted(result.rows) == [("cal",), ("dee",)]
+
+    def test_where_equality_on_right_removes_padded(self, engine):
+        result = engine.execute(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.did "
+            "WHERE d.dname = 'eng'"
+        )
+        assert result.rows == [("ann",)]
+
+    def test_left_join_then_comma_join(self, engine):
+        result = engine.execute(
+            "SELECT e.name, x.id FROM emp e LEFT JOIN dept d "
+            "ON e.dept = d.did, emp x WHERE x.id = e.id AND d.did IS NULL"
+        )
+        assert sorted(result.rows) == [("cal", 3), ("dee", 4)]
+
+    def test_aggregation_over_left_join(self, engine):
+        result = engine.execute(
+            "SELECT d.dname, COUNT(e.id) FROM emp e LEFT JOIN dept d "
+            "ON e.dept = d.did GROUP BY d.dname"
+        )
+        assert sorted(result.rows, key=str) == sorted(
+            [("eng", 1), ("ops", 1), (None, 2)], key=str
+        )
+
+    def test_chained_left_joins_execute(self, engine, db):
+        db.load_table("site", ["dname", "city"], [("eng", "sea")])
+        engine.invalidate_plans()
+        result = engine.execute(
+            "SELECT e.name, s.city FROM emp e "
+            "LEFT JOIN dept d ON e.dept = d.did "
+            "LEFT JOIN site s ON d.dname = s.dname "
+            "WHERE e.id <= 2"
+        )
+        assert sorted(result.rows) == [("ann", "sea"), ("bob", None)]
+
+    def test_matches_inner_join_plus_antijoin(self, engine):
+        left = engine.execute(
+            "SELECT e.id, d.did FROM emp e LEFT JOIN dept d ON e.dept = d.did"
+        ).rows
+        inner = engine.execute(
+            "SELECT e.id, d.did FROM emp e, dept d WHERE e.dept = d.did"
+        ).rows
+        padded = [row for row in left if row[1] is None]
+        assert sorted(r for r in left if r[1] is not None) == sorted(inner)
+        assert {row[0] for row in padded} == {3, 4}
+
+
+class TestLineage:
+    def test_matched_row_lineage_includes_both(self, engine):
+        result = engine.execute(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.did "
+            "WHERE e.id = 1",
+            lineage=True,
+        )
+        assert result.lineage_tables() == {"emp", "dept"}
+
+    def test_padded_row_lineage_is_left_only(self, engine):
+        result = engine.execute(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.did "
+            "WHERE e.id = 4",
+            lineage=True,
+        )
+        assert result.lineage_tables() == {"emp"}
+
+
+class TestEnforcementWithLeftJoins:
+    def test_schema_log_covers_join_condition(self, db):
+        from repro.log import SchemaAnalyzer
+
+        rows = SchemaAnalyzer(db).analyze(
+            parse("SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.did")
+        )
+        relations = {row[1] for row in rows}
+        assert relations == {"emp", "dept"}
+
+    def test_join_policy_catches_left_join(self, db):
+        from repro.core import Enforcer, Policy
+
+        no_joins = Policy.from_sql(
+            "no-emp-joins",
+            "SELECT DISTINCT 'emp may not be joined' FROM schema s1, schema s2 "
+            "WHERE s1.ts = s2.ts AND s1.irid = 'emp' AND s2.irid <> 'emp'",
+        )
+        enforcer = Enforcer(db, [no_joins])
+        assert enforcer.submit("SELECT name FROM emp", uid=1).allowed
+        decision = enforcer.submit(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.did",
+            uid=1,
+        )
+        assert not decision.allowed
+
+    def test_provenance_of_left_join_query(self, db):
+        from repro.core import Enforcer, Policy
+        from repro.workloads import k_anonymity
+
+        enforcer = Enforcer(db, [k_anonymity("emp", k=2)])
+        decision = enforcer.submit(
+            "SELECT e.name FROM emp e LEFT JOIN dept d ON e.dept = d.did "
+            "WHERE e.id = 1",
+            uid=1,
+        )
+        assert not decision.allowed  # single emp tuple backs the output

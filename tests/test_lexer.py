@@ -1,0 +1,150 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("select") == [(TokenType.KEYWORD, "SELECT")]
+        assert kinds("SeLeCt") == [(TokenType.KEYWORD, "SELECT")]
+
+    def test_identifiers_fold_to_lowercase(self):
+        assert kinds("ChartEvents") == [(TokenType.IDENT, "chartevents")]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert kinds("d_patients2") == [(TokenType.IDENT, "d_patients2")]
+
+    def test_integer_literal(self):
+        assert kinds("42") == [(TokenType.NUMBER, "42")]
+
+    def test_float_literal(self):
+        assert kinds("3.25") == [(TokenType.NUMBER, "3.25")]
+
+    def test_scientific_notation(self):
+        assert kinds("1e5 2.5E-3") == [
+            (TokenType.NUMBER, "1e5"),
+            (TokenType.NUMBER, "2.5E-3"),
+        ]
+
+    def test_string_literal(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_string_escape_doubles_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_quoted_identifier_preserves_case(self):
+        assert kinds('"MixedCase"') == [(TokenType.IDENT, "MixedCase")]
+
+    def test_quoted_identifier_escape(self):
+        assert kinds('"a""b"') == [(TokenType.IDENT, 'a"b')]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op", ["=", "<>", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "||"]
+    )
+    def test_each_operator(self, op):
+        assert kinds(f"a {op} b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OPERATOR, op),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_greedy_two_char_operators(self):
+        assert kinds("a<=b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OPERATOR, "<="),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(a, b.c);") == [
+            (TokenType.PUNCT, "("),
+            (TokenType.IDENT, "a"),
+            (TokenType.PUNCT, ","),
+            (TokenType.IDENT, "b"),
+            (TokenType.PUNCT, "."),
+            (TokenType.IDENT, "c"),
+            (TokenType.PUNCT, ")"),
+            (TokenType.PUNCT, ";"),
+        ]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert kinds("a -- comment here\n b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* multi\nline */ b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_whitespace_variants(self):
+        assert kinds("a\t\r\n  b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a ? b")
+        assert "unexpected character" in str(excinfo.value)
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'open")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ab\ncd ?")
+        assert excinfo.value.line == 2
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("select\n  a")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_eof_token_present(self):
+        tokens = tokenize("a")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("   ")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+
+class TestTokenHelpers:
+    def test_matches(self):
+        token = Token(TokenType.IDENT, "abc", 1, 1)
+        assert token.matches(TokenType.IDENT)
+        assert token.matches(TokenType.IDENT, "abc")
+        assert not token.matches(TokenType.IDENT, "xyz")
+        assert not token.matches(TokenType.KEYWORD)
+
+    def test_is_keyword(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 1, 1)
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("FROM", "SELECT")
+        assert not token.is_keyword("FROM")

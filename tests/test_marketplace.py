@@ -1,0 +1,117 @@
+"""Marketplace workload: generator, contract, enforcement."""
+
+import pytest
+
+from repro.core import Enforcer, EnforcerOptions
+from repro.engine import Engine
+from repro.log import SimulatedClock
+from repro.workloads import (
+    MarketplaceConfig,
+    build_marketplace_database,
+    make_marketplace_workload,
+    standard_contract,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MarketplaceConfig(
+        n_listings=60,
+        n_subscribers=4,
+        rate_limit=3,
+        rate_window=100,
+        free_tier_tuples=100,
+        free_tier_window=10_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def template_db(config):
+    return build_marketplace_database(config)
+
+
+@pytest.fixture
+def enforcer(config, template_db):
+    return Enforcer(
+        template_db.clone(),
+        standard_contract(config),
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+
+
+class TestGenerator:
+    def test_deterministic(self, config):
+        a = build_marketplace_database(config)
+        b = build_marketplace_database(config)
+        for name in a.table_names():
+            assert a.table(name).rows() == b.table(name).rows()
+
+    def test_cardinalities(self, config, template_db):
+        assert len(template_db.table("listings")) == config.n_listings
+        assert len(template_db.table("ratings")) == config.n_listings
+        assert len(template_db.table("subscribers")) == config.n_subscribers
+
+    def test_ratings_reference_listings(self, template_db):
+        engine = Engine(template_db.clone())
+        orphans = engine.execute(
+            "SELECT COUNT(*) FROM "
+            "(SELECT r.biz_id FROM ratings r "
+            " EXCEPT SELECT l.biz_id FROM listings l) x"
+        ).scalar()
+        assert orphans == 0
+
+
+class TestContract:
+    def test_rate_limits_unify(self, enforcer, config):
+        unified = [r for r in enforcer.runtime_policies() if r.member_names]
+        assert len(unified) == 1
+        assert len(unified[0].member_names) == config.n_subscribers
+
+    def test_workload_is_compliant_initially(self, enforcer, config):
+        workload = make_marketplace_workload(config)
+        for name in ("M1", "M2", "M3"):
+            decision = enforcer.submit(workload[name], uid=2)
+            assert decision.allowed, name
+
+    def test_rate_limit_fires(self, enforcer, config):
+        workload = make_marketplace_workload(config)
+        for _ in range(config.rate_limit):
+            assert enforcer.submit(workload["M1"], uid=1).allowed
+        decision = enforcer.submit(workload["M1"], uid=1)
+        assert not decision.allowed
+        assert "user 1" in decision.violations[0].message
+
+    def test_blending_rejected_but_display_join_allowed(self, enforcer, config):
+        workload = make_marketplace_workload(config)
+        assert enforcer.submit(workload["M2"], uid=2).allowed
+        decision = enforcer.submit(
+            "SELECT l.category, AVG(r.stars) FROM listings l, ratings r "
+            "WHERE l.biz_id = r.biz_id GROUP BY l.category",
+            uid=2,
+        )
+        assert not decision.allowed
+        assert any("ratings" in v.message for v in decision.violations)
+
+    def test_free_tier_quota_fires_on_bulk_reads(self, enforcer, config):
+        workload = make_marketplace_workload(config)
+        # 60 listings per bulk read; quota 100 within the window
+        assert enforcer.submit(workload["M4"], uid=2).allowed
+        decision = enforcer.submit(workload["M4"], uid=2)
+        assert not decision.allowed
+        assert any("Quota" in v.message for v in decision.violations)
+
+    def test_quota_resets_after_window(self, enforcer, config):
+        workload = make_marketplace_workload(config)
+        enforcer.submit(workload["M4"], uid=2)
+        enforcer.clock.sleep(config.free_tier_window + 100)
+        assert enforcer.submit(workload["M4"], uid=2).allowed
+
+    def test_log_stays_bounded(self, enforcer, config):
+        workload = make_marketplace_workload(config)
+        for index in range(30):
+            enforcer.submit(workload["M1"], uid=(index % 4) + 1, execute=False)
+            enforcer.clock.sleep(50)
+        # rate window 100ms → only ~3 users rows per member stay relevant;
+        # M1's provenance is 1 row/query within the quota window
+        assert enforcer.store.live_size("users") <= 12

@@ -1,0 +1,145 @@
+"""QueryMetrics / MetricsLog unit tests."""
+
+import pytest
+
+from repro.core import MetricsLog, QueryMetrics
+from repro.core.metrics import (
+    PHASE_DELETE,
+    PHASE_INSERT,
+    PHASE_MARK,
+    PHASE_POLICY,
+    PHASE_QUERY,
+)
+
+
+def entry(**seconds) -> QueryMetrics:
+    metrics = QueryMetrics()
+    for phase, value in seconds.items():
+        metrics.add_seconds(phase.replace("log_", "log:"), value)
+    return metrics
+
+
+class TestQueryMetrics:
+    def test_add_seconds_accumulates(self):
+        metrics = QueryMetrics()
+        metrics.add_seconds(PHASE_QUERY, 0.5)
+        metrics.add_seconds(PHASE_QUERY, 0.25)
+        assert metrics.query_seconds == 0.75
+
+    def test_add_count_accumulates(self):
+        metrics = QueryMetrics()
+        metrics.add_count("statements")
+        metrics.add_count("statements", 2)
+        assert metrics.counts["statements"] == 3
+
+    def test_timed_context_manager(self):
+        metrics = QueryMetrics()
+        with metrics.timed("phase_x"):
+            pass
+        assert metrics.seconds["phase_x"] >= 0
+
+    def test_timed_records_on_exception(self):
+        metrics = QueryMetrics()
+        with pytest.raises(RuntimeError):
+            with metrics.timed("phase_x"):
+                raise RuntimeError
+        assert "phase_x" in metrics.seconds
+
+    def test_tracking_sums_log_phases(self):
+        metrics = entry(log_users=0.1, log_provenance=0.2, query=1.0)
+        assert metrics.tracking_seconds == pytest.approx(0.3)
+
+    def test_compaction_sums_three_phases(self):
+        metrics = QueryMetrics()
+        metrics.add_seconds(PHASE_MARK, 0.1)
+        metrics.add_seconds(PHASE_DELETE, 0.02)
+        metrics.add_seconds(PHASE_INSERT, 0.03)
+        assert metrics.compaction_seconds == pytest.approx(0.15)
+
+    def test_overhead_excludes_query(self):
+        metrics = entry(query=1.0, log_users=0.5)
+        metrics.add_seconds(PHASE_POLICY, 0.25)
+        assert metrics.total_seconds == pytest.approx(1.75)
+        assert metrics.overhead_seconds == pytest.approx(0.75)
+
+    def test_breakdown_buckets(self):
+        metrics = entry(query=1.0, log_users=0.5)
+        metrics.add_seconds(PHASE_POLICY, 0.25)
+        metrics.add_seconds(PHASE_MARK, 0.1)
+        assert metrics.breakdown() == {
+            "query": 1.0,
+            "tracking": 0.5,
+            "policy_eval": 0.25,
+            "compaction": 0.1,
+        }
+
+
+class TestMetricsLog:
+    def make_log(self, totals):
+        log = MetricsLog()
+        for total in totals:
+            log.record(entry(query=total))
+        return log
+
+    def test_len_and_clear(self):
+        log = self.make_log([1, 2, 3])
+        assert len(log) == 3
+        log.clear()
+        assert len(log) == 0
+
+    def test_mean_total(self):
+        log = self.make_log([1.0, 2.0, 3.0])
+        assert log.mean_total_seconds() == pytest.approx(2.0)
+
+    def test_mean_total_window(self):
+        log = self.make_log([1.0, 2.0, 3.0, 4.0])
+        assert log.mean_total_seconds(2) == pytest.approx(3.5)
+        assert log.mean_total_seconds(1, 3) == pytest.approx(2.5)
+
+    def test_mean_on_empty_window(self):
+        log = self.make_log([1.0])
+        assert log.mean_total_seconds(5) == 0.0
+
+    def test_batch_means(self):
+        log = self.make_log([1.0, 3.0, 5.0, 7.0, 9.0])
+        assert log.batch_means(2) == [2.0, 6.0, 9.0]
+
+    def test_mean_overhead(self):
+        log = MetricsLog()
+        metrics = entry(query=1.0, log_users=0.5)
+        log.record(metrics)
+        assert log.mean_overhead_seconds() == pytest.approx(0.5)
+
+    def test_mean_breakdown(self):
+        log = MetricsLog()
+        log.record(entry(query=1.0, log_users=0.2))
+        log.record(entry(query=3.0, log_users=0.4))
+        breakdown = log.mean_breakdown()
+        assert breakdown["query"] == pytest.approx(2.0)
+        assert breakdown["tracking"] == pytest.approx(0.3)
+
+    def test_mean_breakdown_empty(self):
+        assert MetricsLog().mean_breakdown() == {
+            "query": 0.0,
+            "tracking": 0.0,
+            "policy_eval": 0.0,
+            "compaction": 0.0,
+        }
+
+    def test_mean_phase_seconds(self):
+        log = MetricsLog()
+        log.record(entry(query=1.0))
+        log.record(entry(query=2.0))
+        assert log.mean_phase_seconds(PHASE_QUERY) == pytest.approx(1.5)
+        assert log.mean_phase_seconds("missing") == 0.0
+
+    def test_total_count(self):
+        log = MetricsLog()
+        first = QueryMetrics()
+        first.add_count("statements", 2)
+        second = QueryMetrics()
+        second.add_count("statements", 3)
+        log.record(first)
+        log.record(second)
+        assert log.total_count("statements") == 5
+        assert log.total_count("missing") == 0

@@ -1,0 +1,90 @@
+"""Policy parsing/validation and decision objects."""
+
+import pytest
+
+from repro.core import Decision, Policy, Violation
+from repro.errors import PolicySyntaxError
+
+
+class TestFromSql:
+    def test_valid_policy(self):
+        policy = Policy.from_sql(
+            "p", "SELECT DISTINCT 'bad thing' FROM users u WHERE u.uid = 1"
+        )
+        assert policy.name == "p"
+        assert policy.message == "bad thing"
+
+    def test_message_whitespace_collapsed(self):
+        policy = Policy.from_sql(
+            "p", "SELECT DISTINCT 'bad\n     thing' FROM users u"
+        )
+        assert policy.message == "bad thing"
+
+    def test_non_literal_message_gets_default(self):
+        policy = Policy.from_sql("p", "SELECT DISTINCT u.uid FROM users u")
+        assert "violated" in policy.message
+
+    def test_sql_property_round_trips(self):
+        from repro.sql import parse
+
+        policy = Policy.from_sql(
+            "p", "SELECT DISTINCT 'm' FROM users u WHERE u.uid = 1"
+        )
+        assert parse(policy.sql) == policy.select
+
+    def test_union_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            Policy.from_sql("p", "SELECT 'a' FROM users UNION SELECT 'b' FROM users")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            Policy.from_sql("p", "SELECT 'a'")
+
+    def test_multiple_select_items_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            Policy.from_sql("p", "SELECT 'a', u.uid FROM users u")
+
+    def test_star_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            Policy.from_sql("p", "SELECT * FROM users")
+
+    def test_order_by_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            Policy.from_sql("p", "SELECT 'a' FROM users u ORDER BY u.uid")
+
+    def test_limit_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            Policy.from_sql("p", "SELECT 'a' FROM users u LIMIT 1")
+
+    def test_or_in_where_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            Policy.from_sql(
+                "p", "SELECT 'a' FROM users u WHERE u.uid = 1 OR u.uid = 2"
+            )
+
+    def test_or_in_having_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            Policy.from_sql(
+                "p",
+                "SELECT 'a' FROM users u "
+                "HAVING COUNT(*) > 1 OR COUNT(*) > 2",
+            )
+
+    def test_and_is_fine(self):
+        Policy.from_sql(
+            "p", "SELECT 'a' FROM users u WHERE u.uid = 1 AND u.ts > 0"
+        )
+
+    def test_str_contains_sql(self):
+        policy = Policy.from_sql("p", "SELECT 'a' FROM users u")
+        assert "SELECT" in str(policy)
+
+
+class TestDecisionAndViolation:
+    def test_decision_truthiness(self):
+        assert Decision(allowed=True, timestamp=1)
+        assert not Decision(allowed=False, timestamp=1)
+
+    def test_violation_str(self):
+        violation = Violation("P1", "no joins")
+        assert str(violation) == "[P1] no joins"

@@ -1,0 +1,88 @@
+"""Printer tests: rendered SQL re-parses to an identical AST."""
+
+import pytest
+
+from repro.sql import ast, parse, parse_expression, print_expr, print_query
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT * FROM t",
+    "SELECT t.* FROM t",
+    "SELECT DISTINCT a, b FROM t WHERE a = 1",
+    "SELECT DISTINCT ON (a), t.* FROM t",
+    "SELECT a AS x, b + 1 AS y FROM t u WHERE u.a > 2 AND u.b = 'q'",
+    "SELECT a, COUNT(DISTINCT b) FROM t GROUP BY a HAVING COUNT(DISTINCT b) > 3",
+    "SELECT a FROM t ORDER BY a DESC, b LIMIT 7",
+    "SELECT 1 FROM a, b, c WHERE a.x = b.x AND b.y = c.y",
+    "SELECT x.a FROM (SELECT a FROM t WHERE a > 0) x",
+    "SELECT a FROM t UNION SELECT a FROM u",
+    "SELECT a FROM t UNION ALL SELECT a FROM u",
+    "SELECT a FROM t EXCEPT SELECT a FROM u",
+    "SELECT a FROM t INTERSECT SELECT a FROM u",
+    "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+    "SELECT a FROM t WHERE a IN (1, 2) AND b NOT IN ('x')",
+    "SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL",
+    "SELECT a FROM t WHERE b LIKE 'x%'",
+    "SELECT -a, a - -1 FROM t",
+    "SELECT a || 'suffix' FROM t",
+    "SELECT COUNT(*) FROM t",
+    "SELECT abs(a), coalesce(b, 'none') FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_query_round_trip(sql):
+    tree = parse(sql)
+    rendered = print_query(tree)
+    assert parse(rendered) == tree
+
+
+ROUND_TRIP_EXPRESSIONS = [
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "a = 1 AND b = 2 AND c = 3",
+    "NOT (a = 1)",
+    "a < b OR c >= d",
+    "a <> 'it''s'",
+    "CASE WHEN a > 0 THEN a ELSE -a END",
+    "a IN (1, 2, 3)",
+    "length(s) > 3",
+    "a % 2 = 0",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_EXPRESSIONS)
+def test_expression_round_trip(text):
+    expr = parse_expression(text)
+    rendered = print_expr(expr)
+    assert parse_expression(rendered) == expr
+
+
+class TestRendering:
+    def test_string_escaping(self):
+        assert print_expr(ast.Literal("it's")) == "'it''s'"
+
+    def test_null_true_false(self):
+        assert print_expr(ast.Literal(None)) == "NULL"
+        assert print_expr(ast.Literal(True)) == "TRUE"
+        assert print_expr(ast.Literal(False)) == "FALSE"
+
+    def test_parentheses_only_when_needed(self):
+        expr = parse_expression("(a + b) * c")
+        assert print_expr(expr) == "(a + b) * c"
+        expr = parse_expression("a + b * c")
+        assert print_expr(expr) == "a + b * c"
+
+    def test_distinct_on_rendering(self):
+        q = parse("SELECT DISTINCT ON (a, b), t.* FROM t")
+        assert "DISTINCT ON (a, b)" in print_query(q)
+
+    def test_order_by_desc_rendering(self):
+        q = parse("SELECT a FROM t ORDER BY a DESC")
+        assert print_query(q).endswith("ORDER BY a DESC")
+
+    def test_union_renders_parenthesized(self):
+        q = parse("SELECT 1 UNION ALL SELECT 2")
+        text = print_query(q)
+        assert "UNION ALL" in text
+        assert text.startswith("(")

@@ -1,0 +1,195 @@
+"""Randomized policy generation × randomized streams × all optimizations.
+
+The fixed-pool equivalence tests pin down the six experiment policies;
+this module *generates* policies across the whole supported shape space —
+random log relations, optional ts-joins, optional clock windows, random
+predicates, optional grouping and thresholds — and checks that the fully
+optimized DataLawyer decides random query streams exactly like the naive
+NoOpt semantics. This is the test most likely to catch a subtle witness/
+partial/time-independence bug on an unusual policy shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.engine import Database
+from repro.errors import PolicySyntaxError
+from repro.log import SimulatedClock
+
+QUERIES = [
+    "SELECT * FROM alpha",
+    "SELECT a FROM alpha WHERE a = 1",
+    "SELECT b FROM alpha WHERE a > 2",
+    "SELECT * FROM beta",
+    "SELECT alpha.a FROM alpha, beta WHERE alpha.a = beta.a",
+    "SELECT a, COUNT(*) FROM alpha GROUP BY a",
+]
+
+
+def build_db() -> Database:
+    db = Database()
+    db.load_table("alpha", ["a", "b"], [(1, "x"), (2, "y"), (3, "z"), (4, "w")])
+    db.load_table("beta", ["a", "c"], [(1, 10), (3, 30)])
+    return db
+
+
+@st.composite
+def policy_sql(draw) -> str:
+    """One random (valid) policy over users/schema/provenance/clock."""
+    relations = draw(
+        st.lists(
+            st.sampled_from(["users", "schema", "provenance"]),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        )
+    )
+    aliases = {relation: relation[0] for relation in relations}
+    from_items = [f"{relation} {alias}" for relation, alias in aliases.items()]
+    conjuncts: list[str] = []
+
+    # ts-join the log relations (or, sometimes, don't).
+    alias_list = list(aliases.values())
+    if len(alias_list) == 2 and draw(st.booleans()):
+        conjuncts.append(f"{alias_list[0]}.ts = {alias_list[1]}.ts")
+
+    # optional clock window on the first relation
+    use_clock = draw(st.booleans())
+    if use_clock:
+        window = draw(st.sampled_from([30, 50, 120]))
+        from_items.append("clock c")
+        conjuncts.append(f"{alias_list[0]}.ts > c.ts - {window}")
+
+    # relation-specific predicates
+    if "users" in aliases and draw(st.booleans()):
+        conjuncts.append(f"{aliases['users']}.uid = {draw(st.integers(0, 2))}")
+    if "schema" in aliases and draw(st.booleans()):
+        table = draw(st.sampled_from(["alpha", "beta"]))
+        conjuncts.append(f"{aliases['schema']}.irid = '{table}'")
+    if "provenance" in aliases and draw(st.booleans()):
+        table = draw(st.sampled_from(["alpha", "beta"]))
+        conjuncts.append(f"{aliases['provenance']}.irid = '{table}'")
+
+    # optional grouping + threshold
+    clauses = ""
+    kind = draw(st.integers(0, 3))
+    first = alias_list[0]
+    if kind == 1:
+        threshold = draw(st.integers(0, 3))
+        clauses = f" HAVING COUNT(DISTINCT {first}.ts) > {threshold}"
+    elif kind == 2 and "provenance" in aliases:
+        p = aliases["provenance"]
+        threshold = draw(st.integers(0, 2))
+        clauses = (
+            f" GROUP BY {p}.ts, {p}.otid "
+            f"HAVING COUNT(DISTINCT {p}.itid) <= {threshold}"
+        )
+    elif kind == 3:
+        threshold = draw(st.integers(1, 4))
+        clauses = (
+            f" GROUP BY {first}.ts "
+            f"HAVING COUNT(DISTINCT {first}.ts) >= {threshold}"
+        )
+
+    where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
+    return (
+        "SELECT DISTINCT 'generated policy fired' FROM "
+        + ", ".join(from_items)
+        + where
+        + clauses
+    )
+
+
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(QUERIES) - 1),
+        st.integers(min_value=0, max_value=2),
+    ),
+    min_size=3,
+    max_size=10,
+)
+
+
+def run(options, policies, stream):
+    enforcer = Enforcer(
+        build_db(),
+        policies,
+        clock=SimulatedClock(default_step_ms=10),
+        options=options,
+    )
+    return [
+        enforcer.submit(QUERIES[qi], uid=uid, execute=False).allowed
+        for qi, uid in stream
+    ]
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sqls=st.lists(policy_sql(), min_size=1, max_size=3),
+    stream=streams,
+)
+def test_random_policies_decide_identically(sqls, stream):
+    policies = []
+    for index, sql in enumerate(sqls):
+        try:
+            policies.append(Policy.from_sql(f"gen{index}", sql))
+        except PolicySyntaxError:
+            return  # generator produced an unsupported shape; skip
+    baseline = run(EnforcerOptions.noopt(), policies, stream)
+    optimized = run(EnforcerOptions.datalawyer(), policies, stream)
+    assert optimized == baseline
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sqls=st.lists(policy_sql(), min_size=1, max_size=2),
+    stream=streams,
+)
+def test_random_policies_with_improved_partial(sqls, stream):
+    policies = []
+    for index, sql in enumerate(sqls):
+        try:
+            policies.append(Policy.from_sql(f"gen{index}", sql))
+        except PolicySyntaxError:
+            return
+    baseline = run(EnforcerOptions.noopt(), policies, stream)
+    optimized = run(
+        EnforcerOptions.datalawyer(improved_partial=True), policies, stream
+    )
+    assert optimized == baseline
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sqls=st.lists(policy_sql(), min_size=1, max_size=2),
+    stream=streams,
+    interval=st.integers(min_value=2, max_value=6),
+)
+def test_random_policies_with_deferred_compaction(sqls, stream, interval):
+    policies = []
+    for index, sql in enumerate(sqls):
+        try:
+            policies.append(Policy.from_sql(f"gen{index}", sql))
+        except PolicySyntaxError:
+            return
+    baseline = run(EnforcerOptions.noopt(), policies, stream)
+    optimized = run(
+        EnforcerOptions.datalawyer(compaction_every=interval), policies, stream
+    )
+    assert optimized == baseline

@@ -1,0 +1,126 @@
+"""Deeper fSchema static-analysis coverage."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import BindError
+from repro.log import SchemaAnalyzer
+from repro.sql import parse
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.load_table("t", ["a", "b", "c"], [])
+    db.load_table("u", ["a", "d"], [])
+    return db
+
+
+def rows_for(db, sql):
+    return SchemaAnalyzer(db).analyze(parse(sql))
+
+
+class TestNonOutputReferences:
+    def test_group_by_columns_recorded(self, db):
+        rows = rows_for(db, "SELECT COUNT(*) FROM t GROUP BY t.b")
+        assert (None, "t", "b", False) in rows
+
+    def test_order_by_columns_recorded(self, db):
+        rows = rows_for(db, "SELECT t.a FROM t ORDER BY t.c")
+        assert (None, "t", "c", False) in rows
+
+    def test_having_columns_recorded(self, db):
+        rows = rows_for(
+            db, "SELECT t.b FROM t GROUP BY t.b HAVING MAX(t.c) > 1"
+        )
+        assert (None, "t", "c", False) in rows
+
+    def test_distinct_on_columns_recorded(self, db):
+        rows = rows_for(db, "SELECT DISTINCT ON (t.c), t.a FROM t")
+        assert (None, "t", "c", False) in rows
+
+    def test_subquery_where_columns_recorded(self, db):
+        rows = rows_for(
+            db, "SELECT x.a FROM (SELECT a FROM t WHERE t.b = 'q') x"
+        )
+        assert (None, "t", "b", False) in rows
+
+
+class TestAggregatePropagation:
+    def test_agg_flag_through_subquery(self, db):
+        rows = rows_for(
+            db,
+            "SELECT x.n FROM (SELECT COUNT(t.a) AS n FROM t) x",
+        )
+        assert ("n", "t", "a", True) in rows
+
+    def test_agg_applied_outside_subquery(self, db):
+        rows = rows_for(
+            db,
+            "SELECT MAX(x.a) AS m FROM (SELECT a FROM t) x",
+        )
+        assert ("m", "t", "a", True) in rows
+
+    def test_non_agg_column_not_flagged(self, db):
+        rows = rows_for(db, "SELECT t.a, COUNT(t.b) FROM t GROUP BY t.a")
+        assert ("a", "t", "a", False) in rows
+        assert ("count", "t", "b", True) in rows
+
+    def test_agg_argument_expression(self, db):
+        rows = rows_for(db, "SELECT SUM(t.a + t.c) AS s FROM t")
+        assert ("s", "t", "a", True) in rows
+        assert ("s", "t", "c", True) in rows
+
+
+class TestNaming:
+    def test_alias_becomes_ocid(self, db):
+        rows = rows_for(db, "SELECT t.a AS renamed FROM t")
+        assert ("renamed", "t", "a", False) in rows
+
+    def test_positional_name_for_expression(self, db):
+        rows = rows_for(db, "SELECT t.a + 1 FROM t")
+        assert ("col1", "t", "a", False) in rows
+
+    def test_case_expression_sources(self, db):
+        rows = rows_for(
+            db,
+            "SELECT CASE WHEN t.a > 0 THEN t.b ELSE t.c END AS pick FROM t",
+        )
+        derived = {(r[1], r[2]) for r in rows if r[0] == "pick"}
+        assert derived == {("t", "a"), ("t", "b"), ("t", "c")}
+
+
+class TestMultiRelation:
+    def test_union_records_both_sides(self, db):
+        rows = rows_for(db, "SELECT a FROM t UNION SELECT d FROM u")
+        assert ("a", "t", "a", False) in rows
+        assert ("d", "u", "d", False) in rows
+
+    def test_self_join_records_single_relation(self, db):
+        rows = rows_for(
+            db,
+            "SELECT p.a FROM t p, t q WHERE p.a = q.a",
+        )
+        assert {r[1] for r in rows} == {"t"}
+
+    def test_three_way_join(self, db):
+        rows = rows_for(
+            db,
+            "SELECT t.a FROM t, u, t z WHERE t.a = u.a AND u.a = z.a",
+        )
+        assert {r[1] for r in rows} == {"t", "u"}
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(BindError):
+            rows_for(db, "SELECT t.zzz FROM t")
+
+    def test_ambiguous_unqualified_raises(self, db):
+        with pytest.raises(BindError):
+            rows_for(db, "SELECT a FROM t, u")
+
+    def test_deterministic_ordering(self, db):
+        sql = "SELECT t.b, t.a FROM t WHERE t.c > 0"
+        assert rows_for(db, sql) == rows_for(db, sql)
+        rows = rows_for(db, sql)
+        # non-output rows (ocid None) sort last
+        assert rows[-1][0] is None

@@ -1,0 +1,214 @@
+"""HTTP middleware tests (stdlib client against an in-process server)."""
+
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.engine import Database
+from repro.log import SimulatedClock
+from repro.server import serve
+
+
+@pytest.fixture
+def server():
+    db = Database()
+    db.load_table("navteq", ["id", "lat"], [(1, 47.0), (2, 40.0)])
+    db.load_table("other", ["id"], [(1,)])
+    policy = Policy.from_sql(
+        "no-joins",
+        "SELECT DISTINCT 'no external joins' FROM schema p1, schema p2 "
+        "WHERE p1.ts = p2.ts AND p1.irid = 'navteq' AND p2.irid <> 'navteq'",
+    )
+    enforcer = Enforcer(
+        db,
+        [policy],
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+    httpd = serve(enforcer, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=5)
+
+
+def request(server, method, path, body=None):
+    connection = HTTPConnection(*server.server_address)
+    payload = json.dumps(body).encode() if body is not None else None
+    headers = {"Content-Type": "application/json"} if payload else {}
+    connection.request(method, path, body=payload, headers=headers)
+    response = connection.getresponse()
+    data = json.loads(response.read().decode())
+    connection.close()
+    return response.status, data
+
+
+class TestQueryEndpoint:
+    def test_allowed_query_returns_rows(self, server):
+        status, body = request(
+            server, "POST", "/query", {"sql": "SELECT id FROM navteq", "uid": 3}
+        )
+        assert status == 200
+        assert body["allowed"] is True
+        assert body["columns"] == ["id"]
+        assert sorted(body["rows"]) == [[1], [2]]
+
+    def test_rejected_query_returns_403_with_violations(self, server):
+        status, body = request(
+            server,
+            "POST",
+            "/query",
+            {
+                "sql": "SELECT n.id FROM navteq n, other o WHERE n.id = o.id",
+                "uid": 3,
+            },
+        )
+        assert status == 403
+        assert body["allowed"] is False
+        assert body["violations"][0]["policy"] == "no-joins"
+
+    def test_explain_flag_adds_evidence(self, server):
+        status, body = request(
+            server,
+            "POST",
+            "/query",
+            {
+                "sql": "SELECT n.id FROM navteq n, other o WHERE n.id = o.id",
+                "uid": 3,
+                "explain": True,
+            },
+        )
+        assert status == 403
+        evidence = body["evidence"][0]["tuples"]
+        assert any(t["from_current_query"] for t in evidence)
+
+    def test_missing_sql(self, server):
+        status, body = request(server, "POST", "/query", {"uid": 1})
+        assert status == 400
+
+    def test_bad_uid_type(self, server):
+        status, _ = request(
+            server, "POST", "/query", {"sql": "SELECT 1", "uid": "x"}
+        )
+        assert status == 400
+
+    def test_sql_error_is_400(self, server):
+        status, body = request(
+            server, "POST", "/query", {"sql": "SELEKT broken"}
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_invalid_json_body(self, server):
+        connection = HTTPConnection(*server.server_address)
+        connection.request(
+            "POST", "/query", body=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+
+class TestPolicyEndpoints:
+    def test_list_policies(self, server):
+        status, body = request(server, "GET", "/policies")
+        assert status == 200
+        assert body["policies"][0]["name"] == "no-joins"
+
+    def test_add_policy_enforced_immediately(self, server):
+        status, _ = request(
+            server,
+            "POST",
+            "/policies",
+            {
+                "name": "no-other",
+                "sql": "SELECT DISTINCT 'other is off-limits' FROM schema s "
+                "WHERE s.irid = 'other'",
+            },
+        )
+        assert status == 201
+        status, body = request(
+            server, "POST", "/query", {"sql": "SELECT * FROM other", "uid": 1}
+        )
+        assert status == 403
+        assert any(
+            v["message"] == "other is off-limits" for v in body["violations"]
+        )
+
+    def test_duplicate_policy_conflict(self, server):
+        status, _ = request(
+            server,
+            "POST",
+            "/policies",
+            {"name": "no-joins", "sql": "SELECT 'x' FROM users u"},
+        )
+        assert status == 409
+
+    def test_invalid_policy_sql(self, server):
+        status, _ = request(
+            server,
+            "POST",
+            "/policies",
+            {"name": "bad", "sql": "SELECT 'a', 'b' FROM users"},
+        )
+        assert status == 400
+
+    def test_remove_policy(self, server):
+        status, _ = request(server, "DELETE", "/policies/no-joins")
+        assert status == 200
+        status, body = request(
+            server,
+            "POST",
+            "/query",
+            {"sql": "SELECT n.id FROM navteq n, other o WHERE n.id = o.id"},
+        )
+        assert status == 200
+
+    def test_remove_unknown_policy(self, server):
+        status, _ = request(server, "DELETE", "/policies/ghost")
+        assert status == 404
+
+
+class TestMisc:
+    def test_health(self, server):
+        status, body = request(server, "GET", "/health")
+        assert status == 200 and body["status"] == "ok"
+
+    def test_log_endpoint(self, server):
+        request(server, "POST", "/query", {"sql": "SELECT id FROM navteq"})
+        status, body = request(server, "GET", "/log")
+        assert status == 200
+        assert set(body["log"]) == {"users", "schema", "provenance"}
+
+    def test_unknown_path(self, server):
+        status, _ = request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_concurrent_submissions_serialize(self, server):
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    status, _ = request(
+                        server,
+                        "POST",
+                        "/query",
+                        {"sql": "SELECT id FROM navteq", "uid": 1},
+                    )
+                    assert status == 200
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors

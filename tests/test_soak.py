@@ -1,0 +1,107 @@
+"""Soak test: a long mixed stream holds every system invariant.
+
+Runs a few hundred queries from several users against all six policies,
+checking after every single query that:
+
+- the decision matches a reference NoOpt enforcer fed the same stream;
+- the compacted log is a subset of the reference log (as row sets);
+- no staged tuples leak across queries;
+- the clock table stays a single row at the current time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Enforcer, EnforcerOptions
+from repro.log import SimulatedClock
+from repro.workloads import (
+    MimicConfig,
+    PolicyParams,
+    build_mimic_database,
+    make_all_policies,
+    make_workload,
+)
+
+QUERY_COUNT = 220
+
+
+@pytest.fixture(scope="module")
+def soak_setup():
+    config = MimicConfig(n_patients=80)
+    params = PolicyParams.for_config(
+        config,
+        p1_max_users=2,
+        p1_window=120,
+        p5_max_tuples=55,
+        p5_window=400,
+        p6_max_uses=6,
+        p6_window=300,
+    )
+    template = build_mimic_database(config)
+    policies = make_all_policies(params)
+    workload = make_workload(config)
+    return template, policies, workload, config
+
+
+def test_soak_mixed_stream(soak_setup):
+    template, policies, workload, config = soak_setup
+    rng = random.Random(2026)
+
+    datalawyer = Enforcer(
+        template.clone(),
+        policies,
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+    reference = Enforcer(
+        template.clone(),
+        policies,
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.noopt(),
+    )
+
+    queries = list(workload.all().values()) + [
+        "SELECT COUNT(*) FROM d_patients",
+        "SELECT sex, COUNT(*) FROM d_patients GROUP BY sex",
+        "SELECT o.medication, COUNT(m.dose) FROM poe_order o, poe_med m "
+        "WHERE o.poe_id = m.poe_id GROUP BY o.medication",
+        f"SELECT * FROM d_patients WHERE subject_id = {config.n_patients // 2}",
+    ]
+    uids = [0, 1, 1, 2, 3, 5]
+
+    allowed = rejected = 0
+    for step in range(QUERY_COUNT):
+        sql = rng.choice(queries)
+        uid = rng.choice(uids)
+
+        lhs = datalawyer.submit(sql, uid=uid, execute=False)
+        rhs = reference.submit(sql, uid=uid, execute=False)
+        assert lhs.allowed == rhs.allowed, (step, sql, uid)
+        allowed += lhs.allowed
+        rejected += not lhs.allowed
+
+        # Compacted log ⊆ reference log, per relation, as row multisets.
+        for relation in ("users", "schema", "provenance"):
+            compact_rows = datalawyer.database.table(relation).rows()
+            reference_rows = list(reference.database.table(relation).rows())
+            for row in compact_rows:
+                assert row in reference_rows, (step, relation, row)
+                reference_rows.remove(row)
+
+        # No staged leftovers; clock is one fresh row.
+        assert not datalawyer.store.staged_relations()
+        clock_rows = datalawyer.database.table("clock").rows()
+        assert clock_rows == [(datalawyer.clock.now(),)]
+
+    # The stream must have exercised both outcomes.
+    assert allowed > 50
+    assert rejected > 10
+
+    # And compaction must have actually saved space by the end.
+    assert (
+        datalawyer.store.total_live_size()
+        < reference.store.total_live_size()
+    )

@@ -1,0 +1,126 @@
+"""Property-based printer/parser round-trip over generated ASTs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast, parse, parse_expression, print_expr, print_query
+
+identifiers = st.sampled_from(["a", "b", "c", "ts", "uid", "irid"])
+table_names = st.sampled_from(["t", "u", "users", "big_table"])
+
+literals = st.one_of(
+    st.integers(min_value=-999, max_value=999).map(ast.Literal),
+    st.sampled_from([0.5, 2.25, 10.0]).map(ast.Literal),
+    st.sampled_from(["x", "it's", "", "100%"]).map(ast.Literal),
+    st.sampled_from([True, False, None]).map(ast.Literal),
+)
+
+column_refs = st.builds(
+    ast.ColumnRef, st.one_of(st.none(), table_names), identifiers
+)
+
+
+def expressions(depth: int = 3) -> st.SearchStrategy[ast.Expr]:
+    if depth == 0:
+        return st.one_of(literals, column_refs)
+    sub = expressions(depth - 1)
+    return st.one_of(
+        literals,
+        column_refs,
+        st.builds(
+            ast.BinaryOp,
+            st.sampled_from(
+                ["+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "and", "or"]
+            ),
+            sub,
+            sub,
+        ),
+        st.builds(ast.UnaryOp, st.just("not"), sub),
+        st.builds(ast.IsNull, sub, st.booleans()),
+        st.builds(
+            ast.InList,
+            sub,
+            st.lists(literals, min_size=1, max_size=3).map(tuple),
+            st.booleans(),
+        ),
+        st.builds(
+            ast.FuncCall,
+            st.sampled_from(["abs", "coalesce", "length", "lower"]),
+            st.lists(sub, min_size=1, max_size=2).map(tuple),
+            st.just(False),
+        ),
+        st.builds(
+            ast.CaseExpr,
+            st.lists(st.tuples(sub, sub), min_size=1, max_size=2).map(tuple),
+            st.one_of(st.none(), sub),
+        ),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(expressions())
+def test_expression_roundtrip(expr):
+    rendered = print_expr(expr)
+    assert parse_expression(rendered) == expr
+
+
+select_items = st.lists(
+    st.builds(
+        ast.SelectItem, expressions(2), st.one_of(st.none(), identifiers)
+    ),
+    min_size=1,
+    max_size=3,
+).map(tuple)
+
+from_items = st.lists(
+    st.builds(
+        ast.TableRef,
+        table_names,
+        st.one_of(st.none(), st.sampled_from(["p", "q", "r2"])),
+    ),
+    min_size=1,
+    max_size=3,
+).map(lambda items: tuple(_dedupe_aliases(items)))
+
+
+def _dedupe_aliases(items):
+    seen = set()
+    result = []
+    for index, item in enumerate(items):
+        name = item.binding_name()
+        if name in seen:
+            item = ast.TableRef(item.name, f"alias{index}")
+        seen.add(item.binding_name())
+        result.append(item)
+    return result
+
+
+selects = st.builds(
+    ast.Select,
+    items=select_items,
+    from_items=from_items,
+    where=st.one_of(st.none(), expressions(2)),
+    group_by=st.lists(column_refs, max_size=2).map(tuple),
+    having=st.none(),
+    distinct=st.booleans(),
+    distinct_on=st.just(()),
+    order_by=st.just(()),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(selects)
+def test_select_roundtrip(select):
+    rendered = print_query(select)
+    assert parse(rendered) == select
+
+
+@settings(max_examples=80, deadline=None)
+@given(selects, selects, st.booleans())
+def test_union_roundtrip(left, right, all_flag):
+    query = ast.SetOp("union", left, right, all=all_flag)
+    rendered = print_query(query)
+    assert parse(rendered) == query

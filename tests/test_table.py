@@ -1,0 +1,176 @@
+"""Table and Database tests: tids, mutation, indexes, catalog."""
+
+import pytest
+
+from repro.engine import Database, Table
+from repro.engine.schema import Column, TableSchema, make_schema
+from repro.errors import CatalogError, EngineError
+
+
+class TestSchema:
+    def test_make_schema(self):
+        schema = make_schema("t", ["a", "b"])
+        assert schema.column_names == ["a", "b"]
+        assert schema.arity == 2
+
+    def test_position_lookup(self):
+        schema = make_schema("t", ["a", "b"])
+        assert schema.position("b") == 1
+        assert schema.has_column("a")
+        assert not schema.has_column("z")
+
+    def test_unknown_column_raises(self):
+        schema = make_schema("t", ["a"])
+        with pytest.raises(CatalogError):
+            schema.position("nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a"), Column("a")])
+
+
+class TestTableBasics:
+    def test_insert_assigns_increasing_tids(self):
+        table = Table.from_rows("t", ["a"], [])
+        assert table.insert((1,)) == 0
+        assert table.insert((2,)) == 1
+        assert table.insert((3,)) == 2
+
+    def test_arity_checked(self):
+        table = Table.from_rows("t", ["a", "b"], [])
+        with pytest.raises(EngineError):
+            table.insert((1,))
+
+    def test_scan_pairs(self):
+        table = Table.from_rows("t", ["a"], [(10,), (20,)])
+        assert list(table.scan()) == [(0, (10,)), (1, (20,))]
+
+    def test_row_for_tid(self):
+        table = Table.from_rows("t", ["a"], [(10,), (20,)])
+        assert table.row_for_tid(1) == (20,)
+        with pytest.raises(EngineError):
+            table.row_for_tid(99)
+
+    def test_rows_are_tuples(self):
+        table = Table.from_rows("t", ["a", "b"], [[1, 2]])
+        assert table.rows() == [(1, 2)]
+
+
+class TestMutation:
+    def test_delete_tids(self):
+        table = Table.from_rows("t", ["a"], [(1,), (2,), (3,)])
+        removed = table.delete_tids({0, 2})
+        assert removed == 2
+        assert table.rows() == [(2,)]
+        assert table.tids() == [1]
+
+    def test_delete_empty_set_is_noop(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        assert table.delete_tids(set()) == 0
+        assert len(table) == 1
+
+    def test_retain_tids(self):
+        table = Table.from_rows("t", ["a"], [(1,), (2,), (3,)])
+        removed = table.retain_tids({1})
+        assert removed == 2
+        assert table.rows() == [(2,)]
+
+    def test_tids_never_reused_after_clear(self):
+        table = Table.from_rows("t", ["a"], [(1,), (2,)])
+        table.clear()
+        assert table.insert((3,)) == 2
+
+    def test_clone_is_independent(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        copy = table.clone()
+        copy.insert((2,))
+        assert len(table) == 1 and len(copy) == 2
+
+    def test_clone_continues_tid_sequence(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        copy = table.clone()
+        assert copy.insert((2,)) == 1
+
+
+class TestIndexes:
+    def test_index_probe_finds_matches(self):
+        table = Table.from_rows("t", ["a", "b"], [(1, "x"), (2, "y"), (1, "z")])
+        hits = table.index_probe(0, 1)
+        assert [row for _, row in hits] == [(1, "x"), (1, "z")]
+
+    def test_index_probe_miss(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        assert table.index_probe(0, 42) == []
+
+    def test_null_never_indexed(self):
+        table = Table.from_rows("t", ["a"], [(None,), (1,)])
+        assert table.index_probe(0, None) == []
+
+    def test_index_invalidated_on_insert(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        table.index_probe(0, 1)
+        table.insert((1,))
+        assert len(table.index_probe(0, 1)) == 2
+
+    def test_index_invalidated_on_delete(self):
+        table = Table.from_rows("t", ["a"], [(1,), (1,)])
+        table.index_probe(0, 1)
+        table.delete_tids({0})
+        assert len(table.index_probe(0, 1)) == 1
+
+    def test_unhashable_probe_value(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        assert table.index_probe(0, [1]) == []  # type: ignore[arg-type]
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        assert db.has_table("t")
+        assert db.table("T").name == "t"  # case-insensitive
+
+    def test_duplicate_rejected(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        with pytest.raises(CatalogError):
+            db.create_table("T", ["a"])
+
+    def test_unknown_table(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.table("missing")
+
+    def test_load_table(self):
+        db = Database()
+        table = db.load_table("t", ["a"], [(1,), (2,)])
+        assert len(table) == 2
+
+    def test_drop_table(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        db.drop_table("t")
+        assert not db.has_table("t")
+        with pytest.raises(CatalogError):
+            db.drop_table("t")
+
+    def test_attach(self):
+        db = Database()
+        db.attach(Table.from_rows("x", ["a"], [(1,)]))
+        assert db.has_table("x")
+        with pytest.raises(CatalogError):
+            db.attach(Table.from_rows("x", ["a"], []))
+
+    def test_table_names_sorted(self):
+        db = Database()
+        db.create_table("zeta", ["a"])
+        db.create_table("alpha", ["a"])
+        assert db.table_names() == ["alpha", "zeta"]
+
+    def test_clone_independent(self):
+        db = Database()
+        db.load_table("t", ["a"], [(1,)])
+        copy = db.clone()
+        copy.table("t").insert((2,))
+        assert len(db.table("t")) == 1
+        assert len(copy.table("t")) == 2

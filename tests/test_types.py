@@ -1,0 +1,180 @@
+"""Value semantics: three-valued logic, comparisons, LIKE, sort keys."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.types import (
+    arithmetic,
+    compare,
+    is_truthy,
+    like,
+    negate,
+    sort_key,
+    sql_and,
+    sql_not,
+    sql_or,
+)
+from repro.errors import ExecutionError
+
+TVL = [True, False, None]
+
+
+class TestKleeneLogic:
+    @pytest.mark.parametrize("a", TVL)
+    @pytest.mark.parametrize("b", TVL)
+    def test_and_truth_table(self, a, b):
+        expected = (
+            False
+            if a is False or b is False
+            else (None if a is None or b is None else True)
+        )
+        assert sql_and(a, b) is expected
+
+    @pytest.mark.parametrize("a", TVL)
+    @pytest.mark.parametrize("b", TVL)
+    def test_or_truth_table(self, a, b):
+        expected = (
+            True
+            if a is True or b is True
+            else (None if a is None or b is None else False)
+        )
+        assert sql_or(a, b) is expected
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    def test_is_truthy_strict(self):
+        assert is_truthy(True)
+        assert not is_truthy(False)
+        assert not is_truthy(None)
+
+
+class TestCompare:
+    def test_null_propagates(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert compare(op, None, 1) is None
+            assert compare(op, 1, None) is None
+
+    def test_numeric_comparisons(self):
+        assert compare("<", 1, 2) is True
+        assert compare(">=", 2, 2) is True
+        assert compare("=", 1, 1.0) is True
+
+    def test_string_comparisons(self):
+        assert compare("<", "a", "b") is True
+        assert compare("=", "x", "x") is True
+
+    def test_cross_type_equality_is_false(self):
+        assert compare("=", 1, "1") is False
+        assert compare("<>", 1, "1") is True
+
+    def test_bool_is_not_numeric(self):
+        assert compare("=", True, 1) is False
+
+    def test_cross_type_ordering_raises(self):
+        with pytest.raises(ExecutionError):
+            compare("<", 1, "a")
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExecutionError):
+            compare("~", 1, 2)
+
+
+class TestArithmetic:
+    def test_null_propagates(self):
+        assert arithmetic("+", None, 1) is None
+        assert arithmetic("*", 1, None) is None
+
+    def test_basic_operations(self):
+        assert arithmetic("+", 2, 3) == 5
+        assert arithmetic("-", 2, 3) == -1
+        assert arithmetic("*", 2, 3) == 6
+        assert arithmetic("%", 7, 3) == 1
+
+    def test_exact_integer_division(self):
+        assert arithmetic("/", 6, 3) == 2
+        assert isinstance(arithmetic("/", 6, 3), int)
+
+    def test_inexact_division_is_float(self):
+        assert arithmetic("/", 7, 2) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            arithmetic("/", 1, 0)
+        with pytest.raises(ExecutionError):
+            arithmetic("%", 1, 0)
+
+    def test_concat(self):
+        assert arithmetic("||", "a", "b") == "ab"
+        assert arithmetic("||", "n=", 5) == "n=5"
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExecutionError):
+            arithmetic("+", "a", 1)
+
+    def test_negate(self):
+        assert negate(5) == -5
+        assert negate(None) is None
+        with pytest.raises(ExecutionError):
+            negate("x")
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert like("hello", "h%o") is True
+        assert like("hello", "x%") is False
+
+    def test_underscore_wildcard(self):
+        assert like("cat", "c_t") is True
+        assert like("caat", "c_t") is False
+
+    def test_literal_match(self):
+        assert like("abc", "abc") is True
+
+    def test_regex_metachars_escaped(self):
+        assert like("a.c", "a.c") is True
+        assert like("abc", "a.c") is False
+
+    def test_null_propagates(self):
+        assert like(None, "%") is None
+        assert like("a", None) is None
+
+    def test_non_string_raises(self):
+        with pytest.raises(ExecutionError):
+            like(1, "%")
+
+
+class TestSortKey:
+    def test_nulls_last(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [1, 2, 3, None, None]
+
+    def test_mixed_types_deterministic(self):
+        values = ["b", 2, True, "a", 1, False]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [False, True, 1, 2, "a", "b"]
+
+    @given(st.lists(st.one_of(st.integers(), st.text(), st.none(), st.booleans())))
+    def test_total_order_never_raises(self, values):
+        sorted(values, key=sort_key)
+
+
+@given(a=st.sampled_from(TVL), b=st.sampled_from(TVL))
+def test_de_morgan(a, b):
+    assert sql_not(sql_and(a, b)) is sql_or(sql_not(a), sql_not(b))
+
+
+@given(
+    op=st.sampled_from(["<", "<=", ">", ">="]),
+    a=st.integers(-100, 100),
+    b=st.integers(-100, 100),
+)
+def test_compare_matches_python_for_ints(op, a, b):
+    import operator
+
+    fn = {"<": operator.lt, "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+    assert compare(op, a, b) is fn[op](a, b)

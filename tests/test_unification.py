@@ -1,0 +1,137 @@
+"""Policy unification (§4.2.2, Example 4.6)."""
+
+import pytest
+
+from repro.analysis import unify_policies
+from repro.engine import Database, Engine
+from repro.log import LogStore, standard_registry
+from repro.sql import parse_select, print_query
+
+
+def px(gid, threshold=10, msg=None):
+    msg = msg or f"too many {gid} users"
+    return parse_select(
+        f"SELECT DISTINCT '{msg}' FROM users u, groups g "
+        f"WHERE u.uid = g.uid AND g.gid = '{gid}' "
+        f"HAVING COUNT(DISTINCT u.uid) > {threshold}"
+    )
+
+
+class TestGrouping:
+    def test_same_shape_policies_unify(self):
+        result = unify_policies(
+            [("a", px("students")), ("b", px("postdocs")), ("c", px("staff"))]
+        )
+        assert len(result.groups) == 1
+        assert not result.singletons
+        group = result.groups[0]
+        assert group.member_names == ["a", "b", "c"]
+        assert len(group.rows) == 3
+
+    def test_different_shapes_stay_separate(self):
+        other = parse_select("SELECT DISTINCT 'x' FROM schema s WHERE s.irid = 'q'")
+        result = unify_policies([("a", px("students")), ("b", other)])
+        assert not result.groups
+        assert {name for name, _ in result.singletons} == {"a", "b"}
+
+    def test_single_member_group_is_singleton(self):
+        result = unify_policies([("a", px("students"))])
+        assert not result.groups
+        assert [name for name, _ in result.singletons] == ["a"]
+
+    def test_non_monotone_policies_never_unify(self):
+        non_monotone = parse_select(
+            "SELECT DISTINCT 'few' FROM provenance p HAVING COUNT(*) < 5"
+        )
+        result = unify_policies(
+            [("a", non_monotone), ("b", non_monotone)]
+        )
+        assert not result.groups
+        assert len(result.singletons) == 2
+
+    def test_differing_thresholds_also_unify(self):
+        result = unify_policies(
+            [("a", px("students", 10)), ("b", px("staff", 99))]
+        )
+        assert len(result.groups) == 1
+
+    def test_rewrite_references_constants_table(self):
+        result = unify_policies([("a", px("students")), ("b", px("staff"))])
+        group = result.groups[0]
+        text = print_query(group.select)
+        assert group.table_name in text
+        assert "GROUP BY" in text
+        assert "__c." in text or "__c " in text
+
+
+class TestSemantics:
+    def _setup(self, uids_by_group):
+        registry = standard_registry()
+        db = Database()
+        group_rows = [
+            (uid, gid) for gid, uids in uids_by_group.items() for uid in uids
+        ]
+        db.load_table("groups", ["uid", "gid"], group_rows)
+        store = LogStore(db, registry)
+        engine = Engine(db)
+        return db, store, engine
+
+    def _load_users(self, store, uids):
+        for ts, uid in enumerate(uids, start=1):
+            store.stage("users", [(uid,)], ts)
+        store.commit(None)
+
+    def test_unified_equals_individuals(self):
+        policies = [
+            ("students", px("students", 2)),
+            ("staff", px("staff", 2)),
+        ]
+        result = unify_policies(policies)
+        (group,) = result.groups
+
+        db, store, engine = self._setup(
+            {"students": [1, 2, 3], "staff": [7]}
+        )
+        db.load_table(group.table_name, group.column_names, group.rows)
+        self._load_users(store, [1, 2, 3, 7])
+
+        unified_rows = engine.execute(group.select).rows
+        fired = {row[0] for row in unified_rows}
+
+        for name, select in policies:
+            individual = engine.execute(select).rows
+            if individual:
+                assert individual[0][0] in fired
+            else:
+                assert all(msg != f"too many {name} users" for msg in fired)
+        # exactly the students policy fires (3 > 2 distinct users)
+        assert fired == {"too many students users"}
+
+    def test_unified_empty_when_no_violations(self):
+        policies = [("a", px("students", 10)), ("b", px("staff", 10))]
+        (group,) = unify_policies(policies).groups
+        db, store, engine = self._setup({"students": [1], "staff": [2]})
+        db.load_table(group.table_name, group.column_names, group.rows)
+        self._load_users(store, [1, 2])
+        assert engine.execute(group.select).rows == []
+
+    def test_unified_messages_identify_members(self):
+        policies = [
+            ("a", px("students", 0, msg="students violated")),
+            ("b", px("staff", 0, msg="staff violated")),
+        ]
+        (group,) = unify_policies(policies).groups
+        db, store, engine = self._setup({"students": [1], "staff": [2]})
+        db.load_table(group.table_name, group.column_names, group.rows)
+        self._load_users(store, [1, 2])
+        fired = {row[0] for row in engine.execute(group.select).rows}
+        assert fired == {"students violated", "staff violated"}
+
+    def test_scaling_many_members_single_statement(self):
+        policies = [
+            (f"p{i}", px(f"group{i}", 1, msg=f"g{i} violated"))
+            for i in range(50)
+        ]
+        result = unify_policies(policies)
+        assert len(result.groups) == 1
+        assert len(result.groups[0].rows) == 50

@@ -1,0 +1,245 @@
+"""Log compaction: witness-query generation and evaluation (§4.1.2)."""
+
+import pytest
+
+from repro.analysis import (
+    CURRENT_TIME_PARAM,
+    evaluate_witness_marks,
+    partial_witness_probe,
+    rewrite_time_independent,
+    substitute_current_time,
+    witness_queries,
+)
+from repro.engine import Database, Engine
+from repro.log import LogStore, standard_registry
+from repro.sql import ast, parse_select, print_query
+
+
+@pytest.fixture
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.load_table(
+        "groups", ["uid", "gid"], [(1, "students"), (2, "students"), (3, "staff")]
+    )
+    return db
+
+
+P2B_SQL = (
+    "SELECT DISTINCT 'P2b violated' "
+    "FROM users u, schema s, groups g, clock c "
+    "WHERE u.ts = s.ts AND s.irid = 'patients' AND u.uid = g.uid "
+    "AND g.gid = 'students' AND u.ts > c.ts - 1209600 "
+    "HAVING COUNT(DISTINCT u.uid) > 10"
+)
+
+P1_SQL = (
+    "SELECT DISTINCT 'no joins' FROM schema p1, schema p2 "
+    "WHERE p1.ts = p2.ts AND p1.irid = 'navteq' AND p2.irid <> 'navteq'"
+)
+
+
+class TestGenerationShapes:
+    def test_p2b_witnesses_cover_both_logs(self, registry, db):
+        """Example 4.3: witnesses for Users and Schema, semi-joined on ts,
+        restricted to students/patients, window moved to currenttime+1."""
+        witness = witness_queries(parse_select(P2B_SQL), registry, db)
+        assert set(witness.per_relation) == {"users", "schema"}
+        assert not witness.retain_all
+
+        (users_witness,) = witness.per_relation["users"]
+        text = print_query(users_witness)
+        # The neighborhood join and database relation survive.
+        assert "users u" in text and "schema s" in text and "groups g" in text
+        # The clock atom is gone; the sentinel parameter is in its place.
+        assert "clock" not in text
+        assert "__currenttime__" in text
+        # HAVING forced the full-query (Eq. 2) witness: plain DISTINCT.
+        assert users_witness.distinct and not users_witness.distinct_on
+
+    def test_p2b_witness_evaluates_to_window_contents(self, registry, db):
+        store = LogStore(db, registry)
+        engine = Engine(db)
+        witness = witness_queries(parse_select(P2B_SQL), registry, db)
+
+        # Student 1 touched patients at ts=100 (in window), staff 3 at 200,
+        # student 2 touched OTHER table at 300.
+        store.stage("users", [(1,)], 100)
+        store.stage("schema", [("o", "patients", "pid", False)], 100)
+        store.commit(None)
+        store.stage("users", [(3,)], 200)
+        store.stage("schema", [("o", "patients", "pid", False)], 200)
+        store.commit(None)
+        store.stage("users", [(2,)], 300)
+        store.stage("schema", [("o", "other", "x", False)], 300)
+        store.commit(None)
+
+        marks = evaluate_witness_marks(witness, engine, now=400)
+        users = db.table("users")
+        retained_uids = {
+            users.row_for_tid(tid)[1] for tid in marks["users"]
+        }
+        # Only student-1's patients-touching entry is needed in the future.
+        assert retained_uids == {1}
+
+    def test_window_expiry_prunes(self, registry, db):
+        store = LogStore(db, registry)
+        engine = Engine(db)
+        witness = witness_queries(parse_select(P2B_SQL), registry, db)
+        store.stage("users", [(1,)], 100)
+        store.stage("schema", [("o", "patients", "pid", False)], 100)
+        store.commit(None)
+        # Far in the future: currenttime+1 - window > 100.
+        marks = evaluate_witness_marks(witness, engine, now=100 + 1209600 + 5)
+        assert marks["users"] == set()
+
+    def test_time_independent_rewrite_yields_empty_witness(self, registry, db):
+        """Example 4.4: P1_IND's witness retains nothing."""
+        rewritten = rewrite_time_independent(parse_select(P1_SQL), registry, db)
+        witness = witness_queries(rewritten, registry, db)
+        store = LogStore(db, registry)
+        engine = Engine(db)
+        store.set_time(50)
+        store.stage(
+            "schema",
+            [("o", "navteq", "x", False), ("o", "other", "y", False)],
+            50,
+        )
+        marks = evaluate_witness_marks(witness, engine, now=50)
+        assert marks.get("schema", set()) == set()
+
+    def test_self_join_produces_one_witness_per_occurrence(self, registry, db):
+        witness = witness_queries(parse_select(P1_SQL), registry, db)
+        assert len(witness.per_relation["schema"]) == 2
+
+    def test_boolean_policy_uses_distinct_on(self, registry, db):
+        witness = witness_queries(parse_select(P1_SQL), registry, db)
+        for template in witness.per_relation["schema"]:
+            assert template.distinct_on  # Eq. 3, keyed by join attributes
+            on_names = {ref.name for ref in template.distinct_on}
+            assert "ts" in on_names
+
+    def test_boolean_policy_without_joins_limits_to_one(self, registry, db):
+        select = parse_select(
+            "SELECT DISTINCT 'e' FROM users u WHERE u.uid = 1"
+        )
+        witness = witness_queries(select, registry, db)
+        (template,) = witness.per_relation["users"]
+        assert template.limit == 1
+
+    def test_unsupported_clock_shape_retains_all(self, registry, db):
+        select = parse_select(
+            "SELECT DISTINCT 'e' FROM users u, clock c WHERE u.ts <> c.ts"
+        )
+        witness = witness_queries(select, registry, db)
+        assert witness.retain_all == {"users"}
+        assert "users" not in witness.per_relation
+
+    def test_retain_all_marks_every_tid(self, registry, db):
+        select = parse_select(
+            "SELECT DISTINCT 'e' FROM users u, clock c WHERE u.ts <> c.ts"
+        )
+        witness = witness_queries(select, registry, db)
+        store = LogStore(db, registry)
+        engine = Engine(db)
+        store.stage("users", [(1,), (2,)], 10)
+        marks = evaluate_witness_marks(witness, engine, now=10)
+        assert marks["users"] == set(db.table("users").tids())
+
+    def test_subquery_compacted_as_full_query(self, registry, db):
+        select = parse_select(
+            "SELECT DISTINCT 'e' FROM "
+            "(SELECT u.ts FROM users u WHERE u.uid = 1) x, schema s "
+            "WHERE x.ts = s.ts"
+        )
+        witness = witness_queries(select, registry, db)
+        assert "users" in witness.per_relation
+        (template,) = witness.per_relation["users"]
+        # subquery treated as full query: DISTINCT u.*, not DISTINCT ON
+        assert template.distinct and not template.distinct_on
+
+    def test_no_log_relations_yields_empty_witness_set(self, registry, db):
+        select = parse_select("SELECT DISTINCT 'e' FROM groups g")
+        witness = witness_queries(select, registry, db)
+        assert not witness.per_relation and not witness.retain_all
+
+
+class TestWitnessSoundness:
+    """The compacted log decides policies exactly like the full log."""
+
+    def _policy_fires(self, engine, select):
+        return not engine.is_empty(select)
+
+    @pytest.mark.parametrize("now", [400, 500, 1209700, 2500000])
+    def test_verdict_preserved_after_compaction(self, registry, db, now):
+        select = parse_select(P2B_SQL)
+        witness = witness_queries(select, registry, db)
+
+        def fresh_store():
+            database = db.clone()
+            return database, LogStore(database, registry), Engine(database)
+
+        # Build identical histories.
+        history = [
+            (100, 1, "patients"),
+            (150, 2, "patients"),
+            (200, 3, "patients"),
+            (250, 1, "other"),
+        ]
+        full_db, full_store, full_engine = fresh_store()
+        compact_db, compact_store, compact_engine = fresh_store()
+        for ts, uid, irid in history:
+            for store in (full_store, compact_store):
+                store.stage("users", [(uid,)], ts)
+                store.stage("schema", [("o", irid, "x", False)], ts)
+                store.commit(None)
+
+        marks = evaluate_witness_marks(witness, compact_engine, now=now)
+        compact_store.commit(marks, persist_relations=["users", "schema"])
+
+        # At any future time ≥ now, both logs give the same verdict.
+        for future in (now, now + 100, now + 1209600):
+            full_store.set_time(future)
+            compact_store.set_time(future)
+            assert self._policy_fires(full_engine, select) == self._policy_fires(
+                compact_engine, select
+            )
+
+
+class TestPreemptiveProbe:
+    def test_probe_drops_missing_relations(self, registry, db):
+        witness = witness_queries(parse_select(P2B_SQL), registry, db)
+        (template,) = witness.per_relation["users"]
+        probe = partial_witness_probe(template, {"users"}, registry)
+        assert probe is not None
+        text = print_query(probe)
+        assert "schema" not in text
+        assert probe.limit == 1
+
+    def test_probe_none_when_nothing_missing(self, registry, db):
+        witness = witness_queries(parse_select(P2B_SQL), registry, db)
+        (template,) = witness.per_relation["users"]
+        assert partial_witness_probe(template, {"users", "schema"}, registry) is None
+
+    def test_probe_none_when_everything_missing(self, registry, db):
+        select = parse_select("SELECT DISTINCT 'e' FROM users u WHERE u.uid = 1")
+        witness = witness_queries(select, registry, db)
+        (template,) = witness.per_relation["users"]
+        assert partial_witness_probe(template, set(), registry) is None
+
+    def test_probe_emptiness_implies_witness_emptiness(self, registry, db):
+        store = LogStore(db, registry)
+        engine = Engine(db)
+        witness = witness_queries(parse_select(P2B_SQL), registry, db)
+        # users log has an entry for a non-student only
+        store.stage("users", [(3,)], 10)
+        (template,) = witness.per_relation["users"]
+        probe = partial_witness_probe(template, {"users"}, registry)
+        probe_empty = engine.is_empty(substitute_current_time(probe, 10))
+        # full witness (with schema generated empty) must also be empty
+        full = substitute_current_time(template, 10)
+        assert engine.is_empty(full) or not probe_empty

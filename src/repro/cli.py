@@ -210,6 +210,73 @@ def cmd_demo(args, out=sys.stdout) -> int:
     return 0
 
 
+def build_server(args):
+    """Construct (but do not start) the HTTP server for ``serve``.
+
+    Split from :func:`cmd_serve` so tests can exercise the wiring —
+    flags → :class:`~repro.service.ServiceConfig` → sharded service —
+    without binding a real port and blocking on ``serve_forever``.
+    """
+    from .server import serve
+    from .service import ServiceConfig
+
+    if args.demo:
+        from .workloads import (
+            MarketplaceConfig,
+            build_marketplace_database,
+            sharded_contract,
+            standard_contract,
+        )
+
+        config = MarketplaceConfig()
+        contract = (
+            sharded_contract(config)
+            if args.shards > 1
+            else standard_contract(config)
+        )
+        enforcer = Enforcer(
+            build_marketplace_database(config),
+            contract,
+            clock=SimulatedClock(default_step_ms=10),
+            options=EnforcerOptions.datalawyer(),
+        )
+    else:
+        enforcer = build_enforcer(args.data, args.policy)
+    return serve(
+        enforcer,
+        host=args.host,
+        port=args.port,
+        config=ServiceConfig(
+            shards=args.shards,
+            queue_depth=args.queue_depth,
+            workers=args.workers,
+        ),
+    )
+
+
+def cmd_serve(args, out=sys.stdout) -> int:
+    try:
+        server = build_server(args)
+    except ReproError as error:
+        print(f"ERROR: {error}", file=out)
+        return 2
+    host, port = server.server_address[:2]
+    service = server.service
+    print(
+        f"enforcement gateway on http://{host}:{port} — "
+        f"{service.config.shards} shard(s) × {service.config.workers} "
+        f"worker(s), queue depth {service.config.queue_depth}",
+        file=out,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", file=out)
+    finally:
+        server.server_close()  # drains the shards
+    return 0
+
+
 def cmd_report(args, out=sys.stdout) -> int:
     """Bundle the benchmark result tables into one report."""
     results_dir = Path(args.results)
@@ -282,6 +349,33 @@ def make_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="tour on the synthetic MIMIC-II setup")
     demo.add_argument("--patients", type=int, default=200)
     demo.set_defaults(func=cmd_demo)
+
+    serve = sub.add_parser(
+        "serve", help="run the sharded HTTP enforcement gateway"
+    )
+    serve.add_argument("--data", action="append", default=[])
+    serve.add_argument("--policy", action="append", default=[])
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="serve the marketplace workload instead of --data/--policy",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="enforcer shards (uid-hash routed; policies must be "
+        "shard-local when > 1)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="admission queue slots per shard (full queue → HTTP 429)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads per shard",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     report = sub.add_parser(
         "report", help="bundle benchmark result tables into one report"

@@ -604,6 +604,42 @@ class Enforcer:
                 )
 
     # ------------------------------------------------------------------
+    # Cloning (the sharded service's factory hook)
+    # ------------------------------------------------------------------
+
+    def clone(
+        self,
+        clock: Optional[Clock] = None,
+        reset_log: bool = True,
+    ) -> "Enforcer":
+        """An independent enforcer over a copy of this one's catalog.
+
+        The base data tables are cloned (rows shared structurally, so the
+        copy is cheap); the unification constants tables are dropped and
+        rebuilt by the clone's own offline phase. With ``reset_log`` (the
+        default) the clone starts with an empty usage log — each shard of
+        the service owns its own slice of the log, and carrying the
+        source's persisted rows over would double-count them across
+        shards. The clone gets its own clock (``clock`` or a copy of this
+        enforcer's, resuming from the current timestamp).
+        """
+        database = self.database.clone()
+        for table in self._const_tables:
+            if database.has_table(table):
+                database.drop_table(table)
+        if reset_log:
+            for name in self.registry.names():
+                if database.has_table(name):
+                    database.table(name).clear()
+        return Enforcer(
+            database,
+            list(self.policies),
+            registry=self.registry,
+            clock=clock if clock is not None else self.clock.clone(),
+            options=self.options,
+        )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 

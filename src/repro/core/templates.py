@@ -225,6 +225,28 @@ BUILTIN_TEMPLATES.register(
 
 BUILTIN_TEMPLATES.register(
     PolicyTemplate(
+        name="user-volume-quota",
+        description="Cap output tuples one user derives from a relation "
+        "per window (the per-subscriber form of volume-quota; unlike the "
+        "global form it is shard-local, so the sharded service accepts it).",
+        sql_skeleton=(
+            "SELECT DISTINCT 'Quota exceeded for {relation} (user {uid})' "
+            "FROM provenance p, users u, clock c "
+            "WHERE p.ts = u.ts AND u.uid = {uid} "
+            "AND p.irid = '{relation}' AND p.ts > c.ts - {window} "
+            "HAVING COUNT(DISTINCT p.ts || ':' || p.otid) > {max_tuples}"
+        ),
+        slots=(
+            Slot("relation", "the metered relation", "identifier"),
+            Slot("uid", "the metered user id", "int"),
+            Slot("max_tuples", "output tuples allowed per window", "int"),
+            Slot("window", "window length in clock units", "int"),
+        ),
+    )
+)
+
+BUILTIN_TEMPLATES.register(
+    PolicyTemplate(
         name="group-access-window",
         description="At most n distinct users of a group may touch a "
         "relation per window (Table 1 P2 / experiment P1).",

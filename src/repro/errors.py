@@ -64,3 +64,35 @@ class PolicySyntaxError(PolicyError):
 
 class UnknownLogRelationError(PolicyError):
     """Raised when a policy references a log relation with no generator."""
+
+
+class ServiceError(ReproError):
+    """Base class for enforcement-service (gateway) errors."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when a shard's admission queue is full (backpressure).
+
+    ``retry_after`` is the suggested wait in seconds before retrying.
+    """
+
+    def __init__(self, shard: int, retry_after: float = 1.0):
+        super().__init__(
+            f"shard {shard} admission queue is full; retry after "
+            f"{retry_after:.3f}s"
+        )
+        self.shard = shard
+        self.retry_after = retry_after
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when submitting to a service that is draining or closed."""
+
+
+class PolicyPlacementError(PolicyError):
+    """Raised when a policy cannot be enforced soundly under sharding.
+
+    Cross-user aggregates (windowed policies without a uid pin) need a
+    global view of the usage log; installing one on a multi-shard service
+    is rejected instead of silently under-enforcing.
+    """

@@ -15,6 +15,8 @@ policies can join against ``Clock c`` exactly as in Example 3.2.
 
 from __future__ import annotations
 
+import copy
+
 
 class Clock:
     """Base clock: monotone integer timestamps."""
@@ -25,6 +27,14 @@ class Clock:
     def advance(self) -> int:
         """Move to the next query's timestamp and return it."""
         raise NotImplementedError
+
+    def clone(self) -> "Clock":
+        """An independent clock starting from this clock's current state.
+
+        The sharded service gives every shard its own clock so timestamps
+        stay unique *within* a shard without cross-shard coordination.
+        """
+        return copy.deepcopy(self)
 
 
 class LogicalClock(Clock):

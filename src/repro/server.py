@@ -1,133 +1,173 @@
-"""A minimal HTTP facade: DataLawyer as middleware.
+"""The HTTP gateway: DataLawyer as middleware.
 
 The paper positions DataLawyer as "a middleware layer on top of a
 relational DBMS that allows users to run normal SQL queries, but before
-letting a query execute, it checks all policies." This module exposes an
-:class:`~repro.core.Enforcer` over HTTP (stdlib only) so non-Python
-clients can submit queries:
+letting a query execute, it checks all policies." This module exposes a
+:class:`~repro.service.ShardedEnforcerService` over HTTP (stdlib only)
+so non-Python clients can submit queries:
 
 - ``POST /query``    ``{"sql": ..., "uid": ..., "explain": bool?}`` →
   decision JSON (result rows when allowed, violations + optional evidence
-  when rejected);
-- ``GET  /policies`` → installed policies;
+  when rejected); ``429`` + ``Retry-After`` under backpressure;
+- ``GET  /policies`` → installed policies (with shard placement);
 - ``POST /policies`` ``{"name": ..., "sql": ...}`` → register a policy
-  (history starts now, per §4.1.2);
-- ``DELETE /policies/<name>`` → remove a policy;
-- ``GET  /log``      → usage-log sizes;
-- ``GET  /health``   → liveness.
+  on every shard (history starts now, per §4.1.2);
+- ``DELETE /policies/<name>`` → remove a policy from every shard;
+- ``GET  /log``      → usage-log sizes aggregated across shards;
+- ``GET  /stats``    → per-shard queue depth, admit/reject counts,
+  p50/p95 check latency, phase means;
+- ``GET  /health``   → liveness (never blocks on any shard).
 
-The enforcer is single-threaded; a lock serializes requests.
+Requests for different users run in parallel (one enforcer shard per
+uid-hash bucket); requests for the same user serialize on their shard.
 """
 
 from __future__ import annotations
 
 import json
-import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Optional, Union
 
 from .core import Enforcer, Policy, explain_decision
-from .errors import ReproError
+from .errors import (
+    PolicyError,
+    PolicyPlacementError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from .service import ServiceConfig, ShardedEnforcerService
 
 
 class EnforcerService:
-    """Thread-safe request handling around one enforcer."""
+    """HTTP-facing request handling over the sharded service.
 
-    def __init__(self, enforcer: Enforcer, max_result_rows: int = 1000):
-        self.enforcer = enforcer
-        self.max_result_rows = max_result_rows
-        self._lock = threading.Lock()
+    Kept as a thin translation layer: it maps payloads to service calls
+    and service outcomes to ``(status, body)`` pairs. Unlike the old
+    single-lock facade, admin reads (``/health``, ``/policies``,
+    ``/stats``) never wait behind query admission.
+    """
+
+    def __init__(
+        self,
+        service: ShardedEnforcerService,
+        max_result_rows: Optional[int] = None,
+    ):
+        self.service = service
+        self.max_result_rows = (
+            service.config.max_result_rows
+            if max_result_rows is None
+            else max_result_rows
+        )
 
     # -- request handlers -------------------------------------------------
 
-    def submit(self, payload: dict) -> tuple[int, dict]:
+    def submit(self, payload: dict) -> "tuple[int, dict]":
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             return 400, {"error": "missing 'sql'"}
         uid = payload.get("uid", 0)
-        if not isinstance(uid, int):
+        # bool is an int subclass in Python; a JSON true/false uid would
+        # otherwise silently route as uid 1/0.
+        if isinstance(uid, bool) or not isinstance(uid, int):
             return 400, {"error": "'uid' must be an integer"}
         want_explain = bool(payload.get("explain", False))
 
-        with self._lock:
-            try:
-                decision = self.enforcer.submit(sql, uid=uid)
-            except ReproError as error:
-                return 400, {"error": str(error)}
-            body: dict = {
-                "allowed": decision.allowed,
-                "timestamp": decision.timestamp,
+        try:
+            decision = self.service.submit(sql, uid=uid)
+        except ServiceOverloadedError as error:
+            return 429, {
+                "error": "shard admission queue is full",
+                "shard": error.shard,
+                "retry_after": round(error.retry_after, 3),
             }
-            if decision.allowed and decision.result is not None:
-                rows = decision.result.rows[: self.max_result_rows]
-                body["columns"] = decision.result.columns
-                body["rows"] = [list(row) for row in rows]
-                body["row_count"] = len(decision.result.rows)
-                body["truncated"] = len(decision.result.rows) > len(rows)
-            if not decision.allowed:
-                body["violations"] = [
-                    {"policy": v.policy_name, "message": v.message}
-                    for v in decision.violations
-                ]
-                if want_explain:
-                    body["evidence"] = [
-                        {
-                            "policy": e.policy_name,
-                            "tuples": [
-                                {
-                                    "relation": t.relation,
-                                    "values": t.values,
-                                    "from_current_query": t.from_current_query,
-                                }
-                                for t in e.evidence
-                            ],
-                        }
-                        for e in explain_decision(self.enforcer, decision)
-                    ]
-            status = 200 if decision.allowed else 403
-            return status, body
+        except ServiceClosedError:
+            return 503, {"error": "service is draining"}
+        except ReproError as error:
+            return 400, {"error": str(error)}
 
-    def list_policies(self) -> tuple[int, dict]:
-        with self._lock:
-            return 200, {
-                "policies": [
+        body: dict = {
+            "allowed": decision.allowed,
+            "timestamp": decision.timestamp,
+            "shard": self.service.shard_for(uid),
+        }
+        if decision.allowed and decision.result is not None:
+            rows = decision.result.rows[: self.max_result_rows]
+            body["columns"] = decision.result.columns
+            body["rows"] = [list(row) for row in rows]
+            body["row_count"] = len(decision.result.rows)
+            body["truncated"] = len(decision.result.rows) > len(rows)
+        if not decision.allowed:
+            body["violations"] = [
+                {"policy": v.policy_name, "message": v.message}
+                for v in decision.violations
+            ]
+            if want_explain:
+                body["evidence"] = self._explain(decision, uid)
+        status = 200 if decision.allowed else 403
+        return status, body
+
+    def _explain(self, decision, uid: int) -> "list[dict]":
+        """Re-run the violated policies with lineage on the same shard.
+
+        Explanation reads the shard's current log state, so it takes that
+        shard's lock directly (explain is an admin-grade operation, not a
+        policy check, and must not consume an admission slot).
+        """
+        shard = self.service.shards[self.service.shard_for(uid)]
+        with shard.lock:
+            explanations = explain_decision(shard.enforcer, decision)
+        return [
+            {
+                "policy": e.policy_name,
+                "tuples": [
                     {
-                        "name": p.name,
-                        "sql": p.sql,
-                        "message": p.message,
-                        "description": p.description,
+                        "relation": t.relation,
+                        "values": t.values,
+                        "from_current_query": t.from_current_query,
                     }
-                    for p in self.enforcer.policies
-                ]
+                    for t in e.evidence
+                ],
             }
+            for e in explanations
+        ]
 
-    def add_policy(self, payload: dict) -> tuple[int, dict]:
+    def list_policies(self) -> "tuple[int, dict]":
+        return 200, {"policies": self.service.policies()}
+
+    def add_policy(self, payload: dict) -> "tuple[int, dict]":
         name = payload.get("name")
         sql = payload.get("sql")
         if not isinstance(name, str) or not isinstance(sql, str):
             return 400, {"error": "need 'name' and 'sql'"}
-        with self._lock:
-            if any(p.name == name for p in self.enforcer.policies):
-                return 409, {"error": f"policy {name!r} already exists"}
-            try:
-                policy = Policy.from_sql(
-                    name, sql, payload.get("description", "")
-                )
-                self.enforcer.add_policy(policy)
-            except ReproError as error:
-                return 400, {"error": str(error)}
-            return 201, {"registered": name}
+        if self.service.has_policy(name):
+            return 409, {"error": f"policy {name!r} already exists"}
+        try:
+            policy = Policy.from_sql(name, sql, payload.get("description", ""))
+            epoch = self.service.add_policy(policy)
+        except PolicyPlacementError as error:
+            return 400, {"error": str(error)}
+        except ReproError as error:
+            return 400, {"error": str(error)}
+        return 201, {"registered": name, "epoch": epoch}
 
-    def remove_policy(self, name: str) -> tuple[int, dict]:
-        with self._lock:
-            if not any(p.name == name for p in self.enforcer.policies):
-                return 404, {"error": f"no policy {name!r}"}
-            self.enforcer.remove_policy(name)
-            return 200, {"removed": name}
+    def remove_policy(self, name: str) -> "tuple[int, dict]":
+        if not self.service.has_policy(name):
+            return 404, {"error": f"no policy {name!r}"}
+        try:
+            epoch = self.service.remove_policy(name)
+        except PolicyError as error:
+            return 404, {"error": str(error)}
+        return 200, {"removed": name, "epoch": epoch}
 
-    def log_sizes(self) -> tuple[int, dict]:
-        with self._lock:
-            return 200, {"log": self.enforcer.log_sizes()}
+    def log_sizes(self) -> "tuple[int, dict]":
+        return 200, {
+            "log": self.service.log_sizes(),
+            "per_shard": self.service.per_shard_log_sizes(),
+        }
+
+    def stats(self) -> "tuple[int, dict]":
+        return 200, self.service.stats()
 
 
 def make_handler(service: EnforcerService):
@@ -137,16 +177,27 @@ def make_handler(service: EnforcerService):
         def log_message(self, format, *args):  # noqa: A002 - stdlib name
             pass  # keep tests quiet
 
-        def _send(self, status: int, body: dict) -> None:
+        def _send(
+            self, status: int, body: dict, headers: Optional[dict] = None
+        ) -> None:
             data = json.dumps(body).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
 
-        def _read_json(self) -> Optional[dict]:
-            length = int(self.headers.get("Content-Length", 0))
+        def _read_json(self) -> Union[dict, str, None]:
+            """The parsed body, or an error string for a 400 response."""
+            raw_length = self.headers.get("Content-Length", "0") or "0"
+            try:
+                length = int(raw_length)
+            except ValueError:
+                return "invalid Content-Length header"
+            if length < 0:
+                return "invalid Content-Length header"
             raw = self.rfile.read(length) if length else b"{}"
             try:
                 payload = json.loads(raw or b"{}")
@@ -161,16 +212,29 @@ def make_handler(service: EnforcerService):
                 self._send(*service.list_policies())
             elif self.path == "/log":
                 self._send(*service.log_sizes())
+            elif self.path == "/stats":
+                self._send(*service.stats())
             else:
                 self._send(404, {"error": "not found"})
 
         def do_POST(self):  # noqa: N802
             payload = self._read_json()
+            if isinstance(payload, str):
+                self._send(400, {"error": payload})
+                return
             if payload is None:
                 self._send(400, {"error": "invalid JSON body"})
                 return
             if self.path == "/query":
-                self._send(*service.submit(payload))
+                status, body = service.submit(payload)
+                headers = None
+                if status == 429:
+                    headers = {
+                        "Retry-After": str(
+                            max(1, round(body.get("retry_after", 1)))
+                        )
+                    }
+                self._send(status, body, headers)
             elif self.path == "/policies":
                 self._send(*service.add_policy(payload))
             else:
@@ -186,17 +250,37 @@ def make_handler(service: EnforcerService):
     return Handler
 
 
+class EnforcementHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that drains its service on close."""
+
+    service: ShardedEnforcerService
+
+    def server_close(self) -> None:
+        self.service.drain()
+        super().server_close()
+
+
 def serve(
-    enforcer: Enforcer, host: str = "127.0.0.1", port: int = 8080
-) -> ThreadingHTTPServer:
+    enforcer: Enforcer,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    config: Optional[ServiceConfig] = None,
+) -> EnforcementHTTPServer:
     """Create (but do not start) an HTTP server for the enforcer.
 
-    Call ``serve_forever()`` on the result, or run it in a thread::
+    With the default config this behaves like the old single-enforcer
+    facade (one shard adopting ``enforcer``); pass
+    ``ServiceConfig(shards=4, ...)`` for a sharded deployment. Call
+    ``serve_forever()`` on the result, or run it in a thread::
 
         server = serve(enforcer, port=0)          # 0 = ephemeral port
         threading.Thread(target=server.serve_forever, daemon=True).start()
         ...
         server.shutdown()
+        server.server_close()                     # drains the shards
     """
-    service = EnforcerService(enforcer)
-    return ThreadingHTTPServer((host, port), make_handler(service))
+    sharded = ShardedEnforcerService(enforcer, config)
+    facade = EnforcerService(sharded)
+    server = EnforcementHTTPServer((host, port), make_handler(facade))
+    server.service = sharded
+    return server

@@ -1,0 +1,48 @@
+"""repro.service — the sharded, concurrent enforcement gateway.
+
+The paper positions DataLawyer as middleware in front of a DBMS; this
+package makes that middleware multi-tenant and concurrent. Queries hash
+by ``uid`` onto N independent :class:`~repro.core.Enforcer` shards (each
+with its own clone of the base tables and its own slice of the usage
+log), admission is a bounded per-shard queue with backpressure, and a
+coordinator broadcasts policy changes to all shards under an epoch.
+
+Quickstart::
+
+    from repro.service import ServiceConfig, ShardedEnforcerService
+
+    service = ShardedEnforcerService(enforcer, ServiceConfig(shards=4))
+    decision = service.submit("SELECT * FROM listings", uid=7)
+    service.stats()      # per-shard queue depth, admit/reject, p50/p95
+    service.drain()      # flush backlogs, stop workers
+
+See :mod:`repro.service.placement` for when per-uid sharding is sound.
+"""
+
+from .config import ServiceConfig
+from .coordinator import ShardedEnforcerService
+from .metrics import ShardCounters, percentile
+from .placement import (
+    SCOPE_GLOBAL,
+    SCOPE_LOCAL,
+    PolicyPlacement,
+    classify_policies,
+    classify_policy,
+)
+from .routing import ShardRouter, mix64
+from .shard import Shard
+
+__all__ = [
+    "ServiceConfig",
+    "ShardedEnforcerService",
+    "Shard",
+    "ShardCounters",
+    "ShardRouter",
+    "PolicyPlacement",
+    "classify_policy",
+    "classify_policies",
+    "SCOPE_LOCAL",
+    "SCOPE_GLOBAL",
+    "mix64",
+    "percentile",
+]

@@ -1,0 +1,52 @@
+"""Configuration for the sharded enforcement service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ServiceError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for the gateway: parallelism, admission control, modeling.
+
+    - ``shards`` — number of independent enforcer shards; queries route by
+      ``hash(uid)``, so per-user policy state stays on one shard.
+    - ``queue_depth`` — bounded admission queue per shard; a full queue
+      rejects with backpressure (HTTP 429 + ``Retry-After``) instead of
+      piling up threads.
+    - ``workers`` — worker threads per shard. The enforcer itself is
+      single-threaded (each shard serializes on its lock), so extra
+      workers only help overlap the modeled dispatch latency.
+    - ``dispatch_seconds`` — modeled backend round-trip per admitted
+      query, in the spirit of :data:`repro.workloads.runner.DISPATCH_SECONDS`:
+      the real middleware waits on a DBMS over the network; our engine is
+      in-process, so throughput benchmarks add this blocking wait inside
+      the shard worker to keep the concurrency effect visible.
+    - ``routing`` — ``"hash"`` (mixed integer hash) or ``"modulo"``
+      (``uid % shards``; handy for deterministic placement in tests).
+    """
+
+    shards: int = 1
+    queue_depth: int = 32
+    workers: int = 1
+    max_result_rows: int = 1000
+    dispatch_seconds: float = 0.0
+    routing: str = "hash"
+    #: Latency samples kept per shard for the p50/p95 stats surface.
+    latency_window: int = 512
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ServiceError("shards must be >= 1")
+        if self.queue_depth < 1:
+            raise ServiceError("queue_depth must be >= 1")
+        if self.workers < 1:
+            raise ServiceError("workers must be >= 1")
+        if self.dispatch_seconds < 0:
+            raise ServiceError("dispatch_seconds cannot be negative")
+        if self.routing not in ("hash", "modulo"):
+            raise ServiceError(f"unknown routing strategy {self.routing!r}")
+        if self.latency_window < 1:
+            raise ServiceError("latency_window must be >= 1")

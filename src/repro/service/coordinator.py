@@ -1,0 +1,265 @@
+"""The coordinator: shard fan-out, policy broadcasts, aggregation.
+
+:class:`ShardedEnforcerService` replaces the old single-lock HTTP facade
+with N independent :class:`~repro.service.shard.Shard` instances. Queries
+route by uid (:mod:`repro.service.routing`), so different users' policy
+checks run in parallel; cross-shard operations go through here:
+
+- **policy install/remove** broadcasts to every shard under an *epoch*:
+  all shard locks are taken (in index order) before any shard is
+  mutated, so no query ever observes a half-applied policy set;
+- **log sizes / stats** aggregate per-shard views;
+- **drain** stops admission and flushes every shard's backlog before
+  shutdown.
+
+Installing a policy the placement analysis marks *global* (see
+:mod:`repro.service.placement`) on a multi-shard service raises
+:class:`~repro.errors.PolicyPlacementError` — per-uid routing would
+silently under-enforce it.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack
+from typing import Optional, Sequence
+
+from ..core import Decision, Enforcer, Policy
+from ..errors import PolicyError, PolicyPlacementError, ServiceClosedError
+from .config import ServiceConfig
+from .placement import PolicyPlacement, classify_policy
+from .routing import ShardRouter
+from .shard import Shard
+
+
+class ShardedEnforcerService:
+    """A concurrent, multi-tenant enforcement gateway."""
+
+    def __init__(
+        self,
+        enforcer: Enforcer,
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.router = ShardRouter(self.config.shards, self.config.routing)
+        self._admin_lock = threading.RLock()
+        self._epoch = 0
+        self._closed = False
+
+        placements = [
+            classify_policy(policy, enforcer.registry)
+            for policy in enforcer.policies
+        ]
+        self._check_placements(placements)
+
+        # Shard 0 adopts the caller's enforcer (single-shard deployments
+        # behave exactly like the old facade); the rest are clones over
+        # the same base tables with empty per-shard usage logs.
+        self.shards = [Shard(
+            0,
+            enforcer,
+            queue_depth=self.config.queue_depth,
+            workers=self.config.workers,
+            dispatch_seconds=self.config.dispatch_seconds,
+            latency_window=self.config.latency_window,
+        )]
+        for index in range(1, self.config.shards):
+            self.shards.append(
+                Shard(
+                    index,
+                    enforcer.clone(),
+                    queue_depth=self.config.queue_depth,
+                    workers=self.config.workers,
+                    dispatch_seconds=self.config.dispatch_seconds,
+                    latency_window=self.config.latency_window,
+                )
+            )
+        #: Immutable snapshot read lock-free by GET /policies and /health.
+        self._policy_snapshot: tuple = ()
+        self._refresh_snapshot(enforcer.policies, placements)
+
+    # ------------------------------------------------------------------
+    # query admission
+    # ------------------------------------------------------------------
+
+    def shard_for(self, uid: int) -> int:
+        return self.router.shard_for(uid)
+
+    def submit(
+        self,
+        sql: str,
+        uid: int = 0,
+        execute: Optional[bool] = None,
+        attributes: Optional[dict] = None,
+    ) -> Decision:
+        """Route, enqueue, and wait for one policy check.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when the
+        target shard's queue is full, :class:`ServiceClosedError` while
+        draining, and whatever the enforcer raises for bad SQL.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is shut down")
+        shard = self.shards[self.shard_for(uid)]
+        future = shard.offer(
+            lambda enforcer: enforcer.submit(
+                sql, uid=uid, execute=execute, attributes=attributes
+            )
+        )
+        return future.result()
+
+    # ------------------------------------------------------------------
+    # policy management (cross-shard broadcasts)
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def policies(self) -> "list[dict]":
+        """Lock-free policy listing (snapshot semantics)."""
+        return [dict(entry) for entry in self._policy_snapshot]
+
+    def placements(self) -> "list[PolicyPlacement]":
+        with self._admin_lock:
+            reference = self.shards[0].enforcer
+            return [
+                classify_policy(policy, reference.registry)
+                for policy in reference.policies
+            ]
+
+    def add_policy(self, policy: Policy) -> int:
+        """Install on every shard atomically; returns the new epoch."""
+        with self._admin_lock:
+            reference = self.shards[0].enforcer
+            if any(p.name == policy.name for p in reference.policies):
+                raise PolicyError(f"policy {policy.name!r} already exists")
+            placement = classify_policy(policy, reference.registry)
+            self._check_placements([placement])
+            with self._all_shard_locks():
+                for shard in self.shards:
+                    shard.enforcer.add_policy(policy)
+                return self._bump_epoch()
+
+    def remove_policy(self, name: str) -> int:
+        with self._admin_lock:
+            reference = self.shards[0].enforcer
+            if not any(p.name == name for p in reference.policies):
+                raise PolicyError(f"no policy {name!r}")
+            with self._all_shard_locks():
+                for shard in self.shards:
+                    shard.enforcer.remove_policy(name)
+                return self._bump_epoch()
+
+    def has_policy(self, name: str) -> bool:
+        return any(entry["name"] == name for entry in self._policy_snapshot)
+
+    def _bump_epoch(self) -> int:
+        """Advance the epoch; caller holds admin + all shard locks."""
+        self._epoch += 1
+        for shard in self.shards:
+            shard.epoch = self._epoch
+        reference = self.shards[0].enforcer
+        self._refresh_snapshot(
+            reference.policies,
+            [
+                classify_policy(policy, reference.registry)
+                for policy in reference.policies
+            ],
+        )
+        return self._epoch
+
+    def _all_shard_locks(self) -> ExitStack:
+        """Acquire every shard lock in index order (no deadlock: workers
+        only ever hold their own shard's lock)."""
+        stack = ExitStack()
+        for shard in self.shards:
+            stack.enter_context(shard.lock)
+        return stack
+
+    def _check_placements(self, placements: Sequence[PolicyPlacement]) -> None:
+        if self.config.shards == 1:
+            return
+        offenders = [p for p in placements if not p.is_local]
+        if offenders:
+            details = "; ".join(
+                f"{p.policy_name}: {p.reason}" for p in offenders
+            )
+            raise PolicyPlacementError(
+                "cannot enforce global policies on a sharded service "
+                f"(use --shards 1 or rewrite them per-uid): {details}"
+            )
+
+    def _refresh_snapshot(self, policies, placements) -> None:
+        self._policy_snapshot = tuple(
+            {
+                "name": policy.name,
+                "sql": policy.sql,
+                "message": policy.message,
+                "description": policy.description,
+                "placement": placement.scope,
+            }
+            for policy, placement in zip(policies, placements)
+        )
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def log_sizes(self) -> "dict[str, int]":
+        """Usage-log sizes summed across shards."""
+        totals: dict[str, int] = {}
+        for sizes in self.per_shard_log_sizes():
+            for name, size in sizes.items():
+                totals[name] = totals.get(name, 0) + size
+        return totals
+
+    def per_shard_log_sizes(self) -> "list[dict[str, int]]":
+        sizes = []
+        for shard in self.shards:
+            with shard.lock:
+                sizes.append(shard.enforcer.log_sizes())
+        return sizes
+
+    def stats(self) -> dict:
+        """The service metrics surface (never touches a shard lock)."""
+        shard_stats = []
+        for shard in self.shards:
+            snapshot = shard.counters.snapshot()
+            snapshot["shard"] = shard.index
+            snapshot["epoch"] = shard.epoch
+            snapshot["queue_depth"] = shard.queue_depth()
+            snapshot["queue_capacity"] = self.config.queue_depth
+            shard_stats.append(snapshot)
+        totals = {
+            key: sum(entry[key] for entry in shard_stats)
+            for key in (
+                "admitted", "rejected", "completed",
+                "allowed", "denied", "errors",
+            )
+        }
+        return {
+            "epoch": self._epoch,
+            "shards": self.config.shards,
+            "workers": self.config.workers,
+            "queue_depth": self.config.queue_depth,
+            "routing": self.config.routing,
+            "per_shard": shard_stats,
+            "totals": totals,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Flush every shard's backlog and stop the workers."""
+        self._closed = True
+        for shard in self.shards:
+            shard.drain(timeout)
+
+    close = drain
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

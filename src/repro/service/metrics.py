@@ -1,0 +1,107 @@
+"""Per-shard service counters and latency percentiles.
+
+The per-query phase buckets still come from :mod:`repro.core.metrics`
+(every decision carries its :class:`~repro.core.QueryMetrics`); this
+module aggregates them at the service boundary so ``GET /stats`` can be
+served without touching any shard lock: workers push completed-request
+samples into their shard's counters, and a stats snapshot only reads the
+counters under their own small mutex.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from ..core.metrics import QueryMetrics
+
+
+def percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence (0 when empty)."""
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class ShardCounters:
+    """Thread-safe admission/latency accounting for one shard."""
+
+    def __init__(self, latency_window: int = 512):
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected = 0  # backpressure (429)
+        self.completed = 0
+        self.allowed = 0
+        self.denied = 0  # policy violations (403)
+        self.errors = 0  # malformed SQL etc. (400)
+        self._phase_seconds: dict[str, float] = {}
+        self._check_latencies: deque = deque(maxlen=latency_window)
+        self._queue_waits: deque = deque(maxlen=latency_window)
+
+    # -- recording (called by admission + worker threads) -----------------
+
+    def record_admit(self) -> None:
+        with self._lock:
+            self.admitted += 1
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_completion(
+        self,
+        total_seconds: float,
+        queue_seconds: float,
+        metrics: Optional[QueryMetrics],
+        allowed: Optional[bool],
+    ) -> None:
+        """One finished request: ``allowed`` is None for submit errors."""
+        with self._lock:
+            self.completed += 1
+            if allowed is True:
+                self.allowed += 1
+            elif allowed is False:
+                self.denied += 1
+            else:
+                self.errors += 1
+            self._check_latencies.append(total_seconds)
+            self._queue_waits.append(queue_seconds)
+            if metrics is not None:
+                for bucket, value in metrics.breakdown().items():
+                    self._phase_seconds[bucket] = (
+                        self._phase_seconds.get(bucket, 0.0) + value
+                    )
+
+    # -- reading -----------------------------------------------------------
+
+    def mean_latency(self) -> float:
+        with self._lock:
+            window = list(self._check_latencies)
+        return sum(window) / len(window) if window else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            latencies = list(self._check_latencies)
+            waits = list(self._queue_waits)
+            phase_totals = dict(self._phase_seconds)
+            counts = {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "allowed": self.allowed,
+                "denied": self.denied,
+                "errors": self.errors,
+            }
+        snapshot = dict(counts)
+        snapshot["p50_ms"] = percentile(latencies, 0.50) * 1000
+        snapshot["p95_ms"] = percentile(latencies, 0.95) * 1000
+        snapshot["queue_wait_p95_ms"] = percentile(waits, 0.95) * 1000
+        completed = counts["completed"]
+        snapshot["phase_mean_ms"] = {
+            bucket: total / completed * 1000
+            for bucket, total in sorted(phase_totals.items())
+        } if completed else {}
+        return snapshot

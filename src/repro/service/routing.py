@@ -1,0 +1,52 @@
+"""The shard router: a stable uid → shard mapping.
+
+Usage-log state is naturally partitionable by ``uid``: every query's log
+increments carry the submitting user's timestamp, and per-user policies
+(rate limits, per-subscriber quotas) only read that user's slice of the
+log. Routing each uid to a fixed shard therefore keeps all the state a
+per-user policy can touch on one enforcer — see
+:mod:`repro.service.placement` for the shapes where this is sound.
+
+The hash is a fixed integer mixer (splitmix64 finalizer), not Python's
+salted ``hash``, so placement is stable across processes and restarts.
+"""
+
+from __future__ import annotations
+
+from ..errors import ServiceError
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def mix64(value: int) -> int:
+    """The splitmix64 finalizer: avalanche a 64-bit integer."""
+    x = value & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+class ShardRouter:
+    """Maps uids onto ``n_shards`` buckets."""
+
+    def __init__(self, n_shards: int, strategy: str = "hash"):
+        if n_shards < 1:
+            raise ServiceError("need at least one shard")
+        if strategy not in ("hash", "modulo"):
+            raise ServiceError(f"unknown routing strategy {strategy!r}")
+        self.n_shards = n_shards
+        self.strategy = strategy
+
+    def shard_for(self, uid: int) -> int:
+        if self.n_shards == 1:
+            return 0
+        if self.strategy == "modulo":
+            return uid % self.n_shards
+        return mix64(uid) % self.n_shards
+
+    def partition(self, uids) -> dict:
+        """Group ``uids`` by shard index (diagnostics and tests)."""
+        groups: dict[int, list[int]] = {}
+        for uid in uids:
+            groups.setdefault(self.shard_for(uid), []).append(uid)
+        return groups

@@ -1,0 +1,155 @@
+"""One enforcement shard: an enforcer, a lock, a bounded queue, workers.
+
+A shard owns a full :class:`~repro.core.Enforcer` — its own clone of the
+base tables plus this shard's slice of the usage log — and serializes
+access to it with a per-shard lock. Admission is a bounded queue: when
+``queue_depth`` jobs are already waiting, :meth:`Shard.offer` raises
+:class:`~repro.errors.ServiceOverloadedError` immediately (backpressure)
+instead of letting callers pile up. Worker threads drain the queue and
+complete each job's future.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Optional
+
+from ..core import Decision, Enforcer
+from ..errors import ServiceClosedError, ServiceOverloadedError
+from .metrics import ShardCounters
+
+#: Queue sentinel telling a worker to exit after the backlog drains.
+_STOP = object()
+
+#: Fallback Retry-After hint before any latency samples exist.
+_DEFAULT_RETRY_AFTER = 0.05
+
+
+class Shard:
+    """A single-enforcer execution unit with admission control."""
+
+    def __init__(
+        self,
+        index: int,
+        enforcer: Enforcer,
+        queue_depth: int,
+        workers: int = 1,
+        dispatch_seconds: float = 0.0,
+        latency_window: int = 512,
+    ):
+        self.index = index
+        self.enforcer = enforcer
+        #: Guards the enforcer; the coordinator takes it for broadcasts.
+        self.lock = threading.Lock()
+        self.counters = ShardCounters(latency_window)
+        self.epoch = 0
+        self.dispatch_seconds = dispatch_seconds
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._closed = threading.Event()
+        self._workers = [
+            threading.Thread(
+                target=self._run,
+                name=f"repro-shard{index}-w{worker}",
+                daemon=True,
+            )
+            for worker in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- admission ---------------------------------------------------------
+
+    def offer(self, job: Callable[[Enforcer], Decision]) -> "Future":
+        """Enqueue a job; full queue → immediate backpressure error."""
+        if self._closed.is_set():
+            raise ServiceClosedError(
+                f"shard {self.index} is draining; not accepting queries"
+            )
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((job, future, time.perf_counter()))
+        except queue.Full:
+            self.counters.record_reject()
+            raise ServiceOverloadedError(
+                self.index, retry_after=self.retry_after_hint()
+            ) from None
+        self.counters.record_admit()
+        return future
+
+    def retry_after_hint(self) -> float:
+        """Expected seconds until a queue slot frees up: the backlog
+        (waiting + in-flight) times the recent mean check latency."""
+        mean = self.counters.mean_latency() or _DEFAULT_RETRY_AFTER
+        backlog = self._queue.qsize() + len(self._workers)
+        return max(0.001, mean * backlog)
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- worker loop -------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            job, future, enqueued_at = item
+            started = time.perf_counter()
+            queue_seconds = started - enqueued_at
+            decision: Optional[Decision] = None
+            try:
+                with self.lock:
+                    decision = job(self.enforcer)
+                    if self.dispatch_seconds:
+                        # Modeled backend round trip (see ServiceConfig).
+                        time.sleep(self.dispatch_seconds)
+            except BaseException as error:
+                self.counters.record_completion(
+                    time.perf_counter() - enqueued_at, queue_seconds, None, None
+                )
+                future.set_exception(error)
+            else:
+                self.counters.record_completion(
+                    time.perf_counter() - enqueued_at,
+                    queue_seconds,
+                    getattr(decision, "metrics", None),
+                    getattr(decision, "allowed", None),
+                )
+                future.set_result(decision)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Stop admitting, let workers finish the backlog, join them.
+
+        Queued jobs still complete (their callers get results); only new
+        offers are refused. Idempotent.
+        """
+        if not self._closed.is_set():
+            self._closed.set()
+            for _ in self._workers:
+                # put (not put_nowait): a full backlog must drain first.
+                self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout)
+        # Fail any job that raced past the closed check after the
+        # sentinels went in — leaving its future pending would hang the
+        # caller forever.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            _, future, _ = item
+            future.set_exception(
+                ServiceClosedError(f"shard {self.index} drained")
+            )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()

@@ -127,6 +127,45 @@ def standard_contract(config: MarketplaceConfig = MarketplaceConfig()) -> list[P
     return policies
 
 
+def sharded_contract(config: MarketplaceConfig = MarketplaceConfig()) -> list[Policy]:
+    """The standard contract rewritten per-subscriber so every term is
+    shard-local (see :mod:`repro.service.placement`).
+
+    The global ``volume-quota`` (one counter over *all* subscribers)
+    cannot be enforced per-uid, so this variant meters the free tier per
+    subscriber instead — the common SaaS reading of the same clause. All
+    terms here classify *local*, so a multi-shard
+    :class:`~repro.service.ShardedEnforcerService` accepts the set.
+    """
+    policies: list[Policy] = [
+        BUILTIN_TEMPLATES.instantiate(
+            "rate-limit",
+            policy_name=f"rate-u{uid}",
+            uid=uid,
+            max_requests=config.rate_limit,
+            window=config.rate_window,
+        )
+        for uid in range(1, config.n_subscribers + 1)
+    ]
+    policies.append(
+        BUILTIN_TEMPLATES.instantiate(
+            "no-aggregation", policy_name="no-blending", relation="ratings"
+        )
+    )
+    policies.extend(
+        BUILTIN_TEMPLATES.instantiate(
+            "user-volume-quota",
+            policy_name=f"free-tier-u{uid}",
+            relation="listings",
+            uid=uid,
+            max_tuples=config.free_tier_tuples,
+            window=config.free_tier_window,
+        )
+        for uid in range(1, config.n_subscribers + 1)
+    )
+    return policies
+
+
 @dataclass(frozen=True)
 class MarketplaceWorkload:
     """Canonical marketplace queries, cheapest to heaviest."""

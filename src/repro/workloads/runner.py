@@ -7,12 +7,18 @@ module so the same machinery is unit-testable.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
-from ..core import Enforcer, EnforcerOptions, MetricsLog, Policy
+from ..core import Decision, Enforcer, EnforcerOptions, MetricsLog, Policy
 from ..engine import Database
+from ..errors import ServiceOverloadedError
 from ..log import SimulatedClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..service import ShardedEnforcerService
 from .mimic import MimicConfig, build_mimic_database
 from .policies import PolicyParams, make_all_policies, make_policy
 from .queries import Workload, make_workload
@@ -131,3 +137,109 @@ def round_robin(
 def dispatch_cost(statements: int) -> float:
     """Modeled dispatch latency for ``statements`` round trips (seconds)."""
     return statements * DISPATCH_SECONDS
+
+
+# ----------------------------------------------------------------------
+# concurrent streams through the sharded service
+# ----------------------------------------------------------------------
+
+
+def split_by_uid(
+    queries: Sequence[tuple[str, int]],
+) -> "dict[int, list[str]]":
+    """Partition an interleaved ``(sql, uid)`` stream into per-uid
+    subsequences, preserving each uid's submission order."""
+    per_uid: dict[int, list[str]] = {}
+    for sql, uid in queries:
+        per_uid.setdefault(uid, []).append(sql)
+    return per_uid
+
+
+@dataclass
+class ServiceStreamResult:
+    """Outcome of pushing a stream through a sharded service."""
+
+    allowed: int = 0
+    rejected: int = 0
+    overloads: int = 0  # 429-equivalent retries (not final failures)
+    elapsed: float = 0.0
+    #: every decision, in per-uid submission order
+    decisions: "dict[int, list[Decision]]" = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.allowed + self.rejected
+
+    @property
+    def qps(self) -> float:
+        return self.total / self.elapsed if self.elapsed else 0.0
+
+
+def run_service_stream(
+    service: "ShardedEnforcerService",
+    queries: Sequence[tuple[str, int]],
+    client_threads: int = 8,
+    execute: bool = True,
+    max_retries: int = 1000,
+) -> ServiceStreamResult:
+    """Drive ``(sql, uid)`` pairs through the service from many client
+    threads, preserving each uid's submission order.
+
+    Whole uids are assigned round-robin to client threads (queries for
+    one user come from one client, like real sessions), so per-uid
+    sequences stay ordered while different users overlap. Backpressure
+    (:class:`~repro.errors.ServiceOverloadedError`) is retried after the
+    hinted delay and tallied in ``overloads``.
+    """
+    per_uid = split_by_uid(queries)
+    uids = list(per_uid)
+    assignments: list[list[int]] = [[] for _ in range(max(1, client_threads))]
+    for position, uid in enumerate(uids):
+        assignments[position % len(assignments)].append(uid)
+
+    result = ServiceStreamResult(decisions={uid: [] for uid in uids})
+    tally = threading.Lock()
+    errors: "list[BaseException]" = []
+
+    def client(my_uids: "list[int]") -> None:
+        try:
+            for uid in my_uids:
+                for sql in per_uid[uid]:
+                    retries = 0
+                    while True:
+                        try:
+                            decision = service.submit(
+                                sql, uid=uid, execute=execute
+                            )
+                            break
+                        except ServiceOverloadedError as error:
+                            retries += 1
+                            if retries > max_retries:
+                                raise
+                            with tally:
+                                result.overloads += 1
+                            time.sleep(min(error.retry_after, 0.05))
+                    with tally:
+                        result.decisions[uid].append(decision)
+                        if decision.allowed:
+                            result.allowed += 1
+                        else:
+                            result.rejected += 1
+        except BaseException as error:  # surfaced to the caller below
+            with tally:
+                errors.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(chunk,), daemon=True)
+        for chunk in assignments
+        if chunk
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return result

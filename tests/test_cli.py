@@ -249,3 +249,49 @@ class TestReportCommand:
         from repro.cli import cmd_report
 
         assert cmd_report(args, out) == 1
+
+
+class TestServeCommand:
+    def test_build_server_wires_flags_into_service(self, workspace):
+        from repro.cli import build_server
+
+        args = make_parser().parse_args(
+            [
+                "serve",
+                "--data", str(workspace / "listings.csv"),
+                "--policy", str(workspace / "no-listing-joins.sql"),
+                "--port", "0",
+                "--shards", "3",
+                "--queue-depth", "7",
+                "--workers", "2",
+            ]
+        )
+        server = build_server(args)
+        try:
+            service = server.service
+            assert service.config.shards == 3
+            assert service.config.queue_depth == 7
+            assert service.config.workers == 2
+            assert len(service.shards) == 3
+            [entry] = service.policies()
+            assert entry["name"] == "no-listing-joins"
+        finally:
+            server.server_close()
+
+    def test_demo_flag_serves_marketplace(self):
+        from repro.cli import build_server
+
+        args = make_parser().parse_args(
+            ["serve", "--demo", "--port", "0", "--shards", "2"]
+        )
+        server = build_server(args)
+        try:
+            names = {entry["name"] for entry in server.service.policies()}
+            assert "no-blending" in names
+            assert any(name.startswith("free-tier-u") for name in names)
+            decision = server.service.submit(
+                "SELECT name FROM listings WHERE biz_id = 1", uid=1
+            )
+            assert decision.allowed
+        finally:
+            server.server_close()

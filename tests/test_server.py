@@ -10,6 +10,7 @@ from repro.core import Enforcer, EnforcerOptions, Policy
 from repro.engine import Database
 from repro.log import SimulatedClock
 from repro.server import serve
+from repro.service import ServiceConfig
 
 
 @pytest.fixture
@@ -97,6 +98,14 @@ class TestQueryEndpoint:
         )
         assert status == 400
 
+    def test_boolean_uid_is_rejected(self, server):
+        # bool subclasses int; JSON true must not silently become uid 1.
+        status, body = request(
+            server, "POST", "/query", {"sql": "SELECT 1", "uid": True}
+        )
+        assert status == 400
+        assert "uid" in body["error"]
+
     def test_sql_error_is_400(self, server):
         status, body = request(
             server, "POST", "/query", {"sql": "SELEKT broken"}
@@ -113,6 +122,19 @@ class TestQueryEndpoint:
         response = connection.getresponse()
         assert response.status == 400
         connection.close()
+
+    @pytest.mark.parametrize("length", ["abc", "-5", "12; DROP"])
+    def test_malformed_content_length_is_400(self, server, length):
+        connection = HTTPConnection(*server.server_address)
+        connection.putrequest("POST", "/query")
+        connection.putheader("Content-Type", "application/json")
+        connection.putheader("Content-Length", length)
+        connection.endheaders()
+        response = connection.getresponse()
+        body = json.loads(response.read().decode())
+        connection.close()
+        assert response.status == 400
+        assert "Content-Length" in body["error"]
 
 
 class TestPolicyEndpoints:
@@ -190,6 +212,15 @@ class TestMisc:
         status, _ = request(server, "GET", "/nope")
         assert status == 404
 
+    def test_stats_endpoint(self, server):
+        request(server, "POST", "/query", {"sql": "SELECT id FROM navteq"})
+        status, body = request(server, "GET", "/stats")
+        assert status == 200
+        assert body["shards"] == 1
+        assert body["totals"]["admitted"] >= 1
+        entry = body["per_shard"][0]
+        assert {"p50_ms", "p95_ms", "queue_depth"} <= set(entry)
+
     def test_concurrent_submissions_serialize(self, server):
         errors = []
 
@@ -212,3 +243,110 @@ class TestMisc:
         for thread in threads:
             thread.join(timeout=30)
         assert not errors
+
+
+def make_sharded_server(config):
+    db = Database()
+    db.load_table("navteq", ["id", "lat"], [(1, 47.0), (2, 40.0)])
+    enforcer = Enforcer(
+        db,
+        [],
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+    httpd = serve(enforcer, port=0, config=config)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    return httpd, thread
+
+
+class TestShardedGateway:
+    @pytest.fixture
+    def sharded(self):
+        httpd, thread = make_sharded_server(
+            ServiceConfig(shards=4, routing="modulo")
+        )
+        yield httpd
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+    def test_response_carries_shard(self, sharded):
+        status, body = request(
+            sharded, "POST", "/query",
+            {"sql": "SELECT id FROM navteq", "uid": 6},
+        )
+        assert status == 200
+        assert body["shard"] == 2  # 6 % 4 under modulo routing
+
+    def test_log_endpoint_reports_per_shard(self, sharded):
+        status, body = request(sharded, "GET", "/log")
+        assert status == 200
+        assert len(body["per_shard"]) == 4
+
+    def test_global_policy_install_rejected(self, sharded):
+        status, body = request(
+            sharded, "POST", "/policies",
+            {
+                "name": "global-quota",
+                "sql": "SELECT DISTINCT 'quota' FROM provenance p, clock c "
+                "WHERE p.irid = 'navteq' AND p.ts > c.ts - 1000 "
+                "HAVING COUNT(DISTINCT p.itid) > 5",
+            },
+        )
+        assert status == 400
+        assert "shard" in body["error"]
+
+
+class TestOverloadedGateway:
+    @pytest.fixture
+    def slow(self):
+        httpd, thread = make_sharded_server(
+            ServiceConfig(
+                shards=1, workers=1, queue_depth=1, dispatch_seconds=0.3
+            )
+        )
+        yield httpd
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+    def test_429_with_retry_after_under_load(self, slow):
+        statuses = []
+        headers_seen = []
+        tally = threading.Lock()
+
+        def client():
+            connection = HTTPConnection(*slow.server_address)
+            payload = json.dumps(
+                {"sql": "SELECT id FROM navteq", "uid": 1}
+            ).encode()
+            connection.request(
+                "POST", "/query", body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+            with tally:
+                statuses.append(response.status)
+                headers_seen.append(response.getheader("Retry-After"))
+            connection.close()
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert len(statuses) == 6
+        assert 500 not in statuses  # overload is never an unhandled error
+        assert statuses.count(429) >= 1
+        assert statuses.count(200) >= 2
+        retry_hints = [
+            header
+            for status, header in zip(statuses, headers_seen)
+            if status == 429
+        ]
+        assert all(
+            header is not None and int(header) >= 1 for header in retry_hints
+        )

@@ -1,0 +1,168 @@
+"""Concurrency tests: no lost updates, decision equivalence, backpressure.
+
+The ISSUE's two hard properties for the sharded service:
+
+1. under a many-threaded workload, per-shard usage-log state is exactly
+   what the admitted decisions imply (no lost or duplicated increments);
+2. every per-uid decision sequence matches what a single-enforcer rerun
+   of the same sequence produces (sharding changes throughput, never
+   verdicts — policy windows here are far wider than the run).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Enforcer, EnforcerOptions
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.log import SimulatedClock
+from repro.service import ServiceConfig, ShardedEnforcerService
+from repro.workloads import (
+    MarketplaceConfig,
+    build_marketplace_database,
+    make_marketplace_workload,
+    round_robin,
+    run_service_stream,
+    sharded_contract,
+    split_by_uid,
+)
+
+N_SHARDS = 4
+N_CLIENTS = 8
+QUERIES_PER_UID = 52
+
+
+def make_config():
+    # Windows vastly wider than the run: every query of the stream stays
+    # in-window on both the sharded and the baseline clock, so decisions
+    # depend on per-uid counts only — the equivalence the test asserts.
+    return MarketplaceConfig(
+        rate_limit=40, rate_window=10_000_000,
+        free_tier_tuples=4_000, free_tier_window=10_000_000,
+    )
+
+
+def make_enforcer(config):
+    return Enforcer(
+        build_marketplace_database(config),
+        sharded_contract(config),
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+
+
+def make_stream(config):
+    workload = make_marketplace_workload(config)
+    uids = list(range(1, config.n_subscribers + 1))
+    queries = list(workload.all().values())
+    return round_robin(queries, uids, QUERIES_PER_UID * len(uids))
+
+
+class TestShardedStress:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        """Run the stress workload once; both tests assert over it."""
+        config = make_config()
+        service = ShardedEnforcerService(
+            make_enforcer(config),
+            ServiceConfig(shards=N_SHARDS, queue_depth=64, routing="modulo"),
+        )
+        stream = make_stream(config)
+        result = run_service_stream(
+            service, stream, client_threads=N_CLIENTS
+        )
+        per_shard_logs = service.per_shard_log_sizes()
+        shard_of = service.shard_for
+        service.drain()
+        return config, stream, result, per_shard_logs, shard_of
+
+    def test_no_lost_or_duplicated_log_increments(self, outcome):
+        config, stream, result, per_shard_logs, shard_of = outcome
+        assert result.total == len(stream) == 416  # ≥ 8 threads × 50
+
+        # users gets exactly one row per *allowed* query (violating
+        # queries discard their staged increments), and each row must
+        # land on the submitting uid's shard — nowhere else.
+        expected = [0] * N_SHARDS
+        for uid, decisions in result.decisions.items():
+            expected[shard_of(uid)] += sum(d.allowed for d in decisions)
+        assert [log["users"] for log in per_shard_logs] == expected
+        assert sum(expected) == result.allowed
+
+    def test_decisions_match_single_enforcer_rerun(self, outcome):
+        config, stream, result, _, _ = outcome
+        per_uid = split_by_uid(stream)
+        assert result.rejected > 0  # the contract actually fires
+        for uid, queries in per_uid.items():
+            baseline = make_enforcer(config)
+            sharded = result.decisions[uid]
+            assert len(sharded) == len(queries)
+            for sql, got in zip(queries, sharded):
+                want = baseline.submit(sql, uid=uid)
+                assert got.allowed == want.allowed, (uid, sql)
+                assert sorted(v.policy_name for v in got.violations) == sorted(
+                    v.policy_name for v in want.violations
+                )
+                if want.allowed:
+                    assert sorted(got.result.rows) == sorted(want.result.rows)
+
+
+class TestBackpressure:
+    def make_slow_service(self):
+        config = make_config()
+        return ShardedEnforcerService(
+            make_enforcer(config),
+            ServiceConfig(
+                shards=1, workers=1, queue_depth=1, dispatch_seconds=0.15
+            ),
+        )
+
+    def test_full_queue_rejects_with_retry_hint(self):
+        service = self.make_slow_service()
+        outcomes = []
+        tally = threading.Lock()
+
+        def client():
+            try:
+                decision = service.submit(
+                    "SELECT name FROM listings WHERE biz_id = 1", uid=1
+                )
+                status = "ok" if decision.allowed else "denied"
+            except ServiceOverloadedError as error:
+                assert error.retry_after > 0
+                assert error.shard == 0
+                status = "overloaded"
+            with tally:
+                outcomes.append(status)
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert len(outcomes) == 6  # nobody hung or crashed
+        assert outcomes.count("overloaded") >= 1  # backpressure engaged
+        assert outcomes.count("ok") >= 2  # in-flight + queued completed
+        stats = service.stats()
+        assert stats["totals"]["rejected"] == outcomes.count("overloaded")
+        assert stats["totals"]["admitted"] == outcomes.count("ok")
+        service.drain()
+
+    def test_drain_completes_backlog_and_rejects_latecomers(self):
+        service = self.make_slow_service()
+        first = None
+
+        def submit_first():
+            nonlocal first
+            first = service.submit("SELECT biz_id FROM listings", uid=1)
+
+        thread = threading.Thread(target=submit_first)
+        thread.start()
+        time.sleep(0.05)  # let it reach the worker
+        service.drain()
+        thread.join(timeout=30)
+        assert first is not None and first.allowed  # backlog completed
+        with pytest.raises(ServiceClosedError):
+            service.submit("SELECT biz_id FROM listings", uid=1)

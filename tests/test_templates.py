@@ -133,6 +133,9 @@ class TestTemplatesEndToEnd:
             "k-anonymity": dict(relation="alpha", k=4),
             "no-aggregation": dict(relation="alpha"),
             "volume-quota": dict(relation="alpha", max_tuples=10, window=100),
+            "user-volume-quota": dict(
+                relation="alpha", uid=1, max_tuples=10, window=100
+            ),
             "group-access-window": dict(
                 relation="alpha", group="students", max_users=3, window=100
             ),
@@ -147,6 +150,7 @@ class TestTemplatesEndToEnd:
             "k-anonymity": True,
             "no-aggregation": True,
             "volume-quota": False,
+            "user-volume-quota": False,
             "group-access-window": False,
         }
         for name in BUILTIN_TEMPLATES.names():

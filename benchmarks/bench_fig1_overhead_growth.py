@@ -21,8 +21,11 @@ from repro.workloads import PolicyParams, make_policy, repeat_query, run_stream
 
 from figutil import format_table, ms, publish, scaled
 
-BATCH = scaled(60)
-BATCHES = scaled(12)
+# Floors keep the growth shape measurable under --quick: the head/tail
+# comparison needs enough batches (and queries per batch) for NoOpt's
+# log-proportional cost to actually grow between the two windows.
+BATCH = scaled(60, minimum=40)
+BATCHES = scaled(12, minimum=10)
 
 
 def make_enforcer(db, options, params):

@@ -45,8 +45,12 @@ CONFIG = MarketplaceConfig(
     # comparable decision-for-decision.
     rate_window=100_000_000,
     free_tier_window=100_000_000,
+    # Thresholds scale with the stream so the contract still fires
+    # mid-run under --quick / REPRO_BENCH_SCALE < 1.
+    rate_limit=scaled(30, minimum=2),
+    free_tier_tuples=scaled(2_000, minimum=100),
 )
-QUERIES_PER_UID = scaled(12)
+QUERIES_PER_UID = scaled(12, minimum=3)
 CLIENT_THREADS = 16
 SHARD_COUNTS = (1, 4)
 SPEEDUP_FLOOR = 2.0

@@ -7,7 +7,11 @@ Subcommands:
 - ``shell`` — the same setup, interactively: type SQL, see decisions,
   ``:explain`` the last rejection, ``:log`` to inspect the usage log;
 - ``demo`` — a self-contained tour on the synthetic MIMIC-II database
-  with the paper's six policies.
+  with the paper's six policies;
+- ``serve`` — the sharded HTTP enforcement gateway (``--data-dir``
+  makes every decision durable via a write-ahead log);
+- ``recover`` — offline inspection/repair of a durability directory:
+  replays each shard's WAL and reports what survived.
 
 CSV files load as tables named after the file (header row = column
 names; values are parsed as int → float → string, empty = NULL). Policy
@@ -250,6 +254,9 @@ def build_server(args):
             shards=args.shards,
             queue_depth=args.queue_depth,
             workers=args.workers,
+            data_dir=args.data_dir,
+            wal_sync=not args.no_fsync,
+            checkpoint_every=args.checkpoint_every,
         ),
     )
 
@@ -275,6 +282,53 @@ def cmd_serve(args, out=sys.stdout) -> int:
     finally:
         server.server_close()  # drains the shards
     return 0
+
+
+def cmd_recover(args, out=sys.stdout) -> int:
+    """Offline recovery: repair, replay, and report each shard directory."""
+    from .storage import checkpoint as write_checkpoint
+    from .storage import has_state, recover_enforcer
+
+    root = Path(args.data_dir)
+
+    def shard_key(path: Path) -> "tuple[int, str]":
+        suffix = path.name.split("-", 1)[-1]
+        return (int(suffix), path.name) if suffix.isdigit() else (-1, path.name)
+
+    shard_dirs = sorted(
+        (path for path in root.glob("shard-*") if path.is_dir()),
+        key=shard_key,
+    )
+    if not shard_dirs and has_state(root):
+        # A bare (non-sharded) durability directory.
+        shard_dirs = [root]
+    if not shard_dirs:
+        print(f"no durable state under {root}", file=out)
+        return 1
+
+    failures = 0
+    for shard_dir in shard_dirs:
+        try:
+            enforcer, wal, report = recover_enforcer(
+                shard_dir, clock=SimulatedClock(default_step_ms=10)
+            )
+        except ReproError as error:
+            print(f"{shard_dir.name}: FAILED — {error}", file=out)
+            failures += 1
+            continue
+        print(f"{shard_dir.name}: {report.summary()}", file=out)
+        sizes = ", ".join(
+            f"{name}={size}" for name, size in enforcer.log_sizes().items()
+        )
+        print(
+            f"  {len(enforcer.policies)} policies; log sizes: {sizes}",
+            file=out,
+        )
+        if args.checkpoint:
+            write_checkpoint(enforcer, shard_dir, wal)
+            print("  checkpoint written; WAL truncated", file=out)
+        wal.close()
+    return 2 if failures else 0
 
 
 def cmd_report(args, out=sys.stdout) -> int:
@@ -375,7 +429,36 @@ def make_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker threads per shard",
     )
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="durability directory: journal every decision to a per-shard "
+        "write-ahead log and recover existing state on startup",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=256,
+        help="snapshot + WAL truncation cadence in queries per shard "
+        "(0 = only on drain and policy changes; needs --data-dir)",
+    )
+    serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip fsync on WAL appends (faster; an OS crash may lose "
+        "the newest records)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    recover = sub.add_parser(
+        "recover",
+        help="inspect and repair a durability directory offline",
+    )
+    recover.add_argument(
+        "data_dir", help="the --data-dir a previous serve run journaled to"
+    )
+    recover.add_argument(
+        "--checkpoint", action="store_true",
+        help="also write a fresh checkpoint (truncating the WAL) so the "
+        "next serve starts without replay",
+    )
+    recover.set_defaults(func=cmd_recover)
 
     report = sub.add_parser(
         "report", help="bundle benchmark result tables into one report"

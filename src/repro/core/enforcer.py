@@ -34,6 +34,7 @@ from ..analysis import (
     witness_queries,
 )
 from ..engine import Database, Engine, Result
+from ..errors import ReproError
 from ..log import Clock, LogicalClock, LogRegistry, QueryContext, standard_registry
 from ..log.store import LogStore
 from ..sql import ast
@@ -306,40 +307,48 @@ class Enforcer:
         timestamp = self.clock.advance()
         self.store.set_time(timestamp)
         metrics = QueryMetrics(timestamp=timestamp, uid=uid)
-        context = QueryContext.create(
-            sql, uid, timestamp, self.engine, attributes
-        )
-        generated: set[str] = set()
-
-        def ensure_log(name: str) -> None:
-            if name in generated:
-                return
-            function = self.registry.get(name)
-            with metrics.timed(f"log:{name}"):
-                rows = function.generate(context)
-                staged = self.store.stage(name, rows, timestamp)
-            metrics.add_count("tuples_staged", staged)
-            generated.add(name)
-
-        if self.options.interleaved:
-            violations = self._interleaved_round(metrics, ensure_log)
-        else:
-            violations = self._direct_round(metrics, ensure_log)
-
-        if violations:
-            self.store.discard_staged()
-            metrics.allowed = False
-            self.metrics_log.record(metrics)
-            return Decision(
-                allowed=False,
-                timestamp=timestamp,
-                violations=violations,
-                metrics=metrics,
-                sql=sql,
-                uid=uid,
+        try:
+            context = QueryContext.create(
+                sql, uid, timestamp, self.engine, attributes
             )
+            generated: set[str] = set()
 
-        self._commit_logs(metrics, ensure_log, generated, timestamp)
+            def ensure_log(name: str) -> None:
+                if name in generated:
+                    return
+                function = self.registry.get(name)
+                with metrics.timed(f"log:{name}"):
+                    rows = function.generate(context)
+                    staged = self.store.stage(name, rows, timestamp)
+                metrics.add_count("tuples_staged", staged)
+                generated.add(name)
+
+            if self.options.interleaved:
+                violations = self._interleaved_round(metrics, ensure_log)
+            else:
+                violations = self._direct_round(metrics, ensure_log)
+
+            if violations:
+                self.store.discard_staged()
+                metrics.allowed = False
+                self.metrics_log.record(metrics)
+                return Decision(
+                    allowed=False,
+                    timestamp=timestamp,
+                    violations=violations,
+                    metrics=metrics,
+                    sql=sql,
+                    uid=uid,
+                )
+
+            self._commit_logs(metrics, ensure_log, generated, timestamp)
+        except ReproError:
+            # A query that dies mid-check (parse/bind/execution error)
+            # must not leave staged increments behind; under a WAL the
+            # discard also records the clock/tid advance this query
+            # consumed, so recovery stays aligned with an uncrashed run.
+            self.store.discard_staged()
+            raise
 
         result: Optional[Result] = None
         should_execute = (

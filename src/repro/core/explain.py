@@ -157,6 +157,8 @@ def explain_decision(
             )
         return explanations
     finally:
-        enforcer.store.discard_staged()
+        # record=False: this staging is diagnostic, not a query lifecycle —
+        # it must not append a reject record to an attached WAL.
+        enforcer.store.discard_staged(record=False)
         # restore the live clock row
         enforcer.store.set_time(enforcer.clock.now())

@@ -114,6 +114,47 @@ class Table:
         """Insert rows in order; returns their tids."""
         return [self.insert(row) for row in rows]
 
+    def insert_with_tids(
+        self, rows: Sequence[Sequence[SqlValue]], tids: Sequence[int]
+    ) -> None:
+        """Insert rows under caller-assigned tids (WAL replay).
+
+        Recovery must reproduce the exact tids the original run allocated
+        (compaction marks and lineage reference them), so the normal
+        counter is bypassed and then advanced past the largest tid used.
+        """
+        if len(rows) != len(tids):
+            raise EngineError(
+                f"insert_with_tids into {self.name!r}: "
+                f"{len(rows)} rows vs {len(tids)} tids"
+            )
+        for row, tid in zip(rows, tids):
+            if len(row) != self.schema.arity:
+                raise EngineError(
+                    f"arity mismatch inserting into {self.name!r}: "
+                    f"expected {self.schema.arity} values, got {len(row)}"
+                )
+            self._rows.append(tuple(row))
+            self._tids.append(tid)
+        if tids:
+            self._next_tid = max(self._next_tid, max(tids) + 1)
+        self._invalidate_indexes()
+
+    @property
+    def next_tid(self) -> int:
+        """The tid the next insert will receive."""
+        return self._next_tid
+
+    def advance_tid(self, next_tid: int) -> None:
+        """Move the tid counter forward to at least ``next_tid``.
+
+        WAL replay uses this to account for tids consumed by increments
+        that never reached disk (rejected queries, discarded relations):
+        the rows are gone but the counter must not hand their ids out
+        again.
+        """
+        self._next_tid = max(self._next_tid, next_tid)
+
     def delete_tids(self, doomed: set[int]) -> int:
         """Remove all rows whose tid is in ``doomed``; returns removal count."""
         if not doomed:

@@ -36,6 +36,15 @@ class Clock:
         """
         return copy.deepcopy(self)
 
+    def seek(self, now: int) -> None:
+        """Jump to an absolute timestamp.
+
+        Used by crash recovery (:mod:`repro.storage.wal`) to fast-forward
+        a clock to the last durable timestamp before replay continues; the
+        stepping behaviour is unchanged.
+        """
+        self._now = now
+
 
 class LogicalClock(Clock):
     """Advances by ``step`` on every query."""

@@ -49,6 +49,9 @@ class LogStore:
         self.registry = registry
         self._staged: dict[str, list[int]] = {}
         self._disk: dict[str, list[tuple[int, tuple]]] = {}
+        #: Optional write-ahead log (see :mod:`repro.storage.wal`); when
+        #: attached, every commit/discard appends one durable record.
+        self._wal = None
 
         for function in registry.ordered():
             if not database.has_table(function.name):
@@ -56,6 +59,27 @@ class LogStore:
             self._disk[function.name.lower()] = []
         if not database.has_table(CLOCK_TABLE):
             database.create_table(CLOCK_TABLE, ["ts"])
+
+    # -- durability ----------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Make every commit/discard append one record to ``wal``.
+
+        ``wal`` is a :class:`repro.storage.wal.WriteAheadLog` (duck-typed
+        here to keep the log layer import-free of the storage layer).
+        """
+        self._wal = wal
+
+    @property
+    def wal(self):
+        return self._wal
+
+    def _next_tid_map(self) -> dict:
+        """Per-relation tid counters, recorded so replay reproduces the
+        exact tid sequence even for increments that never hit disk."""
+        return {
+            name: self.database.table(name).next_tid for name in self._disk
+        }
 
     # -- clock ---------------------------------------------------------------
 
@@ -91,13 +115,28 @@ class LogStore:
     def is_staged(self, name: str) -> bool:
         return bool(self._staged.get(name.lower()))
 
-    def discard_staged(self) -> int:
-        """Revert every staged increment (policy violation path)."""
+    def discard_staged(self, record: bool = True) -> int:
+        """Revert every staged increment (policy violation path).
+
+        With a WAL attached, a ``reject`` record is appended so recovery
+        reproduces the clock advance and the tids the staged increment
+        consumed. ``record=False`` suppresses it for side-channel staging
+        (the explanation generator re-stages and reverts outside any
+        query's lifecycle).
+        """
         dropped = 0
         for name, tids in self._staged.items():
             if tids:
                 dropped += self.database.table(name).delete_tids(set(tids))
         self._staged.clear()
+        if record and self._wal is not None:
+            self._wal.append(
+                {
+                    "type": "reject",
+                    "ts": self.current_time() or 0,
+                    "next_tid": self._next_tid_map(),
+                }
+            )
         return dropped
 
     # -- commit: delete + insert phases -------------------------------------------
@@ -121,6 +160,8 @@ class LogStore:
             if persist_relations is not None
             else set(self._disk)
         )
+        wal_insert: dict[str, dict] = {}
+        wal_delete: dict[str, list[int]] = {}
 
         for name in list(self._disk):
             staged = set(self._staged.get(name, ()))
@@ -145,6 +186,10 @@ class LogStore:
                 for tid, _ in self._disk[name]:
                     if tid not in keep_disk:
                         doomed.add(tid)
+            if self._wal is not None and doomed:
+                # Only formerly-persisted tuples matter to replay; doomed
+                # staged tuples never existed in the durable image.
+                wal_delete[name] = sorted(doomed)
             doomed |= staged - keep_staged
             if doomed:
                 table.delete_tids(doomed)
@@ -162,9 +207,26 @@ class LogStore:
                 for tid in sorted(keep_staged):
                     disk_list.append((tid, by_tid[tid]))
                 stats.tuples_inserted += len(keep_staged)
+                if self._wal is not None:
+                    ordered = sorted(keep_staged)
+                    wal_insert[name] = {
+                        "tids": ordered,
+                        "rows": [list(by_tid[tid]) for tid in ordered],
+                    }
             stats.insert_seconds += time.perf_counter() - insert_start
 
         self._staged.clear()
+        if self._wal is not None:
+            self._wal.append(
+                {
+                    "type": "commit",
+                    "ts": self.current_time() or 0,
+                    "compacted": marks is not None,
+                    "insert": wal_insert,
+                    "delete": wal_delete,
+                    "next_tid": self._next_tid_map(),
+                }
+            )
         return stats
 
     # -- introspection ------------------------------------------------------------

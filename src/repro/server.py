@@ -16,6 +16,8 @@ so non-Python clients can submit queries:
 - ``GET  /log``      → usage-log sizes aggregated across shards;
 - ``GET  /stats``    → per-shard queue depth, admit/reject counts,
   p50/p95 check latency, phase means;
+- ``GET  /durability`` → WAL/checkpoint state per shard and what
+  recovery replayed at startup (see :mod:`repro.storage.wal`);
 - ``GET  /health``   → liveness (never blocks on any shard).
 
 Requests for different users run in parallel (one enforcer shard per
@@ -169,6 +171,9 @@ class EnforcerService:
     def stats(self) -> "tuple[int, dict]":
         return 200, self.service.stats()
 
+    def durability(self) -> "tuple[int, dict]":
+        return 200, self.service.durability_status()
+
 
 def make_handler(service: EnforcerService):
     """Build the request-handler class bound to one service."""
@@ -214,6 +219,8 @@ def make_handler(service: EnforcerService):
                 self._send(*service.log_sizes())
             elif self.path == "/stats":
                 self._send(*service.stats())
+            elif self.path == "/durability":
+                self._send(*service.durability())
             else:
                 self._send(404, {"error": "not found"})
 

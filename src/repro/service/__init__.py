@@ -30,12 +30,13 @@ from .placement import (
     classify_policy,
 )
 from .routing import ShardRouter, mix64
-from .shard import Shard
+from .shard import Shard, ShardDurability
 
 __all__ = [
     "ServiceConfig",
     "ShardedEnforcerService",
     "Shard",
+    "ShardDurability",
     "ShardCounters",
     "ShardRouter",
     "PolicyPlacement",

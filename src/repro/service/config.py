@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ServiceError
 
@@ -26,6 +27,14 @@ class ServiceConfig:
       the shard worker to keep the concurrency effect visible.
     - ``routing`` — ``"hash"`` (mixed integer hash) or ``"modulo"``
       (``uid % shards``; handy for deterministic placement in tests).
+    - ``data_dir`` — when set, every shard journals to a write-ahead log
+      under ``<data_dir>/shard-<i>/`` and the service recovers existing
+      state there on startup (see :mod:`repro.storage.wal`).
+    - ``wal_sync`` — fsync every WAL record (the durable default); turn
+      off to trade the un-fsynced tail for throughput.
+    - ``checkpoint_every`` — snapshot + WAL truncation cadence, in
+      queries per shard; ``0`` checkpoints only on drain and policy
+      changes.
     """
 
     shards: int = 1
@@ -36,6 +45,9 @@ class ServiceConfig:
     routing: str = "hash"
     #: Latency samples kept per shard for the p50/p95 stats surface.
     latency_window: int = 512
+    data_dir: Optional[str] = None
+    wal_sync: bool = True
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -50,3 +62,5 @@ class ServiceConfig:
             raise ServiceError(f"unknown routing strategy {self.routing!r}")
         if self.latency_window < 1:
             raise ServiceError("latency_window must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ServiceError("checkpoint_every cannot be negative")

@@ -22,14 +22,21 @@ from __future__ import annotations
 
 import threading
 from contextlib import ExitStack
+from pathlib import Path
 from typing import Optional, Sequence
 
 from ..core import Decision, Enforcer, Policy
-from ..errors import PolicyError, PolicyPlacementError, ServiceClosedError
+from ..errors import (
+    PolicyError,
+    PolicyPlacementError,
+    ServiceClosedError,
+    ServiceError,
+)
+from ..storage.wal import has_state, initialize_durability, recover_enforcer
 from .config import ServiceConfig
 from .placement import PolicyPlacement, classify_policy
 from .routing import ShardRouter
-from .shard import Shard
+from .shard import Shard, ShardDurability
 
 
 class ShardedEnforcerService:
@@ -45,38 +52,95 @@ class ShardedEnforcerService:
         self._admin_lock = threading.RLock()
         self._epoch = 0
         self._closed = False
-
-        placements = [
-            classify_policy(policy, enforcer.registry)
-            for policy in enforcer.policies
-        ]
-        self._check_placements(placements)
+        #: One :class:`~repro.storage.wal.RecoveryReport` per shard that
+        #: was rebuilt from durable state on startup.
+        self.recovery_reports: list = []
 
         # Shard 0 adopts the caller's enforcer (single-shard deployments
         # behave exactly like the old facade); the rest are clones over
-        # the same base tables with empty per-shard usage logs.
-        self.shards = [Shard(
-            0,
-            enforcer,
-            queue_depth=self.config.queue_depth,
-            workers=self.config.workers,
-            dispatch_seconds=self.config.dispatch_seconds,
-            latency_window=self.config.latency_window,
-        )]
-        for index in range(1, self.config.shards):
-            self.shards.append(
-                Shard(
-                    index,
-                    enforcer.clone(),
-                    queue_depth=self.config.queue_depth,
-                    workers=self.config.workers,
-                    dispatch_seconds=self.config.dispatch_seconds,
-                    latency_window=self.config.latency_window,
-                )
+        # the same base tables with empty per-shard usage logs. With a
+        # data_dir configured, shards holding durable state are instead
+        # *recovered* from it — the caller's enforcer serves as the
+        # prototype for the registry and clock kind.
+        pairs = self._build_shard_enforcers(enforcer)
+
+        reference = pairs[0][0]
+        placements = [
+            classify_policy(policy, reference.registry)
+            for policy in reference.policies
+        ]
+        self._check_placements(placements)
+
+        self.shards = [
+            Shard(
+                index,
+                shard_enforcer,
+                queue_depth=self.config.queue_depth,
+                workers=self.config.workers,
+                dispatch_seconds=self.config.dispatch_seconds,
+                latency_window=self.config.latency_window,
+                durability=durability,
             )
+            for index, (shard_enforcer, durability) in enumerate(pairs)
+        ]
         #: Immutable snapshot read lock-free by GET /policies and /health.
         self._policy_snapshot: tuple = ()
-        self._refresh_snapshot(enforcer.policies, placements)
+        self._refresh_snapshot(reference.policies, placements)
+
+    def _build_shard_enforcers(
+        self, prototype: Enforcer
+    ) -> "list[tuple[Enforcer, Optional[ShardDurability]]]":
+        """One (enforcer, durability) pair per shard, recovering durable
+        state where it exists."""
+        if not self.config.data_dir:
+            return [(prototype, None)] + [
+                (prototype.clone(), None)
+                for _ in range(1, self.config.shards)
+            ]
+
+        root = Path(self.config.data_dir)
+        pairs: "list[tuple[Enforcer, Optional[ShardDurability]]]" = []
+        for index in range(self.config.shards):
+            shard_dir = root / f"shard-{index}"
+            if has_state(shard_dir):
+                shard_enforcer, wal, report = recover_enforcer(
+                    shard_dir,
+                    registry=prototype.registry,
+                    clock=prototype.clock.clone(),
+                    sync=self.config.wal_sync,
+                )
+                self.recovery_reports.append(report)
+            else:
+                shard_enforcer = (
+                    prototype if index == 0 else prototype.clone()
+                )
+                wal = initialize_durability(
+                    shard_enforcer, shard_dir, sync=self.config.wal_sync
+                )
+            pairs.append(
+                (
+                    shard_enforcer,
+                    ShardDurability(
+                        shard_dir,
+                        wal,
+                        checkpoint_every=self.config.checkpoint_every,
+                        sync=self.config.wal_sync,
+                    ),
+                )
+            )
+
+        # A crash mid-broadcast can leave shards with diverged policy
+        # sets; refusing to serve beats silently under-enforcing.
+        names = [p.name for p in pairs[0][0].policies]
+        for index, (shard_enforcer, _) in enumerate(pairs[1:], start=1):
+            shard_names = [p.name for p in shard_enforcer.policies]
+            if shard_names != names:
+                raise ServiceError(
+                    f"recovered policy sets diverge: shard 0 has {names}, "
+                    f"shard {index} has {shard_names}; re-apply the "
+                    "missing policy changes before serving"
+                )
+        return pairs
 
     # ------------------------------------------------------------------
     # query admission
@@ -139,6 +203,7 @@ class ShardedEnforcerService:
             with self._all_shard_locks():
                 for shard in self.shards:
                     shard.enforcer.add_policy(policy)
+                self._checkpoint_locked()
                 return self._bump_epoch()
 
     def remove_policy(self, name: str) -> int:
@@ -149,6 +214,7 @@ class ShardedEnforcerService:
             with self._all_shard_locks():
                 for shard in self.shards:
                     shard.enforcer.remove_policy(name)
+                self._checkpoint_locked()
                 return self._bump_epoch()
 
     def has_policy(self, name: str) -> bool:
@@ -168,6 +234,18 @@ class ShardedEnforcerService:
             ],
         )
         return self._epoch
+
+    def _checkpoint_locked(self) -> None:
+        """Checkpoint every shard; caller holds all shard locks.
+
+        Policy texts live in the checkpoint manifest, not in WAL records,
+        so a policy change is only durable once every shard has
+        checkpointed — done inside the broadcast's lock scope so no
+        query lands between the change and its persistence.
+        """
+        for shard in self.shards:
+            if shard.durability is not None:
+                shard.durability.checkpoint(shard.enforcer)
 
     def _all_shard_locks(self) -> ExitStack:
         """Acquire every shard lock in index order (no deadlock: workers
@@ -244,8 +322,28 @@ class ShardedEnforcerService:
             "workers": self.config.workers,
             "queue_depth": self.config.queue_depth,
             "routing": self.config.routing,
+            "durable": bool(self.config.data_dir),
             "per_shard": shard_stats,
             "totals": totals,
+        }
+
+    def durability_status(self) -> dict:
+        """The durability surface (GET /durability)."""
+        if not self.config.data_dir:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "data_dir": str(self.config.data_dir),
+            "wal_sync": self.config.wal_sync,
+            "checkpoint_every": self.config.checkpoint_every,
+            "recovered_shards": [
+                report.as_dict() for report in self.recovery_reports
+            ],
+            "per_shard": [
+                shard.durability.status()
+                for shard in self.shards
+                if shard.durability is not None
+            ],
         }
 
     # ------------------------------------------------------------------

@@ -15,10 +15,12 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from pathlib import Path
 from typing import Callable, Optional
 
 from ..core import Decision, Enforcer
 from ..errors import ServiceClosedError, ServiceOverloadedError
+from ..storage.wal import WriteAheadLog, checkpoint
 from .metrics import ShardCounters
 
 #: Queue sentinel telling a worker to exit after the backlog drains.
@@ -26,6 +28,57 @@ _STOP = object()
 
 #: Fallback Retry-After hint before any latency samples exist.
 _DEFAULT_RETRY_AFTER = 0.05
+
+
+class ShardDurability:
+    """One shard's durability handle: its WAL directory and cadence.
+
+    The WAL itself is attached to the shard's enforcer (every commit and
+    reject appends a record); this object owns the *checkpoint* side —
+    counting queries since the last snapshot and truncating the WAL at
+    the configured cadence. All methods that touch the enforcer must be
+    called with the shard lock held.
+    """
+
+    def __init__(
+        self,
+        directory,
+        wal: WriteAheadLog,
+        checkpoint_every: int = 0,
+        sync: bool = True,
+    ):
+        self.directory = Path(directory)
+        self.wal = wal
+        self.checkpoint_every = checkpoint_every
+        self.sync = sync
+        self._since_checkpoint = 0
+
+    def note_query(self, enforcer: Enforcer) -> None:
+        """Count one processed query; checkpoint when the cadence hits."""
+        self._since_checkpoint += 1
+        if self.checkpoint_every and (
+            self._since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint(enforcer)
+
+    def checkpoint(self, enforcer: Enforcer) -> None:
+        checkpoint(enforcer, self.directory, self.wal, sync=self.sync)
+        self._since_checkpoint = 0
+
+    def status(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "last_seq": self.wal.last_seq,
+            "checkpoint_every": self.checkpoint_every,
+            "since_checkpoint": self._since_checkpoint,
+            "wal_bytes": (
+                self.wal.path.stat().st_size if self.wal.path.exists() else 0
+            ),
+            "sync": self.sync,
+        }
+
+    def close(self) -> None:
+        self.wal.close()
 
 
 class Shard:
@@ -39,9 +92,11 @@ class Shard:
         workers: int = 1,
         dispatch_seconds: float = 0.0,
         latency_window: int = 512,
+        durability: Optional[ShardDurability] = None,
     ):
         self.index = index
         self.enforcer = enforcer
+        self.durability = durability
         #: Guards the enforcer; the coordinator takes it for broadcasts.
         self.lock = threading.Lock()
         self.counters = ShardCounters(latency_window)
@@ -103,6 +158,8 @@ class Shard:
             try:
                 with self.lock:
                     decision = job(self.enforcer)
+                    if self.durability is not None:
+                        self.durability.note_query(self.enforcer)
                     if self.dispatch_seconds:
                         # Modeled backend round trip (see ServiceConfig).
                         time.sleep(self.dispatch_seconds)
@@ -149,6 +206,13 @@ class Shard:
             future.set_exception(
                 ServiceClosedError(f"shard {self.index} drained")
             )
+        # Final checkpoint: everything processed is now in the snapshot
+        # and the WAL is empty, so the next startup restores instantly.
+        if self.durability is not None:
+            durability, self.durability = self.durability, None
+            with self.lock:
+                durability.checkpoint(self.enforcer)
+            durability.close()
 
     @property
     def closed(self) -> bool:

@@ -1,11 +1,22 @@
-"""Persistence: JSON-lines snapshots of databases and enforcer state."""
+"""Persistence: snapshots, write-ahead logging, and crash recovery."""
 
+from .faults import FaultPlan, FaultyFile, InjectedCrash, tear
 from .format import StorageError, read_table, write_table
 from .snapshot import (
     load_database,
     restore_enforcer,
     save_database,
     save_enforcer_state,
+)
+from .wal import (
+    RecoveryReport,
+    WalError,
+    WriteAheadLog,
+    checkpoint,
+    has_state,
+    initialize_durability,
+    read_wal,
+    recover_enforcer,
 )
 
 __all__ = [
@@ -16,4 +27,16 @@ __all__ = [
     "load_database",
     "save_enforcer_state",
     "restore_enforcer",
+    "FaultPlan",
+    "FaultyFile",
+    "InjectedCrash",
+    "tear",
+    "WalError",
+    "WriteAheadLog",
+    "RecoveryReport",
+    "checkpoint",
+    "has_state",
+    "initialize_durability",
+    "read_wal",
+    "recover_enforcer",
 ]

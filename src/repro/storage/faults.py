@@ -1,0 +1,127 @@
+"""Fault injection for the durability layer.
+
+Durability claims are only as good as the crashes they survive, so the
+tests drive the WAL and checkpoint machinery through simulated failures
+instead of trusting the happy path:
+
+- :class:`FaultPlan` — a declarative failure schedule shared by one
+  "process lifetime": kill writes after N bytes (producing a genuinely
+  torn record on "disk"), silently drop fsyncs, and crash at named
+  protocol points inside the checkpoint swap;
+- :class:`FaultyFile` — the file wrapper that enforces the plan on the
+  WAL's appends;
+- :func:`tear` — truncate a file at an arbitrary byte offset, modelling
+  the tail loss an un-fsynced crash leaves behind.
+
+A triggered fault raises :class:`InjectedCrash`, which deliberately does
+*not* derive from :class:`~repro.errors.ReproError`: production error
+handling must never swallow a simulated power cut.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Optional
+
+
+class InjectedCrash(RuntimeError):
+    """Simulated process death at an inconvenient moment."""
+
+
+class FaultPlan:
+    """One simulated process lifetime's failure schedule.
+
+    The plan is stateful: once any fault fires, the "process" is dead and
+    every subsequent write or protocol step raises immediately — exactly
+    like code running after a real crash wouldn't.
+    """
+
+    def __init__(
+        self,
+        fail_write_after_bytes: Optional[int] = None,
+        drop_fsync: bool = False,
+        crash_at: Iterable[str] = (),
+    ):
+        #: Total write budget across all files; the write that exceeds it
+        #: lands only partially (a torn record) and then crashes.
+        self.fail_write_after_bytes = fail_write_after_bytes
+        #: fsync becomes a silent no-op: data sits in the OS cache and a
+        #: later :func:`tear` models the kernel dropping it.
+        self.drop_fsync = drop_fsync
+        #: Named protocol points (see ``repro.storage.wal.checkpoint``)
+        #: at which :meth:`check` raises.
+        self.crash_at = set(crash_at)
+        self.crashed = False
+        self.bytes_written = 0
+
+    def admit_write(self, nbytes: int) -> int:
+        """How many of ``nbytes`` may reach the file before the crash."""
+        if self.crashed:
+            raise InjectedCrash("process already crashed")
+        if self.fail_write_after_bytes is None:
+            self.bytes_written += nbytes
+            return nbytes
+        remaining = max(0, self.fail_write_after_bytes - self.bytes_written)
+        allowed = min(nbytes, remaining)
+        self.bytes_written += allowed
+        if allowed < nbytes:
+            self.crashed = True
+        return allowed
+
+    def check(self, point: str) -> None:
+        """Crash if ``point`` is scheduled (or the process already died)."""
+        if self.crashed:
+            raise InjectedCrash("process already crashed")
+        if point in self.crash_at:
+            self.crashed = True
+            raise InjectedCrash(f"injected crash at {point}")
+
+
+class FaultyFile:
+    """A binary file wrapper that applies a :class:`FaultPlan` to writes.
+
+    Exposes exactly the surface the WAL needs (``write``/``flush``/
+    ``fileno``/``close``); a killed write flushes the admitted prefix so
+    the torn bytes are observable on disk, then raises.
+    """
+
+    def __init__(self, raw, plan: FaultPlan):
+        self.raw = raw
+        self.plan = plan
+
+    def write(self, data: bytes) -> int:
+        allowed = self.plan.admit_write(len(data))
+        if allowed:
+            self.raw.write(data[:allowed])
+        if allowed < len(data):
+            self.raw.flush()
+            raise InjectedCrash(
+                f"write killed after {self.plan.bytes_written} bytes"
+            )
+        return allowed
+
+    def flush(self) -> None:
+        self.raw.flush()
+
+    def fileno(self) -> int:
+        return self.raw.fileno()
+
+    def close(self) -> None:
+        self.raw.close()
+
+
+def tear(path, keep_bytes: int) -> int:
+    """Truncate ``path`` to at most ``keep_bytes`` (a torn tail).
+
+    Returns the file's new size. Models what an un-fsynced crash leaves
+    behind: an arbitrary prefix of the bytes the process believed written.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(0, min(keep_bytes, size))
+    with path.open("r+b") as handle:
+        handle.truncate(keep)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return keep

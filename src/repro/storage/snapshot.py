@@ -67,12 +67,15 @@ def _read_manifest(directory: Path) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def save_enforcer_state(enforcer: Enforcer, directory: Path) -> None:
+def save_enforcer_state(
+    enforcer: Enforcer, directory: Path, extra: Optional[dict] = None
+) -> None:
     """Persist an enforcer's full state.
 
     Must be called between queries (nothing staged). Unified-constants
     tables are rebuilt by the offline phase on restore, so they are not
-    stored.
+    stored. ``extra`` entries are merged into the manifest (the WAL
+    checkpoint records its covered sequence number this way).
     """
     if enforcer.store.staged_relations():
         raise StorageError("cannot snapshot with staged log increments")
@@ -110,12 +113,15 @@ def save_enforcer_state(enforcer: Enforcer, directory: Path) -> None:
             for policy in enforcer.policies
         ],
         "options": _options_to_dict(enforcer.options),
+        "queries_since_compaction": enforcer._queries_since_compaction,  # noqa: SLF001
         # The disk image: tid → persisted, per relation.
         "disk_tids": {
             name: [tid for tid, _ in enforcer.store._disk[name]]  # noqa: SLF001
             for name in enforcer.store._disk  # noqa: SLF001
         },
     }
+    if extra:
+        manifest.update(extra)
     (directory / MANIFEST).write_text(json.dumps(manifest, indent=2))
 
 
@@ -171,6 +177,9 @@ def restore_enforcer(
             if tid in by_tid
         ]
     enforcer.store.set_time(int(manifest["clock_now"]))
+    enforcer._queries_since_compaction = int(  # noqa: SLF001
+        manifest.get("queries_since_compaction", 0)
+    )
     return enforcer
 
 

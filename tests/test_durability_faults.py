@@ -1,0 +1,245 @@
+"""Fault-injection tests: recovery from crashes at the worst moments.
+
+Every test follows the same shape: run a query stream against a durable
+enforcer, kill the "process" somewhere inconvenient (mid-record write,
+dropped fsync + torn tail, or inside the checkpoint swap), recover, and
+assert the recovered enforcer's held-out decisions are bit-identical to
+an uncrashed twin that processed exactly the queries recovery reports as
+durable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.engine import Database
+from repro.log import SimulatedClock, standard_registry
+from repro.storage import (
+    FaultPlan,
+    InjectedCrash,
+    WriteAheadLog,
+    checkpoint,
+    initialize_durability,
+    read_wal,
+    recover_enforcer,
+    tear,
+)
+
+RATE_POLICY = (
+    "SELECT DISTINCT 'too fast' FROM users u, groups g, clock c "
+    "WHERE u.uid = g.uid AND g.gid = 'x' AND u.ts > c.ts - 100 "
+    "HAVING COUNT(DISTINCT u.ts) > 3"
+)
+
+QUERIES = [
+    ("SELECT iid FROM items", "alice"),
+    ("SELECT owner FROM items", "bob"),
+    ("SELECT iid FROM items WHERE owner = 'u0'", "alice"),
+    ("SELECT iid FROM items", "alice"),
+    ("SELECT owner FROM items WHERE owner = 'u1'", "bob"),
+    ("SELECT iid FROM items", "bob"),
+    ("SELECT iid FROM items", "alice"),
+    ("SELECT owner FROM items", "bob"),
+]
+
+HELD_OUT = [
+    ("SELECT iid FROM items", "alice"),
+    ("SELECT owner FROM items", "bob"),
+    ("SELECT iid FROM items WHERE owner = 'u0'", "bob"),
+    ("SELECT iid FROM items", "alice"),
+]
+
+
+def make_enforcer(**options) -> Enforcer:
+    db = Database()
+    db.load_table(
+        "items",
+        ["iid", "owner"],
+        [(f"i{i}", f"u{i % 2}") for i in range(4)],
+    )
+    db.load_table("groups", ["uid", "gid"], [("alice", "x"), ("bob", "x")])
+    policy = Policy.from_sql("rate", RATE_POLICY, "rate limit")
+    return Enforcer(
+        db,
+        [policy],
+        registry=standard_registry(),
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions(**options),
+    )
+
+
+def run_stream(enforcer, queries):
+    return [
+        (d.allowed, d.timestamp)
+        for d in (enforcer.submit(q, uid=u) for q, u in queries)
+    ]
+
+
+def arm(enforcer, directory, plan):
+    """Swap the enforcer's WAL for one driven by ``plan``.
+
+    Keeps the fault byte-budget independent of the header/genesis bytes
+    written during :func:`initialize_durability`.
+    """
+    old = enforcer.store.wal
+    old.close()
+    wal = WriteAheadLog(
+        directory / "wal.jsonl", fault_plan=plan, start_seq=old.last_seq
+    )
+    enforcer.store.attach_wal(wal)
+    return wal
+
+
+def assert_recovery_matches_uncrashed(directory, options=None):
+    """Recover; assert held-out decisions equal a twin that ran exactly
+    the ``last_seq`` queries recovery reports as durable."""
+    recovered, rwal, report = recover_enforcer(
+        directory, clock=SimulatedClock(default_step_ms=10)
+    )
+    twin = make_enforcer(**(options or {}))
+    run_stream(twin, QUERIES[: report.last_seq])
+    assert run_stream(recovered, HELD_OUT) == run_stream(twin, HELD_OUT)
+    for name in ("users", "schema", "provenance"):
+        assert (
+            recovered.database.table(name).rows()
+            == twin.database.table(name).rows()
+        )
+        assert (
+            recovered.database.table(name).tids()
+            == twin.database.table(name).tids()
+        )
+    rwal.close()
+    return report
+
+
+class TestMidCommitCrash:
+    @pytest.mark.parametrize("budget", [5, 120, 333, 700, 950])
+    def test_write_killed_mid_record(self, tmp_path, budget):
+        enforcer = make_enforcer()
+        initialize_durability(enforcer, tmp_path)
+        wal = arm(enforcer, tmp_path, FaultPlan(fail_write_after_bytes=budget))
+        with pytest.raises(InjectedCrash):
+            for sql, uid in QUERIES:
+                enforcer.submit(sql, uid=uid)
+
+        report = assert_recovery_matches_uncrashed(tmp_path)
+        # The killed write left a genuinely torn record unless the budget
+        # happened to land exactly on a record boundary.
+        assert report.last_seq < len(QUERIES)
+        wal.close()
+
+    def test_compaction_commits_survive_the_same_way(self, tmp_path):
+        options = {"log_compaction": True, "compaction_every": 2}
+        enforcer = make_enforcer(**options)
+        initialize_durability(enforcer, tmp_path)
+        wal = arm(enforcer, tmp_path, FaultPlan(fail_write_after_bytes=400))
+        with pytest.raises(InjectedCrash):
+            for sql, uid in QUERIES:
+                enforcer.submit(sql, uid=uid)
+        report = assert_recovery_matches_uncrashed(tmp_path, options)
+        assert report.last_seq < len(QUERIES)
+        wal.close()
+
+
+class TestDroppedFsync:
+    @pytest.mark.parametrize("lost_fraction", [0.1, 0.4, 0.9])
+    def test_torn_tail_after_os_crash(self, tmp_path, lost_fraction):
+        enforcer = make_enforcer()
+        initialize_durability(enforcer, tmp_path)
+        wal = arm(enforcer, tmp_path, FaultPlan(drop_fsync=True))
+        run_stream(enforcer, QUERIES)
+        wal.close()
+        # The kernel never made the tail durable; a power cut drops an
+        # arbitrary suffix of what the process believed written.
+        path = tmp_path / "wal.jsonl"
+        size = path.stat().st_size
+        tear(path, int(size * (1 - lost_fraction)))
+
+        report = assert_recovery_matches_uncrashed(tmp_path)
+        assert report.last_seq <= len(QUERIES)
+
+    def test_recovery_truncates_the_torn_tail(self, tmp_path):
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        run_stream(enforcer, QUERIES[:4])
+        wal.close()
+        path = tmp_path / "wal.jsonl"
+        tear(path, path.stat().st_size - 9)
+
+        recovered, rwal, report = recover_enforcer(
+            tmp_path, clock=SimulatedClock(default_step_ms=10)
+        )
+        assert report.torn_tail
+        assert report.truncated_bytes > 0
+        rwal.close()
+        # After truncation the file scans clean again.
+        assert not read_wal(path).torn
+
+
+class TestCheckpointCrashes:
+    POINTS = [
+        "checkpoint:after-save",
+        "checkpoint:mid-swap",
+        "checkpoint:before-clean",
+        "checkpoint:before-reset",
+    ]
+
+    @pytest.mark.parametrize("point", POINTS)
+    def test_crash_inside_the_swap_protocol(self, tmp_path, point):
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        run_stream(enforcer, QUERIES[:6])
+        with pytest.raises(InjectedCrash):
+            checkpoint(
+                enforcer, tmp_path, wal, fault_plan=FaultPlan(crash_at={point})
+            )
+        wal.close()
+        report = assert_recovery_matches_uncrashed(tmp_path)
+        # Wherever the crash landed, no acknowledged query is lost.
+        assert report.last_seq == 6
+
+    def test_before_reset_skips_covered_records(self, tmp_path):
+        """Crash after the swap but before WAL truncation: the surviving
+        records are all covered by the new checkpoint and must not be
+        applied twice."""
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        run_stream(enforcer, QUERIES[:6])
+        with pytest.raises(InjectedCrash):
+            checkpoint(
+                enforcer,
+                tmp_path,
+                wal,
+                fault_plan=FaultPlan(crash_at={"checkpoint:before-reset"}),
+            )
+        wal.close()
+        recovered, rwal, report = recover_enforcer(
+            tmp_path, clock=SimulatedClock(default_step_ms=10)
+        )
+        assert report.checkpoint_seq == 6
+        assert report.skipped == 6
+        assert report.replayed == 0
+        rwal.close()
+
+    def test_crash_then_more_queries_then_crash_again(self, tmp_path):
+        """Two consecutive crash-recover cycles with work in between."""
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        run_stream(enforcer, QUERIES[:3])
+        with pytest.raises(InjectedCrash):
+            checkpoint(
+                enforcer,
+                tmp_path,
+                wal,
+                fault_plan=FaultPlan(crash_at={"checkpoint:mid-swap"}),
+            )
+        wal.close()
+
+        recovered, rwal, _ = recover_enforcer(
+            tmp_path, clock=SimulatedClock(default_step_ms=10)
+        )
+        run_stream(recovered, QUERIES[3:6])
+        rwal.close()  # crash again, mid-flight state abandoned
+
+        report = assert_recovery_matches_uncrashed(tmp_path)
+        assert report.last_seq == 6

@@ -59,6 +59,7 @@ def make_stream(config):
     return round_robin(queries, uids, QUERIES_PER_UID * len(uids))
 
 
+@pytest.mark.slow
 class TestShardedStress:
     @pytest.fixture(scope="class")
     def outcome(self):
@@ -108,6 +109,7 @@ class TestShardedStress:
                     assert sorted(got.result.rows) == sorted(want.result.rows)
 
 
+@pytest.mark.slow
 class TestBackpressure:
     def make_slow_service(self):
         config = make_config()

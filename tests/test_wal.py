@@ -1,0 +1,282 @@
+"""Unit tests for the write-ahead log: framing, sequencing, scanning,
+checkpoint/reset, and crash-free recovery equivalence."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.engine import Database
+from repro.log import SimulatedClock, standard_registry
+from repro.storage import (
+    StorageError,
+    WalError,
+    WriteAheadLog,
+    checkpoint,
+    has_state,
+    initialize_durability,
+    read_wal,
+    recover_enforcer,
+    tear,
+)
+
+RATE_POLICY = (
+    "SELECT DISTINCT 'too fast' FROM users u, groups g, clock c "
+    "WHERE u.uid = g.uid AND g.gid = 'x' AND u.ts > c.ts - 100 "
+    "HAVING COUNT(DISTINCT u.ts) > 3"
+)
+
+
+def make_enforcer(**options) -> Enforcer:
+    db = Database()
+    db.load_table(
+        "items",
+        ["iid", "owner"],
+        [(f"i{i}", f"u{i % 2}") for i in range(4)],
+    )
+    db.load_table("groups", ["uid", "gid"], [("alice", "x"), ("bob", "x")])
+    policy = Policy.from_sql("rate", RATE_POLICY, "rate limit")
+    return Enforcer(
+        db,
+        [policy],
+        registry=standard_registry(),
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions(**options),
+    )
+
+
+QUERIES = [
+    ("SELECT iid FROM items", "alice"),
+    ("SELECT owner FROM items", "bob"),
+    ("SELECT iid FROM items WHERE owner = 'u0'", "alice"),
+    ("SELECT iid FROM items", "alice"),
+    ("SELECT iid FROM items", "alice"),
+    ("SELECT iid FROM items", "bob"),
+]
+
+
+def run_stream(enforcer, queries):
+    return [
+        (d.allowed, d.timestamp)
+        for d in (enforcer.submit(q, uid=u) for q, u in queries)
+    ]
+
+
+class TestFraming:
+    def test_records_roundtrip_with_sequence_numbers(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        assert wal.append({"type": "commit", "x": 1}) == 1
+        assert wal.append({"type": "reject", "y": 2}) == 2
+        assert wal.last_seq == 2
+        wal.close()
+
+        scan = read_wal(tmp_path / "wal.jsonl")
+        assert not scan.torn
+        assert [r["type"] for r in scan.records] == [
+            "header", "commit", "reject",
+        ]
+        assert [r.get("seq") for r in scan.records] == [None, 1, 2]
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append({"type": "commit"})
+        wal.close()
+        resumed = WriteAheadLog(tmp_path / "wal.jsonl", start_seq=1)
+        assert resumed.append({"type": "commit"}) == 2
+        resumed.close()
+
+    def test_corrupt_checksum_stops_the_scan(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"type": "commit", "n": 1})
+        wal.append({"type": "commit", "n": 2})
+        wal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip a payload byte of the middle record; its crc no longer
+        # matches, so the scan must stop before it.
+        corrupted = lines[1][:-2] + b"X" + lines[1][-1:]
+        path.write_bytes(lines[0] + corrupted + lines[2])
+
+        scan = read_wal(path)
+        assert scan.torn
+        assert [r.get("n") for r in scan.records] == [None]
+        assert scan.valid_bytes == len(lines[0])
+
+    def test_record_without_trailing_newline_is_accepted(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"type": "commit"})
+        wal.close()
+        tear(path, path.stat().st_size - 1)  # drop only the newline
+        scan = read_wal(path)
+        assert not scan.torn
+        assert scan.records[-1]["type"] == "commit"
+
+    def test_torn_mid_record_keeps_the_valid_prefix(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"type": "commit", "n": 1})
+        wal.append({"type": "commit", "n": 2})
+        wal.close()
+        tear(path, path.stat().st_size - 7)
+        scan = read_wal(path)
+        assert scan.torn
+        assert [r.get("n") for r in scan.records] == [None, 1]
+
+    def test_missing_header_is_an_error(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        payload = json.dumps({"type": "commit", "seq": 1}).encode()
+        path.write_bytes(b"%08x " % zlib.crc32(payload) + payload + b"\n")
+        with pytest.raises(WalError, match="header"):
+            read_wal(path)
+
+    def test_unknown_version_is_an_error(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        payload = json.dumps(
+            {"type": "header", "version": 99}, separators=(",", ":"),
+            sort_keys=True,
+        ).encode()
+        path.write_bytes(b"%08x " % zlib.crc32(payload) + payload + b"\n")
+        with pytest.raises(WalError, match="version"):
+            read_wal(path)
+
+    def test_reset_truncates_but_keeps_sequencing(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"type": "commit"})
+        wal.append({"type": "commit"})
+        wal.reset()
+        assert wal.last_seq == 2
+        assert wal.append({"type": "commit"}) == 3
+        wal.close()
+        scan = read_wal(path)
+        assert [r.get("seq") for r in scan.records] == [None, 3]
+
+
+class TestEnforcerJournal:
+    def test_one_record_per_query(self, tmp_path):
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        decisions = run_stream(enforcer, QUERIES)
+        wal.close()
+        assert [d[0] for d in decisions] == [
+            True, True, True, False, False, False,
+        ]
+        scan = read_wal(tmp_path / "wal.jsonl")
+        kinds = [r["type"] for r in scan.records if r["type"] != "header"]
+        assert kinds.count("commit") == 3
+        assert kinds.count("reject") == 3
+        assert wal.last_seq == len(QUERIES)
+
+    def test_rejected_query_records_clock_and_tids(self, tmp_path):
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        run_stream(enforcer, QUERIES[:5])
+        wal.close()
+        scan = read_wal(tmp_path / "wal.jsonl")
+        reject = next(r for r in scan.records if r["type"] == "reject")
+        assert reject["ts"] > 0
+        assert set(reject["next_tid"]) == {"users", "schema", "provenance"}
+
+    def test_has_state_and_genesis_checkpoint(self, tmp_path):
+        assert not has_state(tmp_path)
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        wal.close()
+        assert has_state(tmp_path)
+        assert (tmp_path / "checkpoint" / "manifest.json").exists()
+
+    def test_recover_without_state_raises(self, tmp_path):
+        with pytest.raises(StorageError, match="no durable"):
+            recover_enforcer(tmp_path)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize(
+        "options",
+        [{}, {"log_compaction": True, "compaction_every": 2}],
+        ids=["noopt", "compaction"],
+    )
+    def test_recovered_decisions_match_uncrashed_twin(
+        self, tmp_path, options
+    ):
+        enforcer = make_enforcer(**options)
+        wal = initialize_durability(enforcer, tmp_path)
+        prefix = run_stream(enforcer, QUERIES[:4])
+        wal.close()  # abandon the in-memory state: simulated crash
+
+        twin = make_enforcer(**options)
+        assert run_stream(twin, QUERIES[:4]) == prefix
+
+        recovered, rwal, report = recover_enforcer(
+            tmp_path, clock=SimulatedClock(default_step_ms=10)
+        )
+        assert report.last_seq == 4
+        assert report.replayed == 4
+        assert run_stream(recovered, QUERIES[4:]) == run_stream(
+            twin, QUERIES[4:]
+        )
+        for name in ("users", "schema", "provenance"):
+            assert (
+                recovered.database.table(name).rows()
+                == twin.database.table(name).rows()
+            )
+            assert (
+                recovered.database.table(name).tids()
+                == twin.database.table(name).tids()
+            )
+        rwal.close()
+
+    def test_recovery_continues_the_journal(self, tmp_path):
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        run_stream(enforcer, QUERIES[:3])
+        wal.close()
+        recovered, rwal, report = recover_enforcer(
+            tmp_path, clock=SimulatedClock(default_step_ms=10)
+        )
+        run_stream(recovered, QUERIES[3:])
+        assert rwal.last_seq == len(QUERIES)
+        rwal.close()
+        # A second recovery sees every query, all from the same journal.
+        again, awal, report2 = recover_enforcer(
+            tmp_path, clock=SimulatedClock(default_step_ms=10)
+        )
+        assert report2.last_seq == len(QUERIES)
+        awal.close()
+
+    def test_checkpoint_truncates_and_replay_skips_covered(self, tmp_path):
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        run_stream(enforcer, QUERIES[:3])
+        checkpoint(enforcer, tmp_path, wal)
+        run_stream(enforcer, QUERIES[3:5])
+        wal.close()
+
+        recovered, rwal, report = recover_enforcer(
+            tmp_path, clock=SimulatedClock(default_step_ms=10)
+        )
+        assert report.checkpoint_seq == 3
+        assert report.replayed == 2
+        assert report.skipped == 0
+        twin = make_enforcer()
+        run_stream(twin, QUERIES[:5])
+        assert run_stream(recovered, QUERIES[5:]) == run_stream(
+            twin, QUERIES[5:]
+        )
+        rwal.close()
+
+    def test_explain_does_not_pollute_the_journal(self, tmp_path):
+        from repro.core import explain_decision
+
+        enforcer = make_enforcer()
+        wal = initialize_durability(enforcer, tmp_path)
+        decisions = [enforcer.submit(q, uid=u) for q, u in QUERIES[:4]]
+        rejected = decisions[-1]
+        assert not rejected.allowed
+        explain_decision(enforcer, rejected)
+        assert wal.last_seq == 4  # the diagnostic re-staging wrote nothing
+        wal.close()

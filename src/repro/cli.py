@@ -8,6 +8,9 @@ Subcommands:
   ``:explain`` the last rejection, ``:log`` to inspect the usage log;
 - ``demo`` — a self-contained tour on the synthetic MIMIC-II database
   with the paper's six policies;
+- ``explain`` — show the physical plan the engine would run for a
+  query; ``--analyze`` executes it and annotates every operator with
+  observed rows and time;
 - ``serve`` — the sharded HTTP enforcement gateway (``--data-dir``
   makes every decision durable via a write-ahead log);
 - ``recover`` — offline inspection/repair of a durability directory:
@@ -214,6 +217,27 @@ def cmd_demo(args, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_explain(args, out=sys.stdout) -> int:
+    """EXPLAIN / EXPLAIN ANALYZE one query, outside any policy check."""
+    from .engine import Engine
+
+    if args.demo:
+        from .workloads import MimicConfig, build_mimic_database
+
+        database = build_mimic_database(MimicConfig(n_patients=args.patients))
+    else:
+        database = Database()
+        for spec in args.data:
+            load_csv_table(database, Path(spec))
+    engine = Engine(database)
+    try:
+        print(engine.explain(args.query, analyze=args.analyze), file=out)
+    except ReproError as error:
+        print(f"ERROR: {error}", file=out)
+        return 2
+    return 0
+
+
 def build_server(args):
     """Construct (but do not start) the HTTP server for ``serve``.
 
@@ -257,6 +281,8 @@ def build_server(args):
             data_dir=args.data_dir,
             wal_sync=not args.no_fsync,
             checkpoint_every=args.checkpoint_every,
+            tracing=not args.no_tracing,
+            slow_query_seconds=args.slow_query_ms / 1000.0,
         ),
     )
 
@@ -404,6 +430,26 @@ def make_parser() -> argparse.ArgumentParser:
     demo.add_argument("--patients", type=int, default=200)
     demo.set_defaults(func=cmd_demo)
 
+    explain = sub.add_parser(
+        "explain", help="show (or EXPLAIN ANALYZE) a query's physical plan"
+    )
+    explain.add_argument(
+        "--data", action="append", default=[], help="CSV file to load as a table"
+    )
+    explain.add_argument(
+        "--demo",
+        action="store_true",
+        help="explain against the synthetic MIMIC-II tables",
+    )
+    explain.add_argument("--patients", type=int, default=200)
+    explain.add_argument("--query", required=True, help="the SQL query")
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the plan and annotate operators with rows and time",
+    )
+    explain.set_defaults(func=cmd_explain)
+
     serve = sub.add_parser(
         "serve", help="run the sharded HTTP enforcement gateway"
     )
@@ -443,6 +489,16 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-fsync", action="store_true",
         help="skip fsync on WAL appends (faster; an OS crash may lose "
         "the newest records)",
+    )
+    serve.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable per-query trace spans (trims the /metrics and "
+        "explain=analyze surfaces)",
+    )
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=0.0,
+        help="log checks slower than this (with their span tree) and "
+        "keep them on GET /slowlog; 0 disables",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -36,6 +36,7 @@ from ..analysis import (
 from ..engine import Database, Engine, Result
 from ..errors import ReproError
 from ..log import Clock, LogicalClock, LogRegistry, QueryContext, standard_registry
+from ..obs import TraceContext
 from ..log.store import LogStore
 from ..sql import ast
 from .metrics import (
@@ -73,6 +74,11 @@ class EnforcerOptions:
     compaction_every: int = 1
     #: Whether ``submit`` runs the user's query after a positive decision.
     execute_queries: bool = True
+    #: Build a per-query trace (root span on the :class:`Decision`, one
+    #: child per phase/policy, operator spans under the query phase).
+    #: Orthogonal to the paper's ablations; off it reverts ``timed()`` to
+    #: bare perf counters.
+    tracing: bool = True
 
     @classmethod
     def datalawyer(cls, **overrides) -> "EnforcerOptions":
@@ -306,7 +312,12 @@ class Enforcer:
         """Check a query against all policies; run it if compliant."""
         timestamp = self.clock.advance()
         self.store.set_time(timestamp)
-        metrics = QueryMetrics(timestamp=timestamp, uid=uid)
+        trace = (
+            TraceContext(f"submit uid={uid} ts={timestamp}")
+            if self.options.tracing
+            else None
+        )
+        metrics = QueryMetrics(timestamp=timestamp, uid=uid, trace=trace)
         try:
             context = QueryContext.create(
                 sql, uid, timestamp, self.engine, attributes
@@ -339,6 +350,7 @@ class Enforcer:
                     metrics=metrics,
                     sql=sql,
                     uid=uid,
+                    span=self._finish_trace(trace, metrics, violations),
                 )
 
             self._commit_logs(metrics, ensure_log, generated, timestamp)
@@ -356,7 +368,7 @@ class Enforcer:
         )
         if should_execute:
             with metrics.timed(PHASE_QUERY):
-                result = self.engine.execute(context.query)
+                result = self.engine.execute(context.query, trace=trace)
             metrics.add_count("statements")
 
         metrics.counts["log_size"] = self.store.total_live_size()
@@ -368,7 +380,19 @@ class Enforcer:
             metrics=metrics,
             sql=sql,
             uid=uid,
+            span=self._finish_trace(trace, metrics, []),
         )
+
+    @staticmethod
+    def _finish_trace(trace, metrics, violations):
+        if trace is None:
+            return None
+        root = trace.finish()
+        root.counters["allowed"] = int(not violations)
+        if violations:
+            root.counters["violations"] = len(violations)
+        root.counters["statements"] = metrics.counts.get("statements", 0)
+        return root
 
     # -- policy evaluation ------------------------------------------------
 
@@ -414,7 +438,7 @@ class Enforcer:
         for runtime in deferred:
             for name in sorted(runtime.log_relations):
                 ensure_log(name)
-            with metrics.timed(PHASE_POLICY):
+            with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
                 empty = self.engine.is_empty(runtime.select)
             metrics.add_count("statements")
             if not empty:
@@ -444,7 +468,7 @@ class Enforcer:
             and not is_full
             and bool(referenced_log_relations(partial, self.registry))
         )
-        with metrics.timed(PHASE_POLICY):
+        with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
             if use_lineage:
                 result = self.engine.execute(partial, lineage=True)
                 empty = not result.rows
@@ -489,7 +513,7 @@ class Enforcer:
 
         violations: list[Violation] = []
         if self.options.eval_strategy == "union" and self._union_select is not None:
-            with metrics.timed(PHASE_POLICY):
+            with metrics.timed(PHASE_POLICY, span="policy:union"):
                 result = self.engine.execute(self._union_select)
             metrics.add_count("statements")
             for row in result.rows:
@@ -497,7 +521,7 @@ class Enforcer:
                 violations.append(Violation("policy-set", " ".join(message.split())))
         else:
             for runtime in self._runtime:
-                with metrics.timed(PHASE_POLICY):
+                with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
                     empty = self.engine.is_empty(runtime.select)
                 metrics.add_count("statements")
                 if not empty:
@@ -508,7 +532,7 @@ class Enforcer:
         self, runtime: RuntimePolicy, metrics: QueryMetrics
     ) -> Violation:
         """Build the violation report, re-running the policy for evidence."""
-        with metrics.timed(PHASE_POLICY):
+        with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
             result = self.engine.execute(runtime.select)
         metrics.add_count("statements")
         message = runtime.message

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from statistics import mean
 from typing import Iterator, Optional
 
+from ..obs import TraceContext
+
 #: Canonical phase keys.
 PHASE_QUERY = "query"
 PHASE_LOG_PREFIX = "log:"  # log:users, log:schema, log:provenance, ...
@@ -29,27 +31,53 @@ COMPACTION_PHASES = (PHASE_MARK, PHASE_DELETE, PHASE_INSERT)
 
 @dataclass
 class QueryMetrics:
-    """Timing and counters for one submitted query."""
+    """Timing and counters for one submitted query.
+
+    When a :class:`~repro.obs.TraceContext` is attached, every
+    :meth:`timed` block also opens a span, and the phase seconds are the
+    span's measurement — the metrics *feed from* the trace, so the two
+    views always reconcile exactly.
+    """
 
     timestamp: int = 0
     uid: int = 0
     allowed: bool = True
     seconds: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    trace: Optional[TraceContext] = None
 
-    def add_seconds(self, phase: str, value: float) -> None:
+    def add_seconds(
+        self, phase: str, value: float, span: Optional[str] = None
+    ) -> None:
+        """Account pre-measured seconds; mirrored into the trace."""
         self.seconds[phase] = self.seconds.get(phase, 0.0) + value
+        if self.trace is not None:
+            self.trace.record(span or phase, value)
 
     def add_count(self, counter: str, value: int = 1) -> None:
         self.counts[counter] = self.counts.get(counter, 0) + value
 
     @contextmanager
-    def timed(self, phase: str) -> Iterator[None]:
+    def timed(
+        self, phase: str, span: Optional[str] = None, merge: bool = True
+    ) -> Iterator[None]:
+        """Time a block into ``phase`` (and a span named ``span``).
+
+        ``span`` defaults to the phase name; ``merge`` accumulates
+        repeated blocks into a single span per name (one span per policy
+        across interleaved stages) rather than one span per call.
+        """
+        handle = None
+        if self.trace is not None:
+            handle = self.trace.push(span or phase, merge=merge)
         start = time.perf_counter()
         try:
             yield
         finally:
-            self.add_seconds(phase, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            if self.trace is not None:
+                self.trace.pop(handle, elapsed)
+            self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
 
     # -- derived quantities ---------------------------------------------------
 

@@ -108,6 +108,9 @@ class Decision:
     #: The submitted query and user (used by explain_decision).
     sql: str = ""
     uid: int = 0
+    #: Root :class:`~repro.obs.Span` of the check's trace (None when
+    #: tracing is disabled).
+    span: Optional[object] = None
 
     def __bool__(self) -> bool:
         return self.allowed

@@ -5,15 +5,25 @@
 Passing ``lineage=True`` makes every result row carry the set of
 ``(table, tid)`` base tuples that contributed to it — the mechanism behind
 the ``Provenance`` usage log and the §4.3 improved-partial-policy check.
+
+Passing ``trace=`` (a :class:`~repro.obs.TraceContext`) attaches one span
+per physical operator under the caller's current span, each accounting
+rows emitted and inclusive wall time; ``explain(analyze=True)`` is the
+self-contained version that executes the plan and renders those spans as
+per-node ``rows=… time=…`` annotations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass
 from typing import Optional, Union
 
+from ..obs import TraceContext
 from ..sql import ast, parse
 from .database import Database
+from .explain import describe, explain_plan, render_analyzed
+from .operators import Operator, TracedOp
 from .planner import Plan, plan_query
 from .table import Row
 
@@ -35,9 +45,24 @@ class Result:
         return bool(self.rows)
 
     def scalar(self):
-        """The single value of a 1×1 result (None when empty)."""
+        """The single value of a 1×1 result (None when empty).
+
+        A result wider or taller than 1×1 raises: callers compare the
+        scalar against thresholds, and silently returning the top-left
+        cell of a multi-row result would mask a malformed query.
+        """
         if not self.rows:
             return None
+        if len(self.rows) > 1:
+            raise ValueError(
+                f"scalar() on a {len(self.rows)}-row result; "
+                "expected at most one row"
+            )
+        if len(self.rows[0]) != 1:
+            raise ValueError(
+                f"scalar() on a {len(self.rows[0])}-column row; "
+                "expected exactly one column"
+            )
         return self.rows[0][0]
 
     def column(self, name: str) -> list:
@@ -57,6 +82,35 @@ class Result:
         for lineage in self.lineages:
             tables.update(table for table, _ in lineage)
         return tables
+
+
+def instrument_plan(
+    op: Operator, trace: TraceContext, parent=None
+) -> Operator:
+    """Wrap a plan so each node accounts into its own trace span.
+
+    The original operator tree is left untouched (plans are cached):
+    every node is shallow-copied, its child links are redirected at the
+    instrumented copies, and the copy is wrapped in a
+    :class:`~repro.engine.operators.TracedOp`. Where the trace's caps
+    drop a span, that subtree runs uninstrumented.
+    """
+    parent = trace.current if parent is None else parent
+    if parent is None:
+        return op
+    return _wrap(op, trace, parent)
+
+
+def _wrap(op: Operator, trace: TraceContext, parent) -> Operator:
+    span = trace.attach(parent, describe(op))
+    if span is None:
+        return op
+    clone = copy.copy(op)
+    for attr in ("child", "left", "right"):
+        inner = getattr(clone, attr, None)
+        if isinstance(inner, Operator):
+            setattr(clone, attr, _wrap(inner, trace, span))
+    return TracedOp(clone, span)
 
 
 class Engine:
@@ -83,13 +137,19 @@ class Engine:
         self._plan_cache.clear()
 
     def execute(
-        self, query: Union[str, ast.Query], lineage: bool = False
+        self,
+        query: Union[str, ast.Query],
+        lineage: bool = False,
+        trace: Optional[TraceContext] = None,
     ) -> Result:
         """Run a query and materialize its result."""
         plan = self.plan(query)
+        op = plan.op
+        if trace is not None:
+            op = instrument_plan(op, trace)
         rows: list[Row] = []
         lineages: Optional[list[frozenset]] = [] if lineage else None
-        for row, lin in plan.op.execute(self.database, lineage):
+        for row, lin in op.execute(self.database, lineage):
             rows.append(row)
             if lineage:
                 assert lineages is not None
@@ -103,9 +163,22 @@ class Engine:
             return False
         return True
 
-    def explain(self, query: Union[str, ast.Query]) -> str:
-        """Render the physical plan as an indented operator tree."""
-        from .explain import explain_plan
+    def explain(self, query: Union[str, ast.Query], analyze: bool = False) -> str:
+        """Render the physical plan as an indented operator tree.
 
+        With ``analyze``, the plan is *executed* (discarding rows) with a
+        span per operator, and every node is annotated with its observed
+        row count and inclusive time.
+        """
         plan = self.plan(query)
-        return explain_plan(plan.op, plan.columns)
+        if not analyze:
+            return explain_plan(plan.op, plan.columns)
+        # Generous caps: an explicit EXPLAIN ANALYZE should show every
+        # node even for plans far larger than the hot-path budget.
+        trace = TraceContext(
+            "explain", max_depth=64, max_children=512, max_spans=4096
+        )
+        traced = instrument_plan(plan.op, trace, parent=trace.root)
+        for _ in traced.execute(self.database, False):
+            pass
+        return render_analyzed(trace.root, plan.columns)

@@ -16,6 +16,7 @@ Lineage combination rules:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterator, Optional, Sequence
 
 from .aggregates import AccumulatorFactory
@@ -439,3 +440,39 @@ class _Wrapped(Operator):
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         return self._stream
+
+
+class TracedOp(Operator):
+    """Accounts one operator's rows and inclusive time into a trace span.
+
+    Wraps an inner operator (whose own children are already wrapped, see
+    :func:`repro.engine.executor.instrument_plan`) and times each pull
+    from its stream, so ``span.seconds`` is the node's *inclusive* wall
+    time — time inside its subtree, like ``actual time`` in PostgreSQL's
+    ``EXPLAIN ANALYZE`` — and ``span.counters["rows"]`` is rows emitted.
+    """
+
+    def __init__(self, inner: Operator, span) -> None:
+        self.inner = inner
+        self.span = span
+
+    def execute(self, database: Database, lineage: bool) -> Stream:
+        span = self.span
+        counter = time.perf_counter
+        stream = self.inner.execute(database, lineage)
+        rows = 0
+        try:
+            while True:
+                started = counter()
+                try:
+                    item = next(stream)
+                except StopIteration:
+                    span.seconds += counter() - started
+                    return
+                span.seconds += counter() - started
+                rows += 1
+                yield item
+        finally:
+            # Abandoned early (LIMIT upstream, is_empty probes): the rows
+            # pulled so far still count.
+            span.counters["rows"] = span.counters.get("rows", 0) + rows

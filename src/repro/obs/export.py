@@ -1,0 +1,167 @@
+"""The service's Prometheus surface: collectors over shard state.
+
+:func:`build_service_registry` wires a
+:class:`~repro.obs.prom.Registry` to one
+:class:`~repro.service.ShardedEnforcerService`. Collection is
+scrape-time and lock-free in the same sense as ``GET /stats``: it reads
+each shard's counter snapshot (tiny counter mutex, never the shard
+lock), the queue sizes, and the WAL's append/fsync tallies.
+
+Metric names and labels (all prefixed ``repro_``):
+
+====================================  =========  ==========================
+``repro_epoch``                       gauge      policy-broadcast epoch
+``repro_shards``                      gauge      configured shard count
+``repro_shard_admitted_total``        counter    ``{shard}``
+``repro_shard_rejected_total``        counter    ``{shard}`` (backpressure)
+``repro_shard_completed_total``       counter    ``{shard,outcome}``
+``repro_shard_queue_depth``           gauge      ``{shard}``
+``repro_shard_queue_capacity``        gauge      ``{shard}``
+``repro_shard_busy_workers``          gauge      ``{shard}``
+``repro_slow_queries_total``          counter    ``{shard}``
+``repro_check_seconds``               histogram  ``{shard}`` enqueue→done
+``repro_queue_wait_seconds``          histogram  ``{shard}``
+``repro_policy_eval_seconds``         histogram  ``{shard,policy}``
+``repro_policy_violations_total``     counter    ``{shard,policy}``
+``repro_phase_seconds_total``         counter    ``{shard,phase}``
+``repro_wal_appends_total``           counter    ``{shard}``
+``repro_wal_fsyncs_total``            counter    ``{shard}``
+``repro_wal_bytes``                   gauge      ``{shard}``
+``repro_wal_last_seq``                gauge      ``{shard}``
+====================================  =========  ==========================
+
+The WAL families appear only on durable deployments (``--data-dir``).
+"""
+
+from __future__ import annotations
+
+from .prom import MetricFamily, Registry
+
+
+def build_service_registry(service) -> Registry:
+    """A registry whose single collector snapshots ``service`` on scrape."""
+    registry = Registry()
+    registry.register(lambda: collect_service(service))
+    return registry
+
+
+def collect_service(service) -> "list[MetricFamily]":
+    """One pass over the service's shards → metric families."""
+    config = service.config
+
+    epoch = MetricFamily(
+        "repro_epoch", "gauge", "Policy-broadcast epoch."
+    ).add(None, service.epoch)
+    shards_g = MetricFamily(
+        "repro_shards", "gauge", "Configured shard count."
+    ).add(None, config.shards)
+
+    admitted = MetricFamily(
+        "repro_shard_admitted_total", "counter",
+        "Queries admitted to the shard queue.",
+    )
+    rejected = MetricFamily(
+        "repro_shard_rejected_total", "counter",
+        "Queries rejected with backpressure (HTTP 429).",
+    )
+    completed = MetricFamily(
+        "repro_shard_completed_total", "counter",
+        "Completed checks by outcome (allowed/denied/error).",
+    )
+    queue_depth = MetricFamily(
+        "repro_shard_queue_depth", "gauge", "Jobs waiting in the shard queue."
+    )
+    queue_capacity = MetricFamily(
+        "repro_shard_queue_capacity", "gauge", "Admission queue slots."
+    )
+    busy = MetricFamily(
+        "repro_shard_busy_workers", "gauge",
+        "Workers currently executing a check.",
+    )
+    slow = MetricFamily(
+        "repro_slow_queries_total", "counter",
+        "Checks slower than the slow-query threshold.",
+    )
+    check_hist = MetricFamily(
+        "repro_check_seconds", "histogram",
+        "Full check latency, enqueue to completion.",
+    )
+    wait_hist = MetricFamily(
+        "repro_queue_wait_seconds", "histogram",
+        "Time spent waiting in the admission queue.",
+    )
+    policy_hist = MetricFamily(
+        "repro_policy_eval_seconds", "histogram",
+        "Per-policy evaluation time within one check.",
+    )
+    violations = MetricFamily(
+        "repro_policy_violations_total", "counter",
+        "Violations reported per policy.",
+    )
+    phases = MetricFamily(
+        "repro_phase_seconds_total", "counter",
+        "Cumulative seconds per enforcement phase "
+        "(query, log:*, policy_eval, compact_mark/delete/insert).",
+    )
+    wal_appends = MetricFamily(
+        "repro_wal_appends_total", "counter", "WAL records appended."
+    )
+    wal_fsyncs = MetricFamily(
+        "repro_wal_fsyncs_total", "counter", "WAL fsync calls issued."
+    )
+    wal_bytes = MetricFamily(
+        "repro_wal_bytes", "gauge", "Current WAL segment size in bytes."
+    )
+    wal_seq = MetricFamily(
+        "repro_wal_last_seq", "gauge",
+        "Sequence number of the newest WAL record.",
+    )
+
+    durable = False
+    for shard in service.shards:
+        label = {"shard": str(shard.index)}
+        snap = shard.counters.prom_snapshot()
+        admitted.add(label, snap["admitted"])
+        rejected.add(label, snap["rejected"])
+        for outcome in ("allowed", "denied", "error"):
+            completed.add(
+                {"shard": str(shard.index), "outcome": outcome},
+                snap["completed"][outcome],
+            )
+        queue_depth.add(label, shard.queue_depth())
+        queue_capacity.add(label, config.queue_depth)
+        busy.add(label, shard.busy_workers())
+        slow.add(label, snap["slow"])
+        check_hist.add_histogram(label, snap["check_hist"])
+        wait_hist.add_histogram(label, snap["wait_hist"])
+        for policy, hist_snap in sorted(snap["policy_eval"].items()):
+            policy_hist.add_histogram(
+                {"shard": str(shard.index), "policy": policy}, hist_snap
+            )
+        for policy, count in sorted(snap["policy_violations"].items()):
+            violations.add(
+                {"shard": str(shard.index), "policy": policy}, count
+            )
+        for phase, seconds in sorted(snap["phase_totals"].items()):
+            phases.add({"shard": str(shard.index), "phase": phase}, seconds)
+
+        durability = shard.durability
+        if durability is not None:
+            durable = True
+            wal = durability.wal
+            wal_appends.add(label, wal.appends)
+            wal_fsyncs.add(label, wal.fsyncs)
+            wal_bytes.add(
+                label,
+                wal.path.stat().st_size if wal.path.exists() else 0,
+            )
+            wal_seq.add(label, wal.last_seq)
+
+    families = [
+        epoch, shards_g, admitted, rejected, completed,
+        queue_depth, queue_capacity, busy, slow,
+        check_hist, wait_hist, policy_hist, violations, phases,
+    ]
+    if durable:
+        families.extend([wal_appends, wal_fsyncs, wal_bytes, wal_seq])
+    return families

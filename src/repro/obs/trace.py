@@ -1,0 +1,171 @@
+"""Per-query trace spans.
+
+One :class:`TraceContext` is created per submitted query; it owns a tree
+of :class:`Span` nodes mirroring the enforcement pipeline: the root is
+the submit, its children are the phase buckets the paper reports
+(``log:<relation>``, ``policy:<name>``, ``compact_*``, ``query``), and
+the ``query`` span's children are the engine's physical operators
+(rows out + inclusive wall time per node — the data behind
+``EXPLAIN ANALYZE``).
+
+Spans are deliberately cheap: a name, accumulated seconds, a small
+counter dict, and children. Three caps keep a pathological plan or
+policy set from turning tracing into the hot path itself:
+
+- ``max_depth`` — spans nested deeper are dropped (parents count them
+  in ``dropped``);
+- ``max_children`` — extra children of one span are dropped;
+- ``max_spans`` — a whole-trace budget.
+
+A dropped span never breaks the tree shape: its would-be descendants are
+dropped with it, and every drop is tallied on the nearest surviving
+ancestor so the truncation is visible in the dump.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+DEFAULT_MAX_DEPTH = 12
+DEFAULT_MAX_CHILDREN = 64
+DEFAULT_MAX_SPANS = 512
+
+
+@dataclass
+class Span:
+    """One timed node in a query's trace tree."""
+
+    name: str
+    seconds: float = 0.0
+    counters: dict = field(default_factory=dict)
+    children: "list[Span]" = field(default_factory=list)
+    #: Children (and their subtrees) not recorded because a cap was hit.
+    dropped: int = 0
+    #: Nesting depth (root = 0); used to enforce ``max_depth``.
+    depth: int = 0
+
+    def add_count(self, counter: str, value: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def child(self, name: str) -> "Optional[Span]":
+        """The first direct child with this name, if any."""
+        for span in self.children:
+            if span.name == name:
+                return span
+        return None
+
+    def walk(self) -> "Iterator[Span]":
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def render(self) -> str:
+        """The tree as indented text (the slow-query-log dump format)."""
+        lines: "list[str]" = []
+        self._render(lines, 0)
+        return "\n".join(lines)
+
+    def _render(self, lines: "list[str]", indent: int) -> None:
+        extras = "".join(
+            f" {key}={value}" for key, value in sorted(self.counters.items())
+        )
+        if self.dropped:
+            extras += f" dropped={self.dropped}"
+        lines.append(
+            f"{'  ' * indent}{self.name} "
+            f"time={self.seconds * 1000:.3f}ms{extras}"
+        )
+        for child in self.children:
+            child._render(lines, indent + 1)
+
+
+class TraceContext:
+    """The span tree of one submitted query plus the open-span stack.
+
+    Not thread-safe: one context belongs to one query, which runs on one
+    shard worker at a time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        max_children: int = DEFAULT_MAX_CHILDREN,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ):
+        self.root = Span(name)
+        self.max_depth = max_depth
+        self.max_children = max_children
+        self.max_spans = max_spans
+        self._spans = 1
+        #: Open spans; ``None`` entries mark dropped (untracked) frames.
+        self._stack: "list[Optional[Span]]" = [self.root]
+        self._started = time.perf_counter()
+        self._finished = False
+
+    @property
+    def current(self) -> "Optional[Span]":
+        """The innermost open span (None inside a dropped frame)."""
+        return self._stack[-1]
+
+    # -- building the tree -------------------------------------------------
+
+    def attach(
+        self, parent: "Optional[Span]", name: str, merge: bool = False
+    ) -> "Optional[Span]":
+        """A child span under ``parent``, or None when a cap drops it.
+
+        With ``merge``, an existing child of the same name is reused and
+        accumulates — the mechanism behind "one span per policy" even
+        when interleaved evaluation touches a policy at several stages.
+        """
+        if parent is None:
+            return None
+        if merge:
+            existing = parent.child(name)
+            if existing is not None:
+                return existing
+        if (
+            parent.depth + 1 >= self.max_depth
+            or len(parent.children) >= self.max_children
+            or self._spans >= self.max_spans
+        ):
+            parent.dropped += 1
+            return None
+        span = Span(name, depth=parent.depth + 1)
+        parent.children.append(span)
+        self._spans += 1
+        return span
+
+    def push(self, name: str, merge: bool = False) -> "Optional[Span]":
+        """Open a span under the current one; always balanced by pop()."""
+        span = self.attach(self.current, name, merge=merge)
+        self._stack.append(span)
+        return span
+
+    def pop(self, span: "Optional[Span]", seconds: float) -> None:
+        self._stack.pop()
+        if span is not None:
+            span.seconds += seconds
+
+    def record(
+        self, name: str, seconds: float, merge: bool = True
+    ) -> "Optional[Span]":
+        """Attach a pre-measured leaf under the current span."""
+        span = self.attach(self.current, name, merge=merge)
+        if span is not None:
+            span.seconds += seconds
+        return span
+
+    def finish(self) -> Span:
+        """Close the root span (idempotent) and return it."""
+        if not self._finished:
+            self.root.seconds = time.perf_counter() - self._started
+            self._finished = True
+        return self.root

@@ -6,9 +6,11 @@ letting a query execute, it checks all policies." This module exposes a
 :class:`~repro.service.ShardedEnforcerService` over HTTP (stdlib only)
 so non-Python clients can submit queries:
 
-- ``POST /query``    ``{"sql": ..., "uid": ..., "explain": bool?}`` →
-  decision JSON (result rows when allowed, violations + optional evidence
-  when rejected); ``429`` + ``Retry-After`` under backpressure;
+- ``POST /query``    ``{"sql": ..., "uid": ..., "explain": bool|"analyze"?}``
+  → decision JSON (result rows when allowed, violations + optional
+  evidence when rejected; ``explain: "analyze"`` adds a per-operator
+  ``plan`` with observed rows and time); ``429`` + ``Retry-After`` under
+  backpressure;
 - ``GET  /policies`` → installed policies (with shard placement);
 - ``POST /policies`` ``{"name": ..., "sql": ...}`` → register a policy
   on every shard (history starts now, per §4.1.2);
@@ -18,6 +20,10 @@ so non-Python clients can submit queries:
   p50/p95 check latency, phase means;
 - ``GET  /durability`` → WAL/checkpoint state per shard and what
   recovery replayed at startup (see :mod:`repro.storage.wal`);
+- ``GET  /metrics``  → Prometheus 0.0.4 text exposition (see
+  :mod:`repro.obs.export` for the metric families);
+- ``GET  /slowlog``  → recent slow checks with their rendered traces
+  (populated when ``ServiceConfig.slow_query_seconds`` is set);
 - ``GET  /health``   → liveness (never blocks on any shard).
 
 Requests for different users run in parallel (one enforcer shard per
@@ -31,6 +37,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
 from .core import Enforcer, Policy, explain_decision
+from .core.metrics import PHASE_QUERY
+from .engine.explain import render_analyzed
 from .errors import (
     PolicyError,
     PolicyPlacementError,
@@ -38,6 +46,7 @@ from .errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from .obs import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from .service import ServiceConfig, ShardedEnforcerService
 
 
@@ -73,7 +82,9 @@ class EnforcerService:
         # otherwise silently route as uid 1/0.
         if isinstance(uid, bool) or not isinstance(uid, int):
             return 400, {"error": "'uid' must be an integer"}
-        want_explain = bool(payload.get("explain", False))
+        explain_option = payload.get("explain", False)
+        analyze = explain_option == "analyze"
+        want_explain = bool(explain_option)
 
         try:
             decision = self.service.submit(sql, uid=uid)
@@ -99,6 +110,8 @@ class EnforcerService:
             body["rows"] = [list(row) for row in rows]
             body["row_count"] = len(decision.result.rows)
             body["truncated"] = len(decision.result.rows) > len(rows)
+            if analyze:
+                body["plan"] = self._analyzed_plan(decision, sql, uid)
         if not decision.allowed:
             body["violations"] = [
                 {"policy": v.policy_name, "message": v.message}
@@ -108,6 +121,24 @@ class EnforcerService:
                 body["evidence"] = self._explain(decision, uid)
         status = 200 if decision.allowed else 403
         return status, body
+
+    def _analyzed_plan(self, decision, sql: str, uid: int) -> str:
+        """Per-operator ``rows=… time=…`` text for an allowed query.
+
+        When tracing is on, the decision's trace already holds one span
+        per operator under the ``query`` phase — render those (the plan
+        the check actually executed, for free). With tracing off, re-run
+        the query as a plain ``EXPLAIN ANALYZE`` under the shard lock
+        (admin-grade, like evidence explanation).
+        """
+        span = getattr(decision, "span", None)
+        if span is not None:
+            for child in span.children:
+                if child.name == PHASE_QUERY and child.children:
+                    return render_analyzed(child)
+        shard = self.service.shards[self.service.shard_for(uid)]
+        with shard.lock:
+            return shard.enforcer.engine.explain(sql, analyze=True)
 
     def _explain(self, decision, uid: int) -> "list[dict]":
         """Re-run the violated policies with lineage on the same shard.
@@ -174,6 +205,13 @@ class EnforcerService:
     def durability(self) -> "tuple[int, dict]":
         return 200, self.service.durability_status()
 
+    def metrics(self) -> str:
+        """The Prometheus text exposition body."""
+        return self.service.render_metrics()
+
+    def slowlog(self) -> "tuple[int, dict]":
+        return 200, {"slow_queries": self.service.slow_queries()}
+
 
 def make_handler(service: EnforcerService):
     """Build the request-handler class bound to one service."""
@@ -191,6 +229,16 @@ def make_handler(service: EnforcerService):
             self.send_header("Content-Length", str(len(data)))
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _send_text(
+            self, status: int, text: str, content_type: str
+        ) -> None:
+            data = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
             self.end_headers()
             self.wfile.write(data)
 
@@ -221,6 +269,10 @@ def make_handler(service: EnforcerService):
                 self._send(*service.stats())
             elif self.path == "/durability":
                 self._send(*service.durability())
+            elif self.path == "/metrics":
+                self._send_text(200, service.metrics(), METRICS_CONTENT_TYPE)
+            elif self.path == "/slowlog":
+                self._send(*service.slowlog())
             else:
                 self._send(404, {"error": "not found"})
 

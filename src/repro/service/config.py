@@ -35,6 +35,12 @@ class ServiceConfig:
     - ``checkpoint_every`` — snapshot + WAL truncation cadence, in
       queries per shard; ``0`` checkpoints only on drain and policy
       changes.
+    - ``tracing`` — attach a per-query trace (span tree) to every check;
+      feeds ``GET /metrics``, ``explain=analyze``, and the slow-query
+      log. Off trims a few percent from the hot path.
+    - ``slow_query_seconds`` — checks at least this slow (enqueue to
+      completion) are logged with their span tree and kept in a small
+      per-shard ring; ``0`` disables the slow-query log.
     """
 
     shards: int = 1
@@ -48,6 +54,8 @@ class ServiceConfig:
     data_dir: Optional[str] = None
     wal_sync: bool = True
     checkpoint_every: int = 0
+    tracing: bool = True
+    slow_query_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -64,3 +72,5 @@ class ServiceConfig:
             raise ServiceError("latency_window must be >= 1")
         if self.checkpoint_every < 0:
             raise ServiceError("checkpoint_every cannot be negative")
+        if self.slow_query_seconds < 0:
+            raise ServiceError("slow_query_seconds cannot be negative")

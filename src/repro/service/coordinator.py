@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import threading
 from contextlib import ExitStack
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence
 
 from ..core import Decision, Enforcer, Policy
+from ..obs import build_service_registry
 from ..errors import (
     PolicyError,
     PolicyPlacementError,
@@ -64,6 +66,15 @@ class ShardedEnforcerService:
         # prototype for the registry and clock kind.
         pairs = self._build_shard_enforcers(enforcer)
 
+        # The service config owns the tracing switch: apply it to every
+        # shard enforcer (including recovered ones, whose checkpoints may
+        # predate the option or carry a different setting).
+        for shard_enforcer, _ in pairs:
+            if shard_enforcer.options.tracing != self.config.tracing:
+                shard_enforcer.options = replace(
+                    shard_enforcer.options, tracing=self.config.tracing
+                )
+
         reference = pairs[0][0]
         placements = [
             classify_policy(policy, reference.registry)
@@ -80,9 +91,13 @@ class ShardedEnforcerService:
                 dispatch_seconds=self.config.dispatch_seconds,
                 latency_window=self.config.latency_window,
                 durability=durability,
+                slow_query_seconds=self.config.slow_query_seconds,
             )
             for index, (shard_enforcer, durability) in enumerate(pairs)
         ]
+        #: Prometheus surface (GET /metrics); collectors snapshot the
+        #: shards at scrape time, so building it up front is free.
+        self.metrics_registry = build_service_registry(self)
         #: Immutable snapshot read lock-free by GET /policies and /health.
         self._policy_snapshot: tuple = ()
         self._refresh_snapshot(reference.policies, placements)
@@ -313,7 +328,7 @@ class ShardedEnforcerService:
             key: sum(entry[key] for entry in shard_stats)
             for key in (
                 "admitted", "rejected", "completed",
-                "allowed", "denied", "errors",
+                "allowed", "denied", "errors", "slow",
             )
         }
         return {
@@ -323,9 +338,22 @@ class ShardedEnforcerService:
             "queue_depth": self.config.queue_depth,
             "routing": self.config.routing,
             "durable": bool(self.config.data_dir),
+            "tracing": self.config.tracing,
             "per_shard": shard_stats,
             "totals": totals,
         }
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition (GET /metrics)."""
+        return self.metrics_registry.render()
+
+    def slow_queries(self) -> "list[dict]":
+        """Recent slow checks across shards, most recent last."""
+        entries: "list[dict]" = []
+        for shard in self.shards:
+            entries.extend(shard.counters.slow_entries())
+        entries.sort(key=lambda entry: entry.get("timestamp", 0))
+        return entries
 
     def durability_status(self) -> dict:
         """The durability surface (GET /durability)."""

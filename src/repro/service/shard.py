@@ -11,6 +11,7 @@ complete each job's future.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -28,6 +29,9 @@ _STOP = object()
 
 #: Fallback Retry-After hint before any latency samples exist.
 _DEFAULT_RETRY_AFTER = 0.05
+
+#: Slow checks are logged here (and kept in the shard's slow ring).
+slow_log = logging.getLogger("repro.service.slowlog")
 
 
 class ShardDurability:
@@ -93,6 +97,7 @@ class Shard:
         dispatch_seconds: float = 0.0,
         latency_window: int = 512,
         durability: Optional[ShardDurability] = None,
+        slow_query_seconds: float = 0.0,
     ):
         self.index = index
         self.enforcer = enforcer
@@ -102,6 +107,10 @@ class Shard:
         self.counters = ShardCounters(latency_window)
         self.epoch = 0
         self.dispatch_seconds = dispatch_seconds
+        #: Checks at least this slow get logged with their trace (0 = off).
+        self.slow_query_seconds = slow_query_seconds
+        self._busy = 0
+        self._busy_lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
         self._closed = threading.Event()
         self._workers = [
@@ -136,13 +145,23 @@ class Shard:
 
     def retry_after_hint(self) -> float:
         """Expected seconds until a queue slot frees up: the backlog
-        (waiting + in-flight) times the recent mean check latency."""
+        (waiting + in-flight) times the recent mean check latency.
+
+        Only *busy* workers count as in-flight — a worker blocked on an
+        empty queue is capacity, not backlog, and counting it used to
+        inflate the hint (and clients' sleeps) on lightly loaded shards.
+        """
         mean = self.counters.mean_latency() or _DEFAULT_RETRY_AFTER
-        backlog = self._queue.qsize() + len(self._workers)
+        backlog = self._queue.qsize() + self.busy_workers()
         return max(0.001, mean * backlog)
 
     def queue_depth(self) -> int:
         return self._queue.qsize()
+
+    def busy_workers(self) -> int:
+        """Workers currently executing a job (not waiting on the queue)."""
+        with self._busy_lock:
+            return self._busy
 
     # -- worker loop -------------------------------------------------------
 
@@ -155,27 +174,68 @@ class Shard:
             started = time.perf_counter()
             queue_seconds = started - enqueued_at
             decision: Optional[Decision] = None
+            with self._busy_lock:
+                self._busy += 1
             try:
-                with self.lock:
-                    decision = job(self.enforcer)
-                    if self.durability is not None:
-                        self.durability.note_query(self.enforcer)
-                    if self.dispatch_seconds:
-                        # Modeled backend round trip (see ServiceConfig).
-                        time.sleep(self.dispatch_seconds)
-            except BaseException as error:
-                self.counters.record_completion(
-                    time.perf_counter() - enqueued_at, queue_seconds, None, None
-                )
-                future.set_exception(error)
-            else:
-                self.counters.record_completion(
-                    time.perf_counter() - enqueued_at,
-                    queue_seconds,
-                    getattr(decision, "metrics", None),
-                    getattr(decision, "allowed", None),
-                )
-                future.set_result(decision)
+                try:
+                    with self.lock:
+                        decision = job(self.enforcer)
+                        if self.durability is not None:
+                            self.durability.note_query(self.enforcer)
+                        if self.dispatch_seconds:
+                            # Modeled backend round trip (see ServiceConfig).
+                            time.sleep(self.dispatch_seconds)
+                except BaseException as error:
+                    self.counters.record_completion(
+                        time.perf_counter() - enqueued_at,
+                        queue_seconds,
+                        None,
+                        None,
+                    )
+                    future.set_exception(error)
+                else:
+                    total_seconds = time.perf_counter() - enqueued_at
+                    self.counters.record_completion(
+                        total_seconds,
+                        queue_seconds,
+                        getattr(decision, "metrics", None),
+                        getattr(decision, "allowed", None),
+                        violations=getattr(decision, "violations", None),
+                    )
+                    if (
+                        self.slow_query_seconds
+                        and total_seconds >= self.slow_query_seconds
+                    ):
+                        self._note_slow(decision, total_seconds, queue_seconds)
+                    future.set_result(decision)
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1
+
+    def _note_slow(
+        self, decision: Decision, total_seconds: float, queue_seconds: float
+    ) -> None:
+        span = getattr(decision, "span", None)
+        trace = span.render() if span is not None else None
+        entry = {
+            "shard": self.index,
+            "uid": getattr(decision, "uid", 0),
+            "timestamp": getattr(decision, "timestamp", 0),
+            "sql": getattr(decision, "sql", ""),
+            "allowed": getattr(decision, "allowed", None),
+            "seconds": total_seconds,
+            "queue_seconds": queue_seconds,
+            "trace": trace,
+        }
+        self.counters.record_slow(entry)
+        slow_log.warning(
+            "slow query on shard %d: uid=%d %.1f ms (queue %.1f ms)%s",
+            self.index,
+            entry["uid"],
+            total_seconds * 1000,
+            queue_seconds * 1000,
+            "\n" + trace if trace else "",
+        )
 
     # -- shutdown ----------------------------------------------------------
 

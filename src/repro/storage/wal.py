@@ -157,6 +157,10 @@ class WriteAheadLog:
         self.fault_plan = fault_plan
         self._seq = start_seq
         self._file = None
+        #: Lifetime I/O tallies (exported at ``GET /metrics``); they
+        #: survive :meth:`reset` — counters, not segment state.
+        self.appends = 0
+        self.fsyncs = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._open()
 
@@ -186,6 +190,7 @@ class WriteAheadLog:
         stamped = dict(record)
         stamped["seq"] = self._seq
         self._write_line(_encode(stamped))
+        self.appends += 1
         return self._seq
 
     def _write_line(self, data: bytes) -> None:
@@ -198,6 +203,7 @@ class WriteAheadLog:
         if self.fault_plan is not None and self.fault_plan.drop_fsync:
             return
         os.fsync(self._file.fileno())
+        self.fsyncs += 1
 
     def reset(self) -> None:
         """Start a fresh (empty) segment after a checkpoint.

@@ -181,6 +181,7 @@ def run_service_stream(
     client_threads: int = 8,
     execute: bool = True,
     max_retries: int = 1000,
+    retry_after_ceiling: float = 1.0,
 ) -> ServiceStreamResult:
     """Drive ``(sql, uid)`` pairs through the service from many client
     threads, preserving each uid's submission order.
@@ -189,7 +190,10 @@ def run_service_stream(
     one user come from one client, like real sessions), so per-uid
     sequences stay ordered while different users overlap. Backpressure
     (:class:`~repro.errors.ServiceOverloadedError`) is retried after the
-    hinted delay and tallied in ``overloads``.
+    hinted delay and tallied in ``overloads``. The hint is honored up to
+    ``retry_after_ceiling`` seconds — a cap against a pathological hint,
+    not a hammer: clamping every sleep to tens of milliseconds (as this
+    runner once did) turns a backed-up shard into a retry storm.
     """
     per_uid = split_by_uid(queries)
     uids = list(per_uid)
@@ -218,7 +222,9 @@ def run_service_stream(
                                 raise
                             with tally:
                                 result.overloads += 1
-                            time.sleep(min(error.retry_after, 0.05))
+                            time.sleep(
+                                min(error.retry_after, retry_after_ceiling)
+                            )
                     with tally:
                         result.decisions[uid].append(decision)
                         if decision.allowed:

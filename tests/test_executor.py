@@ -356,6 +356,19 @@ class TestResultHelpers:
         assert engine.execute("SELECT COUNT(*) FROM t").scalar() == 5
         assert engine.execute("SELECT a FROM t WHERE FALSE").scalar() is None
 
+    def test_scalar_rejects_multi_row(self, engine):
+        # Regression: scalar() used to return the first row's first cell
+        # of a multi-row result, silently masking a malformed query.
+        result = engine.execute("SELECT a FROM t WHERE a = 2")
+        assert len(result.rows) == 2
+        with pytest.raises(ValueError, match="2-row result"):
+            result.scalar()
+
+    def test_scalar_rejects_multi_column(self, engine):
+        result = engine.execute("SELECT a, b FROM t WHERE a = 1")
+        with pytest.raises(ValueError, match="2-column row"):
+            result.scalar()
+
     def test_column(self, engine):
         result = engine.execute("SELECT a, b FROM t WHERE a = 1")
         assert result.column("b") == ["x"]

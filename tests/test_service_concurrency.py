@@ -60,6 +60,41 @@ def make_stream(config):
 
 
 @pytest.mark.slow
+class TestBackpressureRetryPolicy:
+    """Regression: the runner used to clamp every backpressure sleep to
+    50 ms regardless of the hint, so under sustained overload clients
+    hammered the full shard instead of backing off."""
+
+    @staticmethod
+    def overloaded_service(config):
+        return ShardedEnforcerService(
+            make_enforcer(config),
+            ServiceConfig(
+                shards=1, queue_depth=1, workers=1,
+                dispatch_seconds=0.01, routing="modulo",
+            ),
+        )
+
+    def test_honoring_the_hint_retries_less_than_hammering(self):
+        config = make_config()
+        workload = make_marketplace_workload(config)
+        uids = list(range(1, 9))
+        stream = round_robin(list(workload.all().values()), uids, 48)
+        results = {}
+        for label, ceiling in (("honored", 1.0), ("hammer", 0.001)):
+            service = self.overloaded_service(config)
+            results[label] = run_service_stream(
+                service, stream, client_threads=8,
+                retry_after_ceiling=ceiling,
+            )
+            service.drain()
+        for result in results.values():
+            assert result.total == len(stream)  # every query finished
+        assert results["hammer"].overloads > 0  # overload actually hit
+        assert results["honored"].overloads < results["hammer"].overloads
+
+
+@pytest.mark.slow
 class TestShardedStress:
     @pytest.fixture(scope="class")
     def outcome(self):

@@ -1,0 +1,174 @@
+"""The decision cache on a repeated-query workload.
+
+Production traffic repeats: dashboards, monitors, and API clients issue
+the same query text over and over. The policy contract here is the
+expensive-but-cacheable kind: consent checks that join the usage-log
+increment against large base tables (chartevents × d_patients) on every
+evaluation. All are time-independent, so every whole-check verdict is
+``stable`` and the steady state answers from the cache, skipping policy
+evaluation entirely while the submitted point-lookups stay cheap.
+
+Asserted invariants (not just speed):
+
+- every decision — verdict, violations, result rows — is bit-identical
+  with and without the cache, and so is the persisted usage log;
+- the cached run reaches at least 3x the uncached throughput;
+- after a WAL recovery the cache starts empty and the rebuilt enforcer
+  keeps producing the same decisions (verdict memos are not durable
+  state, so a restart merely re-warms).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.log import SimulatedClock
+from repro.storage.wal import initialize_durability, recover_enforcer
+
+from figutil import format_table, publish, scaled
+
+#: Repeats of the 4-entry (query, uid) cycle; the repeat count makes the
+#: warm fraction dominate, as in a dashboard steady state.
+ROUNDS = scaled(40)
+SPEEDUP_FLOOR = 3.0
+
+
+def consent_policy(uid: int, threshold: int) -> Policy:
+    """User ``uid`` may not read chart data of deceased patients whose
+    readings exceed ``threshold`` — a witness that joins the increment
+    against two base tables on every evaluation."""
+    return Policy.from_sql(
+        f"consent-{uid}",
+        f"SELECT DISTINCT 'consent: user {uid} read chart data of a "
+        f"deceased patient' "
+        f"FROM users u, schema s, chartevents c, d_patients d "
+        f"WHERE u.ts = s.ts AND u.uid = {uid} AND s.irid = 'd_patients' "
+        f"AND c.subject_id = d.subject_id "
+        f"AND d.hospital_expire_flg = 'Y' "
+        f"AND c.value1num > {threshold}",
+        "consent check over chartevents x d_patients",
+    )
+
+
+def make_enforcer(db, decision_cache: bool) -> Enforcer:
+    policies = [consent_policy(uid, 10_000 + uid) for uid in (1, 2, 3)]
+    return Enforcer(
+        db,
+        policies,
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(decision_cache=decision_cache),
+    )
+
+
+def make_stream(rounds: int) -> "list[tuple[str, int]]":
+    pairs = [
+        ("SELECT * FROM d_patients WHERE subject_id = 7", 1),
+        ("SELECT * FROM d_patients WHERE subject_id = 7", 2),
+        ("SELECT * FROM d_patients WHERE subject_id = 11", 3),
+        ("SELECT * FROM d_patients WHERE subject_id = 11", 1),
+    ]
+    return pairs * rounds
+
+
+def run_stream(enforcer, stream):
+    """Submit the stream; returns (decision fingerprints, elapsed s)."""
+    fingerprints = []
+    start = time.perf_counter()
+    for sql, uid in stream:
+        decision = enforcer.submit(sql, uid=uid)
+        fingerprints.append(
+            (
+                decision.allowed,
+                tuple(
+                    (v.policy_name, v.message) for v in decision.violations
+                ),
+                None
+                if decision.result is None
+                else tuple(map(tuple, decision.result.rows)),
+            )
+        )
+    return fingerprints, time.perf_counter() - start
+
+
+def test_decision_cache_speedup(capsys, bench_db):
+    stream = make_stream(ROUNDS)
+
+    uncached = make_enforcer(bench_db.clone(), decision_cache=False)
+    cached = make_enforcer(bench_db.clone(), decision_cache=True)
+
+    plain_decisions, plain_elapsed = run_stream(uncached, stream)
+    cached_decisions, cached_elapsed = run_stream(cached, stream)
+
+    # Bit-identical behaviour first — a fast wrong answer is worthless.
+    assert cached_decisions == plain_decisions
+    assert (
+        cached.store.total_live_size() == uncached.store.total_live_size()
+    )
+    assert cached.store.versions() == uncached.store.versions()
+
+    stats = cached.decision_cache.stats
+    assert stats.hits >= len(stream) - 4  # everything after the warmup
+
+    plain_qps = len(stream) / plain_elapsed
+    cached_qps = len(stream) / cached_elapsed
+    speedup = cached_qps / plain_qps
+
+    publish(
+        capsys,
+        "decision_cache",
+        format_table(
+            "Decision cache — repeated-query steady state "
+            f"(3 consent policies, {len(stream)} checks, 4 distinct keys)",
+            ["config", "qps", "checks", "cache hits", "speedup"],
+            [
+                ("cache off", round(plain_qps, 1), len(stream), "-", "1.0x"),
+                (
+                    "cache on",
+                    round(cached_qps, 1),
+                    len(stream),
+                    stats.hits,
+                    f"{speedup:.1f}x",
+                ),
+            ],
+            note=(
+                "Decisions, result rows, and the persisted usage log are "
+                "asserted bit-identical between the two runs; the cached "
+                "run answers warm checks without re-evaluating policies."
+            ),
+        ),
+    )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"decision cache speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor"
+    )
+
+
+def test_recovery_rebuilds_an_empty_consistent_cache(tmp_path, bench_db):
+    stream = make_stream(max(2, scaled(4)))
+
+    durable = make_enforcer(bench_db.clone(), decision_cache=True)
+    initialize_durability(durable, tmp_path)
+    twin = make_enforcer(bench_db.clone(), decision_cache=True)
+
+    before, _ = run_stream(durable, stream)
+    twin_before, _ = run_stream(twin, stream)
+    assert before == twin_before
+    assert len(durable.decision_cache) > 0
+    durable.store.wal.close()
+
+    recovered, wal, report = recover_enforcer(
+        tmp_path, clock=SimulatedClock(default_step_ms=10)
+    )
+    try:
+        assert report.last_seq == len(stream)
+        cache = recovered.decision_cache
+        assert cache is None or len(cache) == 0  # memos are not durable
+        after, _ = run_stream(recovered, stream * 2)
+        twin_after, _ = run_stream(twin, stream * 2)
+        assert after == twin_after
+        assert recovered.store.versions() == twin.store.versions()
+        assert recovered.decision_cache.stats.hits > 0  # re-warmed
+    finally:
+        wal.close()

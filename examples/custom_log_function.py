@@ -14,7 +14,8 @@ and a policy joining the two.
 Run:  python examples/custom_log_function.py
 """
 
-from repro import Database, Enforcer, EnforcerOptions, LogFunction, Policy
+from repro import LogFunction
+from repro.api import Database, Policy, connect
 from repro.log import STANDARD_LOG_FUNCTIONS, LogRegistry, QueryContext
 
 
@@ -57,11 +58,10 @@ def main() -> None:
         """,
     )
 
-    enforcer = Enforcer(
-        db,
-        [mobile_cap],
+    enforcer = connect(
+        database=db,
+        policies=[mobile_cap],
         registry=registry,
-        options=EnforcerOptions.datalawyer(),
     )
 
     runtime = enforcer.runtime_policies()[0]

@@ -12,7 +12,8 @@ Models a data vendor shipping three of the survey's term-of-use patterns:
 Run:  python examples/data_marketplace.py
 """
 
-from repro import Enforcer, EnforcerOptions, Policy, SimulatedClock
+from repro import SimulatedClock
+from repro.api import Policy, connect
 from repro.workloads import monthly_quota, no_aggregation
 
 
@@ -55,11 +56,10 @@ def main() -> None:
         monthly_quota("listings", max_tuples=120, window=60_000),
         no_aggregation("ratings"),
     ]
-    enforcer = Enforcer(
-        db,
-        policies,
+    enforcer = connect(
+        database=db,
+        policies=policies,
         clock=SimulatedClock(default_step_ms=100),
-        options=EnforcerOptions.datalawyer(),
     )
 
     unified = [r for r in enforcer.runtime_policies() if r.member_names]

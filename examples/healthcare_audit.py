@@ -14,7 +14,8 @@ data-use agreement limits what analysts may do —
 Run:  python examples/healthcare_audit.py
 """
 
-from repro import Enforcer, EnforcerOptions, Policy, SimulatedClock
+from repro import SimulatedClock
+from repro.api import Policy, connect
 from repro.workloads import MimicConfig, build_mimic_database
 
 
@@ -65,11 +66,10 @@ def show(label: str, decision) -> None:
 def main() -> None:
     config = MimicConfig(n_patients=200)
     db = build_mimic_database(config)
-    enforcer = Enforcer(
-        db,
-        build_policies(config.n_patients),
+    enforcer = connect(
+        database=db,
+        policies=build_policies(config.n_patients),
         clock=SimulatedClock(default_step_ms=50),
-        options=EnforcerOptions.datalawyer(),
     )
 
     # A cohort study: every output row aggregates ~100 patients → allowed.

@@ -12,7 +12,8 @@ import json
 import threading
 from http.client import HTTPConnection
 
-from repro import Enforcer, EnforcerOptions, SimulatedClock
+from repro import SimulatedClock
+from repro.api import connect
 from repro.server import serve
 from repro.workloads import (
     MarketplaceConfig,
@@ -38,11 +39,10 @@ def main() -> None:
         n_listings=120, rate_limit=3, rate_window=1000,
         free_tier_tuples=200, free_tier_window=60_000,
     )
-    enforcer = Enforcer(
-        build_marketplace_database(config),
-        standard_contract(config),
+    enforcer = connect(
+        database=build_marketplace_database(config),
+        policies=standard_contract(config),
         clock=SimulatedClock(default_step_ms=50),
-        options=EnforcerOptions.datalawyer(),
     )
     workload = make_marketplace_workload(config)
 

@@ -8,7 +8,7 @@ before every user query.
 Run:  python examples/quickstart.py
 """
 
-from repro import Database, Policy, make_datalawyer
+from repro.api import Database, Policy, connect
 
 
 def main() -> None:
@@ -40,7 +40,7 @@ def main() -> None:
     )
 
     # 3. Wrap the database with DataLawyer.
-    enforcer = make_datalawyer(db, [no_overlay])
+    enforcer = connect(database=db, policies=[no_overlay])
 
     # 4. Compliant queries run normally...
     decision = enforcer.submit("SELECT road_id, lat FROM navteq", uid=7)

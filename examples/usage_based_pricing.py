@@ -15,7 +15,8 @@ the billing queries stay cheap no matter how long the system runs.
 Run:  python examples/usage_based_pricing.py
 """
 
-from repro import Database, Enforcer, EnforcerOptions, Policy, SimulatedClock
+from repro import SimulatedClock
+from repro.api import Database, Policy, connect
 
 BILLING_WINDOW_MS = 60_000
 
@@ -52,11 +53,10 @@ def main() -> None:
         description="Keeps one billing window of usage history alive.",
     )
 
-    enforcer = Enforcer(
-        db,
-        [retention],
+    enforcer = connect(
+        database=db,
+        policies=[retention],
         clock=SimulatedClock(default_step_ms=250),
-        options=EnforcerOptions.datalawyer(),
     )
 
     # -- the customer's billing-period activity ---------------------------

@@ -281,6 +281,8 @@ def build_server(args):
             data_dir=args.data_dir,
             wal_sync=not args.no_fsync,
             checkpoint_every=args.checkpoint_every,
+            batch_size=args.batch_size,
+            decision_cache=not args.no_decision_cache,
             tracing=not args.no_tracing,
             slow_query_seconds=args.slow_query_ms / 1000.0,
         ),
@@ -489,6 +491,15 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-fsync", action="store_true",
         help="skip fsync on WAL appends (faster; an OS crash may lose "
         "the newest records)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=1,
+        help="max queued queries a shard worker drains per wakeup; a "
+        "batch shares one lock hold and one WAL group commit",
+    )
+    serve.add_argument(
+        "--no-decision-cache", action="store_true",
+        help="disable the per-shard cross-query decision cache",
     )
     serve.add_argument(
         "--no-tracing", action="store_true",

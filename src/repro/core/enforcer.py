@@ -39,6 +39,13 @@ from ..log import Clock, LogicalClock, LogRegistry, QueryContext, standard_regis
 from ..obs import TraceContext
 from ..log.store import LogStore
 from ..sql import ast
+from .decision_cache import (
+    CachePolicyProfile,
+    DecisionCache,
+    merge_profiles,
+    profile_policy,
+    touches_log_state,
+)
 from .metrics import (
     PHASE_DELETE,
     PHASE_INSERT,
@@ -79,6 +86,13 @@ class EnforcerOptions:
     #: Orthogonal to the paper's ablations; off it reverts ``timed()`` to
     #: bare perf counters.
     tracing: bool = True
+    #: Memoize whole-check verdicts across queries (see
+    #: :mod:`repro.core.decision_cache`). Off by default at this layer so
+    #: the paper's ablation benchmarks measure what they claim to; the
+    #: sharded service turns it on for its hot path.
+    decision_cache: bool = False
+    #: LRU capacity of the decision cache (entries, not bytes).
+    decision_cache_size: int = 1024
 
     @classmethod
     def datalawyer(cls, **overrides) -> "EnforcerOptions":
@@ -120,6 +134,8 @@ class RuntimePolicy:
     improved_partial_safe: bool = False
     #: For unified groups: the names of the original member policies.
     member_names: list[str] = field(default_factory=list)
+    #: Offline cacheability classification (stable/versioned/uncacheable).
+    cache_profile: Optional[CachePolicyProfile] = None
 
 
 class Enforcer:
@@ -146,6 +162,8 @@ class Enforcer:
         self._union_select: Optional[ast.Query] = None
         self._const_tables: list[str] = []
         self._queries_since_compaction = 0
+        self._decision_cache: Optional[DecisionCache] = None
+        self._cache_plan = None
         self._prepare()
 
     # ------------------------------------------------------------------
@@ -246,6 +264,14 @@ class Enforcer:
                 union = ast.SetOp("union", union, runtime.select)
             self._union_select = union
 
+        # Any policy-set change is an epoch bump for the decision cache:
+        # every memoized verdict predates the new set.
+        self._cache_plan = merge_profiles(
+            runtime.cache_profile for runtime in effective
+        )
+        if self._decision_cache is not None:
+            self._decision_cache.clear()
+
     def _analyze(self, runtime: RuntimePolicy) -> None:
         select = runtime.original
         runtime.log_relations = referenced_log_relations(select, self.registry)
@@ -273,6 +299,13 @@ class Enforcer:
         )
         if self.options.log_compaction and not skip_compaction:
             runtime.witness = witness_queries(select, self.registry, self.database)
+
+        runtime.cache_profile = profile_policy(
+            select,
+            self.registry,
+            self.database,
+            stable=skip_compaction,
+        )
 
         # §4.3 improved partial policies are sound only when (a) the policy
         # is monotone, (b) every clock predicate is window-limiting (the
@@ -318,11 +351,15 @@ class Enforcer:
             else None
         )
         metrics = QueryMetrics(timestamp=timestamp, uid=uid, trace=trace)
+        cache = self._cache_handle()
+        key = cache.key_for(sql, uid, attributes) if cache is not None else None
+        cached = cache.lookup(key, self.store) if key is not None else None
         try:
             context = QueryContext.create(
                 sql, uid, timestamp, self.engine, attributes
             )
             generated: set[str] = set()
+            eval_order: list[str] = []
 
             def ensure_log(name: str) -> None:
                 if name in generated:
@@ -333,14 +370,46 @@ class Enforcer:
                     staged = self.store.stage(name, rows, timestamp)
                 metrics.add_count("tuples_staged", staged)
                 generated.add(name)
+                eval_order.append(name)
 
-            if self.options.interleaved:
-                violations = self._interleaved_round(metrics, ensure_log)
+            if cached is not None:
+                # Replay the exact ordered increments the original check
+                # staged during evaluation; the memoized verdict stands
+                # in for the policy round itself.
+                for name in cached.generated:
+                    ensure_log(name)
+                violations = list(cached.violations)
+                entry_payload = None
             else:
-                violations = self._direct_round(metrics, ensure_log)
+                if self.options.interleaved:
+                    violations = self._interleaved_round(metrics, ensure_log)
+                else:
+                    violations = self._direct_round(metrics, ensure_log)
+                entry_payload = None
+                if (
+                    cache is not None
+                    and key is not None
+                    and self._cache_plan is not None
+                    and self._cache_plan.storable_at(timestamp)
+                    and not touches_log_state(context.query, self.registry)
+                ):
+                    # Snapshot *before* the verdict branch: the entry must
+                    # record the evaluation-phase increment order (commit
+                    # staging re-runs on its own), and the versions of the
+                    # read tables as they were at evaluation time (this
+                    # check's own commit bumps them).
+                    entry_payload = (
+                        tuple(eval_order),
+                        {
+                            name: self.store.version(name)
+                            for name in sorted(self._cache_plan.relations)
+                        },
+                    )
 
             if violations:
                 self.store.discard_staged()
+                if entry_payload is not None:
+                    cache.store(key, violations, *entry_payload)
                 metrics.allowed = False
                 self.metrics_log.record(metrics)
                 return Decision(
@@ -354,6 +423,8 @@ class Enforcer:
                 )
 
             self._commit_logs(metrics, ensure_log, generated, timestamp)
+            if entry_payload is not None:
+                cache.store(key, violations, *entry_payload)
         except ReproError:
             # A query that dies mid-check (parse/bind/execution error)
             # must not leave staged increments behind; under a WAL the
@@ -382,6 +453,26 @@ class Enforcer:
             uid=uid,
             span=self._finish_trace(trace, metrics, []),
         )
+
+    def _cache_handle(self) -> Optional[DecisionCache]:
+        """The decision cache, created on first use when enabled.
+
+        Lazy so that ``enforcer.options = replace(options, decision_cache=
+        True)`` after construction (the service coordinator's pattern)
+        still takes effect.
+        """
+        if not self.options.decision_cache:
+            return None
+        if self._decision_cache is None:
+            self._decision_cache = DecisionCache(
+                self.options.decision_cache_size
+            )
+        return self._decision_cache
+
+    @property
+    def decision_cache(self) -> Optional[DecisionCache]:
+        """The live decision cache (None when disabled or never used)."""
+        return self._decision_cache if self.options.decision_cache else None
 
     @staticmethod
     def _finish_trace(trace, metrics, violations):

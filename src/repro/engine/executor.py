@@ -19,8 +19,9 @@ import copy
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from ..errors import LexError
 from ..obs import TraceContext
-from ..sql import ast, parse
+from ..sql import ast, canonical_sql, parse
 from .database import Database
 from .explain import describe, explain_plan, render_analyzed
 from .operators import Operator, TracedOp
@@ -118,23 +119,48 @@ class Engine:
 
     def __init__(self, database: Database):
         self.database = database
+        #: Canonical text → plan. Keying on the canonical form (not the
+        #: raw string) lets ``select * from t`` and ``SELECT * FROM t``
+        #: share one slot instead of planning twice.
         self._plan_cache: dict[str, Plan] = {}
+        #: Raw text → canonical text memo, so repeated hot queries skip
+        #: even the re-lex.
+        self._canonical_memo: dict[str, str] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    def _canonical_key(self, text: str) -> str:
+        """The cache key for a textual query; raw text when unlexable
+        (the planner's parse will raise the real error)."""
+        key = self._canonical_memo.get(text)
+        if key is None:
+            try:
+                key = canonical_sql(text)
+            except LexError:
+                key = text
+            if len(self._canonical_memo) < 1024:
+                self._canonical_memo[text] = key
+        return key
 
     def plan(self, query: Union[str, ast.Query]) -> Plan:
         """Plan a query; textual queries get a tiny plan cache."""
         if isinstance(query, str):
-            cached = self._plan_cache.get(query)
+            key = self._canonical_key(query)
+            cached = self._plan_cache.get(key)
             if cached is not None:
+                self.plan_cache_hits += 1
                 return cached
+            self.plan_cache_misses += 1
             plan = plan_query(parse(query), self.database)
             if len(self._plan_cache) < 256:
-                self._plan_cache[query] = plan
+                self._plan_cache[key] = plan
             return plan
         return plan_query(query, self.database)
 
     def invalidate_plans(self) -> None:
-        """Drop cached plans (after schema changes)."""
+        """Drop cached plans (after schema changes); counters persist."""
         self._plan_cache.clear()
+        self._canonical_memo.clear()
 
     def execute(
         self,

@@ -49,6 +49,12 @@ class LogStore:
         self.registry = registry
         self._staged: dict[str, list[int]] = {}
         self._disk: dict[str, list[tuple[int, tuple]]] = {}
+        #: Per-relation monotone versions, bumped whenever a commit
+        #: changes the relation's *disk* image (delete or insert). Staged
+        #: increments and discards never bump — the decision cache uses
+        #: these to tell whether a persisted log segment a policy read is
+        #: unchanged since a verdict was computed.
+        self._versions: dict[str, int] = {}
         #: Optional write-ahead log (see :mod:`repro.storage.wal`); when
         #: attached, every commit/discard appends one durable record.
         self._wal = None
@@ -57,6 +63,7 @@ class LogStore:
             if not database.has_table(function.name):
                 database.create_table(function.name, function.full_columns)
             self._disk[function.name.lower()] = []
+            self._versions[function.name.lower()] = 0
         if not database.has_table(CLOCK_TABLE):
             database.create_table(CLOCK_TABLE, ["ts"])
 
@@ -190,6 +197,7 @@ class LogStore:
                 # Only formerly-persisted tuples matter to replay; doomed
                 # staged tuples never existed in the durable image.
                 wal_delete[name] = sorted(doomed)
+            disk_shrunk = bool(doomed)
             doomed |= staged - keep_staged
             if doomed:
                 table.delete_tids(doomed)
@@ -214,6 +222,8 @@ class LogStore:
                         "rows": [list(by_tid[tid]) for tid in ordered],
                     }
             stats.insert_seconds += time.perf_counter() - insert_start
+            if disk_shrunk or keep_staged:
+                self._versions[name] += 1
 
         self._staged.clear()
         if self._wal is not None:
@@ -230,6 +240,13 @@ class LogStore:
         return stats
 
     # -- introspection ------------------------------------------------------------
+
+    def version(self, name: str) -> int:
+        """The relation's disk version (monotone; bumped on commit)."""
+        return self._versions.get(name.lower(), 0)
+
+    def versions(self) -> "dict[str, int]":
+        return dict(self._versions)
 
     def disk_size(self, name: str) -> int:
         """Number of persisted tuples for one relation."""

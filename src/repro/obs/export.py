@@ -21,6 +21,13 @@ Metric names and labels (all prefixed ``repro_``):
 ``repro_slow_queries_total``          counter    ``{shard}``
 ``repro_check_seconds``               histogram  ``{shard}`` enqueue→done
 ``repro_queue_wait_seconds``          histogram  ``{shard}``
+``repro_batch_size``                  histogram  ``{shard}`` per wakeup
+``repro_decision_cache_hits_total``   counter    ``{shard}``
+``repro_decision_cache_misses_total``  counter   ``{shard}``
+``repro_decision_cache_invalidations_total``  counter  ``{shard}``
+``repro_decision_cache_entries``      gauge      ``{shard}``
+``repro_plan_cache_hits_total``       counter    ``{shard}``
+``repro_plan_cache_misses_total``     counter    ``{shard}``
 ``repro_policy_eval_seconds``         histogram  ``{shard,policy}``
 ``repro_policy_violations_total``     counter    ``{shard,policy}``
 ``repro_phase_seconds_total``         counter    ``{shard,phase}``
@@ -90,6 +97,34 @@ def collect_service(service) -> "list[MetricFamily]":
         "repro_queue_wait_seconds", "histogram",
         "Time spent waiting in the admission queue.",
     )
+    batch_hist = MetricFamily(
+        "repro_batch_size", "histogram",
+        "Queued queries drained per worker wakeup.",
+    )
+    cache_hits = MetricFamily(
+        "repro_decision_cache_hits_total", "counter",
+        "Checks answered from the decision cache.",
+    )
+    cache_misses = MetricFamily(
+        "repro_decision_cache_misses_total", "counter",
+        "Checks that ran the full policy evaluation.",
+    )
+    cache_invalidations = MetricFamily(
+        "repro_decision_cache_invalidations_total", "counter",
+        "Cached verdicts dropped (version bumps and epoch clears).",
+    )
+    cache_entries = MetricFamily(
+        "repro_decision_cache_entries", "gauge",
+        "Verdicts currently memoized.",
+    )
+    plan_hits = MetricFamily(
+        "repro_plan_cache_hits_total", "counter",
+        "Textual queries planned from the canonical-form plan cache.",
+    )
+    plan_misses = MetricFamily(
+        "repro_plan_cache_misses_total", "counter",
+        "Textual queries that required a fresh plan.",
+    )
     policy_hist = MetricFamily(
         "repro_policy_eval_seconds", "histogram",
         "Per-policy evaluation time within one check.",
@@ -134,6 +169,19 @@ def collect_service(service) -> "list[MetricFamily]":
         slow.add(label, snap["slow"])
         check_hist.add_histogram(label, snap["check_hist"])
         wait_hist.add_histogram(label, snap["wait_hist"])
+        batch_hist.add_histogram(label, snap["batch_hist"])
+        # Plain-int reads of enforcer-side counters: no shard lock needed
+        # (torn reads are impossible for Python ints; staleness is fine
+        # for a scrape).
+        cache = shard.enforcer.decision_cache
+        if cache is not None:
+            cache_hits.add(label, cache.stats.hits)
+            cache_misses.add(label, cache.stats.misses)
+            cache_invalidations.add(label, cache.stats.invalidations)
+            cache_entries.add(label, cache.stats.entries)
+        engine = shard.enforcer.engine
+        plan_hits.add(label, engine.plan_cache_hits)
+        plan_misses.add(label, engine.plan_cache_misses)
         for policy, hist_snap in sorted(snap["policy_eval"].items()):
             policy_hist.add_histogram(
                 {"shard": str(shard.index), "policy": policy}, hist_snap
@@ -160,7 +208,9 @@ def collect_service(service) -> "list[MetricFamily]":
     families = [
         epoch, shards_g, admitted, rejected, completed,
         queue_depth, queue_capacity, busy, slow,
-        check_hist, wait_hist, policy_hist, violations, phases,
+        check_hist, wait_hist, batch_hist, policy_hist, violations, phases,
+        cache_hits, cache_misses, cache_invalidations, cache_entries,
+        plan_hits, plan_misses,
     ]
     if durable:
         families.extend([wal_appends, wal_fsyncs, wal_bytes, wal_seq])

@@ -28,6 +28,23 @@ so non-Python clients can submit queries:
 
 Requests for different users run in parallel (one enforcer shard per
 uid-hash bucket); requests for the same user serialize on their shard.
+
+Versioning (see ``docs/api_v1.md``): every endpoint is also served under
+``/v1/...`` wrapped in the versioned envelope ::
+
+    {"api_version": 1, "data": ...}                          # success
+    {"api_version": 1, "error": {"code": ..., "message": ...}}
+
+Error codes: ``invalid_request`` (400), ``not_found`` (404),
+``conflict`` (409), ``overloaded`` (429), ``draining`` (503). A policy
+denial (403) is a *decision*, not an error — it arrives under ``data``
+with ``allowed: false`` and its violations. ``GET /v1/metrics`` is the
+one exception to the envelope: it stays Prometheus text exposition.
+
+The unversioned paths above remain as compatibility aliases serving the
+original (pre-envelope) body shapes; every alias response carries a
+``Deprecation: true`` header and a ``Link: </v1/...>;
+rel="successor-version"`` pointer to its replacement.
 """
 
 from __future__ import annotations
@@ -48,6 +65,39 @@ from .errors import (
 )
 from .obs import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from .service import ServiceConfig, ShardedEnforcerService
+
+#: The current (and only) API version of the ``/v1`` surface.
+API_VERSION = 1
+
+#: HTTP status → stable machine-readable error code of the v1 envelope.
+ERROR_CODES = {
+    400: "invalid_request",
+    404: "not_found",
+    409: "conflict",
+    429: "overloaded",
+    503: "draining",
+}
+
+
+def versioned_envelope(status: int, body: dict) -> dict:
+    """Wrap a legacy ``(status, body)`` pair in the v1 envelope.
+
+    Bodies carrying a top-level ``error`` string are transport-level
+    failures: they become ``{"error": {"code", "message", ...}}`` with
+    any sibling keys (``shard``, ``retry_after``) preserved inside the
+    error object. Everything else — including a 403 policy denial,
+    which is a successful check with a negative verdict — is ``data``.
+    """
+    if isinstance(body.get("error"), str):
+        error = {
+            "code": ERROR_CODES.get(status, "error"),
+            "message": body["error"],
+        }
+        error.update(
+            (key, value) for key, value in body.items() if key != "error"
+        )
+        return {"api_version": API_VERSION, "error": error}
+    return {"api_version": API_VERSION, "data": body}
 
 
 class EnforcerService:
@@ -233,14 +283,51 @@ def make_handler(service: EnforcerService):
             self.wfile.write(data)
 
         def _send_text(
-            self, status: int, text: str, content_type: str
+            self,
+            status: int,
+            text: str,
+            content_type: str,
+            headers: Optional[dict] = None,
         ) -> None:
             data = text.encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
+
+        def _route(self) -> "tuple[str, bool]":
+            """The logical path and whether the request used ``/v1``."""
+            path = self.path
+            if path == "/v1" or path.startswith("/v1/"):
+                return path[len("/v1"):] or "/", True
+            return path, False
+
+        def _deprecation_headers(self, logical_path: str) -> dict:
+            return {
+                "Deprecation": "true",
+                "Link": f'</v1{logical_path}>; rel="successor-version"',
+            }
+
+        def _reply(
+            self,
+            status: int,
+            body: dict,
+            versioned: bool,
+            logical_path: str,
+            headers: Optional[dict] = None,
+        ) -> None:
+            """One response, shaped for the surface that was called:
+            the v1 envelope, or the legacy body + Deprecation header."""
+            if versioned:
+                self._send(status, versioned_envelope(status, body), headers)
+                return
+            merged = self._deprecation_headers(logical_path)
+            if headers:
+                merged.update(headers)
+            self._send(status, body, merged)
 
         def _read_json(self) -> Union[dict, str, None]:
             """The parsed body, or an error string for a 400 response."""
@@ -259,32 +346,51 @@ def make_handler(service: EnforcerService):
             return payload if isinstance(payload, dict) else None
 
         def do_GET(self):  # noqa: N802 - stdlib casing
-            if self.path == "/health":
-                self._send(200, {"status": "ok"})
-            elif self.path == "/policies":
-                self._send(*service.list_policies())
-            elif self.path == "/log":
-                self._send(*service.log_sizes())
-            elif self.path == "/stats":
-                self._send(*service.stats())
-            elif self.path == "/durability":
-                self._send(*service.durability())
-            elif self.path == "/metrics":
-                self._send_text(200, service.metrics(), METRICS_CONTENT_TYPE)
-            elif self.path == "/slowlog":
-                self._send(*service.slowlog())
+            path, versioned = self._route()
+            if path == "/metrics":
+                # Prometheus text either way; the envelope would break
+                # scrapers, so /v1/metrics is documented as unwrapped.
+                headers = (
+                    None if versioned else self._deprecation_headers(path)
+                )
+                self._send_text(
+                    200, service.metrics(), METRICS_CONTENT_TYPE, headers
+                )
+                return
+            if path == "/health":
+                outcome = (200, {"status": "ok"})
+            elif path == "/policies":
+                outcome = service.list_policies()
+            elif path == "/log":
+                outcome = service.log_sizes()
+            elif path == "/stats":
+                outcome = service.stats()
+            elif path == "/durability":
+                outcome = service.durability()
+            elif path == "/slowlog":
+                outcome = service.slowlog()
             else:
-                self._send(404, {"error": "not found"})
+                self._not_found(versioned)
+                return
+            self._reply(*outcome, versioned=versioned, logical_path=path)
 
         def do_POST(self):  # noqa: N802
+            path, versioned = self._route()
             payload = self._read_json()
             if isinstance(payload, str):
-                self._send(400, {"error": payload})
+                self._reply(
+                    400, {"error": payload}, versioned, logical_path=path
+                )
                 return
             if payload is None:
-                self._send(400, {"error": "invalid JSON body"})
+                self._reply(
+                    400,
+                    {"error": "invalid JSON body"},
+                    versioned,
+                    logical_path=path,
+                )
                 return
-            if self.path == "/query":
+            if path == "/query":
                 status, body = service.submit(payload)
                 headers = None
                 if status == 429:
@@ -293,18 +399,31 @@ def make_handler(service: EnforcerService):
                             max(1, round(body.get("retry_after", 1)))
                         )
                     }
-                self._send(status, body, headers)
-            elif self.path == "/policies":
-                self._send(*service.add_policy(payload))
+                self._reply(
+                    status, body, versioned, logical_path=path, headers=headers
+                )
+            elif path == "/policies":
+                status, body = service.add_policy(payload)
+                self._reply(status, body, versioned, logical_path=path)
             else:
-                self._send(404, {"error": "not found"})
+                self._not_found(versioned)
 
         def do_DELETE(self):  # noqa: N802
+            path, versioned = self._route()
             prefix = "/policies/"
-            if self.path.startswith(prefix):
-                self._send(*service.remove_policy(self.path[len(prefix):]))
+            if path.startswith(prefix):
+                status, body = service.remove_policy(path[len(prefix):])
+                self._reply(status, body, versioned, logical_path=path)
             else:
-                self._send(404, {"error": "not found"})
+                self._not_found(versioned)
+
+        def _not_found(self, versioned: bool) -> None:
+            """Unknown path: no Deprecation header — there is nothing the
+            caller should migrate to."""
+            body: dict = {"error": "not found"}
+            if versioned:
+                body = versioned_envelope(404, body)
+            self._send(404, body)
 
     return Handler
 

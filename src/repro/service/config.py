@@ -35,6 +35,18 @@ class ServiceConfig:
     - ``checkpoint_every`` — snapshot + WAL truncation cadence, in
       queries per shard; ``0`` checkpoints only on drain and policy
       changes.
+    - ``batch_size`` — max queued queries a shard worker drains per
+      wakeup. A batch is checked under one lock acquisition and — with
+      durability on — journals all its WAL records in one group-commit
+      window (a single fsync), so fsync cost amortizes across the batch.
+      ``1`` (the default) is exactly the unbatched behavior; decisions
+      are identical either way, only latency/throughput shift.
+    - ``decision_cache`` — memoize whole-check verdicts per shard (see
+      :mod:`repro.core.decision_cache`). On by default here: the gateway
+      is the hot path where repeated queries dominate. The core
+      :class:`~repro.core.EnforcerOptions` default stays off so the
+      paper-ablation benchmarks are unaffected.
+    - ``decision_cache_size`` — LRU entries per shard.
     - ``tracing`` — attach a per-query trace (span tree) to every check;
       feeds ``GET /metrics``, ``explain=analyze``, and the slow-query
       log. Off trims a few percent from the hot path.
@@ -54,6 +66,9 @@ class ServiceConfig:
     data_dir: Optional[str] = None
     wal_sync: bool = True
     checkpoint_every: int = 0
+    batch_size: int = 1
+    decision_cache: bool = True
+    decision_cache_size: int = 1024
     tracing: bool = True
     slow_query_seconds: float = 0.0
 
@@ -62,6 +77,10 @@ class ServiceConfig:
             raise ServiceError("shards must be >= 1")
         if self.queue_depth < 1:
             raise ServiceError("queue_depth must be >= 1")
+        if self.batch_size < 1:
+            raise ServiceError("batch_size must be >= 1")
+        if self.decision_cache_size < 1:
+            raise ServiceError("decision_cache_size must be >= 1")
         if self.workers < 1:
             raise ServiceError("workers must be >= 1")
         if self.dispatch_seconds < 0:

@@ -66,13 +66,23 @@ class ShardedEnforcerService:
         # prototype for the registry and clock kind.
         pairs = self._build_shard_enforcers(enforcer)
 
-        # The service config owns the tracing switch: apply it to every
-        # shard enforcer (including recovered ones, whose checkpoints may
-        # predate the option or carry a different setting).
+        # The service config owns the tracing and decision-cache
+        # switches: apply them to every shard enforcer (including
+        # recovered ones, whose checkpoints may predate the options or
+        # carry different settings). A recovered enforcer's cache starts
+        # empty by construction — verdict memos never survive a restart.
         for shard_enforcer, _ in pairs:
-            if shard_enforcer.options.tracing != self.config.tracing:
+            options = shard_enforcer.options
+            if (
+                options.tracing != self.config.tracing
+                or options.decision_cache != self.config.decision_cache
+                or options.decision_cache_size != self.config.decision_cache_size
+            ):
                 shard_enforcer.options = replace(
-                    shard_enforcer.options, tracing=self.config.tracing
+                    options,
+                    tracing=self.config.tracing,
+                    decision_cache=self.config.decision_cache,
+                    decision_cache_size=self.config.decision_cache_size,
                 )
 
         reference = pairs[0][0]
@@ -92,6 +102,7 @@ class ShardedEnforcerService:
                 latency_window=self.config.latency_window,
                 durability=durability,
                 slow_query_seconds=self.config.slow_query_seconds,
+                batch_size=self.config.batch_size,
             )
             for index, (shard_enforcer, durability) in enumerate(pairs)
         ]
@@ -323,6 +334,9 @@ class ShardedEnforcerService:
             snapshot["epoch"] = shard.epoch
             snapshot["queue_depth"] = shard.queue_depth()
             snapshot["queue_capacity"] = self.config.queue_depth
+            cache = shard.enforcer.decision_cache
+            if cache is not None:
+                snapshot["decision_cache"] = cache.stats.as_dict()
             shard_stats.append(snapshot)
         totals = {
             key: sum(entry[key] for entry in shard_stats)
@@ -339,6 +353,8 @@ class ShardedEnforcerService:
             "routing": self.config.routing,
             "durable": bool(self.config.data_dir),
             "tracing": self.config.tracing,
+            "batch_size": self.config.batch_size,
+            "decision_cache": self.config.decision_cache,
             "per_shard": shard_stats,
             "totals": totals,
         }

@@ -55,6 +55,8 @@ class ShardCounters:
         self._queue_waits: deque = deque(maxlen=latency_window)
         self._check_hist = Histogram()
         self._wait_hist = Histogram()
+        #: Batch sizes per worker wakeup (1 = no batching in effect).
+        self._batch_hist = Histogram(buckets=(1, 2, 4, 8, 16, 32, 64, 128))
         self._policy_eval: dict[str, Histogram] = {}
         self._policy_violations: dict[str, int] = {}
         self._recent_slow: deque = deque(maxlen=slow_window)
@@ -117,6 +119,10 @@ class ShardCounters:
                     self._policy_violations.get(name, 0) + 1
                 )
 
+    def record_batch(self, size: int) -> None:
+        """One worker wakeup that drained ``size`` queued queries."""
+        self._batch_hist.observe(size)
+
     def record_slow(self, entry: dict) -> None:
         """One check over the slow threshold; keep its rendered trace."""
         with self._lock:
@@ -169,6 +175,7 @@ class ShardCounters:
                 "slow": self.slow,
                 "check_hist": self._check_hist.snapshot(),
                 "wait_hist": self._wait_hist.snapshot(),
+                "batch_hist": self._batch_hist.snapshot(),
                 "policy_eval": {
                     name: hist.snapshot()
                     for name, hist in self._policy_eval.items()

@@ -59,7 +59,14 @@ class ShardDurability:
 
     def note_query(self, enforcer: Enforcer) -> None:
         """Count one processed query; checkpoint when the cadence hits."""
-        self._since_checkpoint += 1
+        self.note_queries(enforcer, 1)
+
+    def note_queries(self, enforcer: Enforcer, count: int) -> None:
+        """Count a batch of processed queries; checkpoint when the
+        cadence hits. Called at batch boundaries — never inside a WAL
+        group-commit window, where the checkpoint's WAL reset would
+        drop buffered frames."""
+        self._since_checkpoint += count
         if self.checkpoint_every and (
             self._since_checkpoint >= self.checkpoint_every
         ):
@@ -98,10 +105,16 @@ class Shard:
         latency_window: int = 512,
         durability: Optional[ShardDurability] = None,
         slow_query_seconds: float = 0.0,
+        batch_size: int = 1,
     ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.index = index
         self.enforcer = enforcer
         self.durability = durability
+        #: Max queued queries drained per worker wakeup; a batch shares
+        #: one lock acquisition and one WAL group commit.
+        self.batch_size = batch_size
         #: Guards the enforcer; the coordinator takes it for broadcasts.
         self.lock = threading.Lock()
         self.counters = ShardCounters(latency_window)
@@ -170,22 +183,68 @@ class Shard:
             item = self._queue.get()
             if item is _STOP:
                 break
-            job, future, enqueued_at = item
-            started = time.perf_counter()
-            queue_seconds = started - enqueued_at
-            decision: Optional[Decision] = None
-            with self._busy_lock:
-                self._busy += 1
-            try:
+            batch = [item]
+            while len(batch) < self.batch_size:
                 try:
-                    with self.lock:
-                        decision = job(self.enforcer)
-                        if self.durability is not None:
-                            self.durability.note_query(self.enforcer)
-                        if self.dispatch_seconds:
-                            # Modeled backend round trip (see ServiceConfig).
-                            time.sleep(self.dispatch_seconds)
-                except BaseException as error:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    # Another worker's drain sentinel: put it back for
+                    # them (the shard is draining, so no new offer can
+                    # race in behind it) and close this batch.
+                    self._queue.put(extra)
+                    break
+                batch.append(extra)
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: list) -> None:
+        """Run a drained batch under one lock hold.
+
+        The enforcer evaluates each query in admission order; with a WAL
+        attached, all their commit/reject records land in one group-
+        commit window (a single flush + fsync). Futures complete only
+        after that window closes — an acknowledged decision is a durable
+        one — and the modeled dispatch round trip is paid once per
+        batch, which is exactly the amortization the real middleware
+        gets from pipelining.
+        """
+        with self._busy_lock:
+            self._busy += 1
+        outcomes: list = []
+        try:
+            try:
+                with self.lock:
+                    wal = self.enforcer.store.wal
+                    if wal is not None and len(batch) > 1:
+                        with wal.batch():
+                            self._run_jobs(batch, outcomes)
+                    else:
+                        self._run_jobs(batch, outcomes)
+                    if self.durability is not None:
+                        # Cadence counted at batch boundaries: the WAL
+                        # window above is closed, so a checkpoint here
+                        # sees fully flushed state.
+                        self.durability.note_queries(
+                            self.enforcer, len(batch)
+                        )
+                    if self.dispatch_seconds:
+                        # Modeled backend round trip (see ServiceConfig).
+                        time.sleep(self.dispatch_seconds)
+            except BaseException as error:
+                # Machinery failure (WAL flush, checkpoint): nothing in
+                # this batch is guaranteed durable, so every caller that
+                # has not already been answered must see the error.
+                for _, future, enqueued_at in batch:
+                    self.counters.record_completion(
+                        time.perf_counter() - enqueued_at, 0.0, None, None
+                    )
+                    if not future.done():
+                        future.set_exception(error)
+                return
+            self.counters.record_batch(len(batch))
+            for future, enqueued_at, queue_seconds, decision, error in outcomes:
+                if error is not None:
                     self.counters.record_completion(
                         time.perf_counter() - enqueued_at,
                         queue_seconds,
@@ -193,24 +252,42 @@ class Shard:
                         None,
                     )
                     future.set_exception(error)
-                else:
-                    total_seconds = time.perf_counter() - enqueued_at
-                    self.counters.record_completion(
-                        total_seconds,
-                        queue_seconds,
-                        getattr(decision, "metrics", None),
-                        getattr(decision, "allowed", None),
-                        violations=getattr(decision, "violations", None),
-                    )
-                    if (
-                        self.slow_query_seconds
-                        and total_seconds >= self.slow_query_seconds
-                    ):
-                        self._note_slow(decision, total_seconds, queue_seconds)
-                    future.set_result(decision)
-            finally:
-                with self._busy_lock:
-                    self._busy -= 1
+                    continue
+                total_seconds = time.perf_counter() - enqueued_at
+                self.counters.record_completion(
+                    total_seconds,
+                    queue_seconds,
+                    getattr(decision, "metrics", None),
+                    getattr(decision, "allowed", None),
+                    violations=getattr(decision, "violations", None),
+                )
+                if (
+                    self.slow_query_seconds
+                    and total_seconds >= self.slow_query_seconds
+                ):
+                    self._note_slow(decision, total_seconds, queue_seconds)
+                future.set_result(decision)
+        finally:
+            with self._busy_lock:
+                self._busy -= 1
+
+    def _run_jobs(self, batch: list, outcomes: list) -> None:
+        """Evaluate each job; per-query failures fail that caller only.
+
+        Caller holds the shard lock. Outcomes are published after the
+        lock (and any WAL window) is released.
+        """
+        for job, future, enqueued_at in batch:
+            queue_seconds = time.perf_counter() - enqueued_at
+            decision: Optional[Decision] = None
+            try:
+                decision = job(self.enforcer)
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                outcomes.append((future, enqueued_at, queue_seconds, None, error))
+            else:
+                outcomes.append(
+                    (future, enqueued_at, queue_seconds, decision, None)
+                )
 
     def _note_slow(
         self, decision: Decision, total_seconds: float, queue_seconds: float

@@ -9,6 +9,7 @@ Typical use::
 """
 
 from . import ast
+from .canonical import canonical_sql
 from .lexer import Lexer, tokenize
 from .parser import Parser, parse, parse_expression, parse_select
 from .printer import print_expr, print_query
@@ -16,6 +17,7 @@ from .tokens import Token, TokenType
 
 __all__ = [
     "ast",
+    "canonical_sql",
     "Lexer",
     "tokenize",
     "Parser",

@@ -72,7 +72,9 @@ def load_policy_file(path: Path) -> Policy:
 
 
 def build_enforcer(
-    data_paths: Sequence[str], policy_paths: Sequence[str]
+    data_paths: Sequence[str],
+    policy_paths: Sequence[str],
+    vectorized: bool = True,
 ) -> Enforcer:
     database = Database()
     for spec in data_paths:
@@ -82,7 +84,7 @@ def build_enforcer(
         database,
         policies,
         clock=SimulatedClock(default_step_ms=10),
-        options=EnforcerOptions.datalawyer(),
+        options=EnforcerOptions.datalawyer(vectorized=vectorized),
     )
 
 
@@ -103,7 +105,9 @@ def _print_decision(decision, out) -> None:
 
 
 def cmd_check(args, out=sys.stdout) -> int:
-    enforcer = build_enforcer(args.data, args.policy)
+    enforcer = build_enforcer(
+        args.data, args.policy, vectorized=not args.no_vectorized
+    )
     if args.query:
         queries = [args.query]
     else:
@@ -229,7 +233,7 @@ def cmd_explain(args, out=sys.stdout) -> int:
         database = Database()
         for spec in args.data:
             load_csv_table(database, Path(spec))
-    engine = Engine(database)
+    engine = Engine(database, vectorized=not args.no_vectorized)
     try:
         print(engine.explain(args.query, analyze=args.analyze), file=out)
     except ReproError as error:
@@ -266,10 +270,14 @@ def build_server(args):
             build_marketplace_database(config),
             contract,
             clock=SimulatedClock(default_step_ms=10),
-            options=EnforcerOptions.datalawyer(),
+            options=EnforcerOptions.datalawyer(
+                vectorized=not args.no_vectorized
+            ),
         )
     else:
-        enforcer = build_enforcer(args.data, args.policy)
+        enforcer = build_enforcer(
+            args.data, args.policy, vectorized=not args.no_vectorized
+        )
     return serve(
         enforcer,
         host=args.host,
@@ -417,6 +425,11 @@ def make_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--uid", type=int, default=1, help="submitting user id")
     check.add_argument("--explain", action="store_true", help="explain rejections")
+    check.add_argument(
+        "--no-vectorized", action="store_true",
+        help="run the row-at-a-time engine path (results are identical; "
+        "for debugging and A/B timing)",
+    )
     group = check.add_mutually_exclusive_group(required=True)
     group.add_argument("--query", help="one SQL query")
     group.add_argument("--query-file", help="file of ';'-separated queries")
@@ -449,6 +462,10 @@ def make_parser() -> argparse.ArgumentParser:
         "--analyze",
         action="store_true",
         help="execute the plan and annotate operators with rows and time",
+    )
+    explain.add_argument(
+        "--no-vectorized", action="store_true",
+        help="EXPLAIN ANALYZE through the row-at-a-time path",
     )
     explain.set_defaults(func=cmd_explain)
 
@@ -505,6 +522,10 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-tracing", action="store_true",
         help="disable per-query trace spans (trims the /metrics and "
         "explain=analyze surfaces)",
+    )
+    serve.add_argument(
+        "--no-vectorized", action="store_true",
+        help="run shard engines on the row-at-a-time path",
     )
     serve.add_argument(
         "--slow-query-ms", type=float, default=0.0,

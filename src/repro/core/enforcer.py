@@ -86,6 +86,11 @@ class EnforcerOptions:
     #: Orthogonal to the paper's ablations; off it reverts ``timed()`` to
     #: bare perf counters.
     tracing: bool = True
+    #: Run policy checks and user queries through the engine's batch
+    #: (vectorized) path when lineage is off. Pure execution strategy —
+    #: decisions and results are bit-identical either way — but exposed
+    #: as a toggle so the equivalence suite can hold it as an ablation.
+    vectorized: bool = True
     #: Memoize whole-check verdicts across queries (see
     #: :mod:`repro.core.decision_cache`). Off by default at this layer so
     #: the paper's ablation benchmarks measure what they claim to; the
@@ -150,10 +155,10 @@ class Enforcer:
         options: Optional[EnforcerOptions] = None,
     ):
         self.database = database
-        self.engine = Engine(database)
         self.registry = registry or standard_registry()
         self.clock = clock or LogicalClock()
         self.options = options or EnforcerOptions.datalawyer()
+        self.engine = Engine(database, vectorized=self.options.vectorized)
         self.store = LogStore(database, self.registry)
         self.metrics_log = MetricsLog()
         self.policies: list[Policy] = list(policies)

@@ -20,6 +20,12 @@ class Database:
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        #: Hash-join build-cache tallies, incremented by
+        #: :class:`~repro.engine.operators.HashJoinOp` and exported on
+        #: ``/metrics``. They live here (not on the engine) because the
+        #: cache validity is a property of this catalog's tables.
+        self.join_build_hits = 0
+        self.join_build_misses = 0
 
     @staticmethod
     def _key(name: str) -> str:

@@ -115,10 +115,18 @@ def _wrap(op: Operator, trace: TraceContext, parent) -> Operator:
 
 
 class Engine:
-    """Plans and executes queries against one database."""
+    """Plans and executes queries against one database.
 
-    def __init__(self, database: Database):
+    With ``vectorized`` (the default), non-lineage executions run the
+    plan's batch path — operators exchange chunks of rows and evaluate
+    compiled kernels (see :mod:`repro.engine.vector`) — while lineage
+    executions always take the row path, which is the only one that
+    threads provenance. Both paths produce bit-identical results.
+    """
+
+    def __init__(self, database: Database, vectorized: bool = True):
         self.database = database
+        self.vectorized = vectorized
         #: Canonical text → plan. Keying on the canonical form (not the
         #: raw string) lets ``select * from t`` and ``SELECT * FROM t``
         #: share one slot instead of planning twice.
@@ -126,8 +134,16 @@ class Engine:
         #: Raw text → canonical text memo, so repeated hot queries skip
         #: even the re-lex.
         self._canonical_memo: dict[str, str] = {}
+        #: AST → plan. The enforcer's policy loop executes pre-parsed
+        #: ASTs (frozen, hashable dataclasses); caching them keeps the
+        #: operator objects — and the hash-join build caches they carry —
+        #: alive across policy evaluations.
+        self._ast_plan_cache: dict[ast.Query, Plan] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        #: Batch-path volume counters (``/metrics``).
+        self.vector_batches = 0
+        self.vector_rows = 0
 
     def _canonical_key(self, text: str) -> str:
         """The cache key for a textual query; raw text when unlexable
@@ -143,7 +159,7 @@ class Engine:
         return key
 
     def plan(self, query: Union[str, ast.Query]) -> Plan:
-        """Plan a query; textual queries get a tiny plan cache."""
+        """Plan a query; both textual and AST queries get a tiny plan cache."""
         if isinstance(query, str):
             key = self._canonical_key(query)
             cached = self._plan_cache.get(key)
@@ -155,12 +171,21 @@ class Engine:
             if len(self._plan_cache) < 256:
                 self._plan_cache[key] = plan
             return plan
-        return plan_query(query, self.database)
+        cached = self._ast_plan_cache.get(query)
+        if cached is not None:
+            self.plan_cache_hits += 1
+            return cached
+        self.plan_cache_misses += 1
+        plan = plan_query(query, self.database)
+        if len(self._ast_plan_cache) < 256:
+            self._ast_plan_cache[query] = plan
+        return plan
 
     def invalidate_plans(self) -> None:
         """Drop cached plans (after schema changes); counters persist."""
         self._plan_cache.clear()
         self._canonical_memo.clear()
+        self._ast_plan_cache.clear()
 
     def execute(
         self,
@@ -173,6 +198,13 @@ class Engine:
         op = plan.op
         if trace is not None:
             op = instrument_plan(op, trace)
+        if not lineage and self.vectorized:
+            rows = []
+            for batch in op.execute_batch(self.database):
+                self.vector_batches += 1
+                self.vector_rows += len(batch)
+                rows.extend(batch)
+            return Result(columns=list(plan.columns), rows=rows)
         rows: list[Row] = []
         lineages: Optional[list[frozenset]] = [] if lineage else None
         for row, lin in op.execute(self.database, lineage):
@@ -183,8 +215,14 @@ class Engine:
         return Result(columns=list(plan.columns), rows=rows, lineages=lineages)
 
     def is_empty(self, query: Union[str, ast.Query]) -> bool:
-        """True if the query returns no rows (stops at the first row)."""
+        """True if the query returns no rows (stops at the first chunk)."""
         plan = self.plan(query)
+        if self.vectorized:
+            for batch in plan.op.execute_batch(self.database):
+                self.vector_batches += 1
+                self.vector_rows += len(batch)
+                return False
+            return True
         for _ in plan.op.execute(self.database, False):
             return False
         return True
@@ -205,6 +243,10 @@ class Engine:
             "explain", max_depth=64, max_children=512, max_spans=4096
         )
         traced = instrument_plan(plan.op, trace, parent=trace.root)
-        for _ in traced.execute(self.database, False):
-            pass
+        if self.vectorized:
+            for _ in traced.execute_batch(self.database):
+                pass
+        else:
+            for _ in traced.execute(self.database, False):
+                pass
         return render_analyzed(trace.root, plan.columns)

@@ -64,11 +64,17 @@ def describe(op: Operator) -> str:
     if isinstance(op, ValuesOp):
         return f"Values ({len(op.rows)} rows)"
     if isinstance(op, FilterOp):
-        return "Filter"
+        # The bracket annotation is appended (never inlined) so existing
+        # "Filter" substring matches keep working.
+        return "Filter" + (f" [pushed={op.pushed}]" if op.pushed else "")
     if isinstance(op, ProjectOp):
         return f"Project ({len(op.exprs)} exprs)"
     if isinstance(op, HashJoinOp):
-        return f"HashJoin ({len(op.left_keys)} keys)"
+        label = f"HashJoin ({len(op.left_keys)} keys)"
+        state = op.build_cache_state()
+        if state is not None:
+            label += f" [build-cache={state}]"
+        return label
     if isinstance(op, NestedLoopOp):
         return "NestedLoop" + (" (filtered)" if op.predicate else " (product)")
     if isinstance(op, LeftJoinOp):

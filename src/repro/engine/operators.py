@@ -1,10 +1,22 @@
 """Physical operators.
 
-Every operator produces an iterator of ``(row, lineage)`` pairs. ``row`` is
-a tuple of SQL values; ``lineage`` is either ``None`` (lineage tracking
-off) or a frozenset of ``(table_name, tid)`` pairs identifying the base
-tuples that contributed to the row — the *set of contributing tuples*
-provenance the paper adopts from Cui/Widom lineage ([43] in the paper).
+Every operator supports two execution disciplines:
+
+- **Row-at-a-time** (:meth:`Operator.execute`): an iterator of
+  ``(row, lineage)`` pairs. ``row`` is a tuple of SQL values; ``lineage``
+  is either ``None`` (lineage tracking off) or a frozenset of
+  ``(table_name, tid)`` pairs identifying the base tuples that contributed
+  to the row — the *set of contributing tuples* provenance the paper
+  adopts from Cui/Widom lineage ([43] in the paper). This path is the
+  semantic reference and the only one that tracks provenance.
+
+- **Batch-at-a-time** (:meth:`Operator.execute_batch`): an iterator of
+  row chunks (plain lists, at most :data:`~repro.engine.vector.BATCH_SIZE`
+  rows each, never empty), used when lineage is off. Operators process a
+  chunk per call — compiled kernels replace per-row closure dispatch and
+  the per-row generator hops — and must emit rows in exactly the order the
+  row path would (the sqlite-differential and equivalence suites hold the
+  two paths bit-identical).
 
 Lineage combination rules:
 
@@ -12,6 +24,14 @@ Lineage combination rules:
 - join/product: union of the two sides;
 - group-by: union over every row in the group;
 - distinct / set-union: union over all duplicates merged into one output.
+
+Hash joins additionally cache their build side when it is a base-table
+scan, keyed on the table's monotone mutation version (see
+:class:`~repro.engine.table.Table`): policy checks re-join the same static
+dimension tables thousands of times, and only the usage-log relations
+churn. The cache lives on the operator, which the engine's plan cache
+keeps alive across evaluations; hit/miss tallies accumulate on the
+:class:`~repro.engine.database.Database` for ``/metrics`` export.
 """
 
 from __future__ import annotations
@@ -24,9 +44,12 @@ from .database import Database
 from .expressions import RowFn
 from .table import Table
 from .types import SqlValue, sort_key
+from .vector import BATCH_SIZE, BatchFn, chunked, join_probe_kernel
 
 Lineage = Optional[frozenset]
 Stream = Iterator[tuple[tuple, Lineage]]
+#: A batch stream: non-empty lists of plain row tuples.
+BatchStream = Iterator[list]
 PredFn = Callable[[tuple], bool]
 
 
@@ -35,6 +58,21 @@ class Operator:
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         raise NotImplementedError
+
+    def execute_batch(self, database: Database) -> BatchStream:
+        """Generic adapter: drain the row path into chunks.
+
+        Specialized operators override this; the adapter guarantees every
+        operator (including future ones) works under the batch discipline.
+        """
+        batch: list = []
+        for row, _ in self.execute(database, False):
+            batch.append(row)
+            if len(batch) >= BATCH_SIZE:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
 
 
 class ScanOp(Operator):
@@ -52,6 +90,9 @@ class ScanOp(Operator):
         else:
             for row in table.rows():
                 yield row, None
+
+    def execute_batch(self, database: Database) -> BatchStream:
+        yield from chunked(database.table(self.table_name).rows())
 
 
 class IndexScanOp(Operator):
@@ -78,6 +119,13 @@ class IndexScanOp(Operator):
             for _, row in matches:
                 yield row, None
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        table = database.table(self.table_name)
+        value = self.value_fn(())
+        matches = table.index_probe(self.column, value)
+        if matches:
+            yield from chunked([row for _, row in matches])
+
 
 class MaterializedScanOp(Operator):
     """Scan over an externally supplied table object (temp/increment data).
@@ -100,13 +148,30 @@ class MaterializedScanOp(Operator):
             for row in self.table.rows():
                 yield row, None
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        yield from chunked(self.table.rows())
+
 
 class FilterOp(Operator):
-    """Keeps rows satisfying a compiled predicate."""
+    """Keeps rows satisfying a compiled predicate.
 
-    def __init__(self, child: Operator, predicate: PredFn):
+    ``kernel`` is the optional batch form (rows → kept rows, see
+    :func:`repro.engine.vector.filter_kernel`); ``pushed`` counts WHERE
+    conjuncts the planner pushed beneath a join to get here (0 for
+    filters that sit where the SQL put them).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        predicate: PredFn,
+        kernel: Optional[BatchFn] = None,
+        pushed: int = 0,
+    ):
         self.child = child
         self.predicate = predicate
+        self.kernel = kernel
+        self.pushed = pushed
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         predicate = self.predicate
@@ -114,18 +179,52 @@ class FilterOp(Operator):
             if predicate(row):
                 yield row, lin
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        kernel = self.kernel
+        if kernel is None:
+            predicate = self.predicate
+            for batch in self.child.execute_batch(database):
+                kept = [row for row in batch if predicate(row)]
+                if kept:
+                    yield kept
+        else:
+            for batch in self.child.execute_batch(database):
+                kept = kernel(batch)
+                if kept:
+                    yield kept
+
 
 class ProjectOp(Operator):
-    """Row-wise projection through compiled expressions."""
+    """Row-wise projection through compiled expressions.
 
-    def __init__(self, child: Operator, exprs: Sequence[RowFn]):
+    ``kernel`` is the optional batch form (rows → projected rows, see
+    :func:`repro.engine.vector.project_kernel`).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        exprs: Sequence[RowFn],
+        kernel: Optional[BatchFn] = None,
+    ):
         self.child = child
         self.exprs = list(exprs)
+        self.kernel = kernel
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         exprs = self.exprs
         for row, lin in self.child.execute(database, lineage):
             yield tuple(fn(row) for fn in exprs), lin
+
+    def execute_batch(self, database: Database) -> BatchStream:
+        kernel = self.kernel
+        if kernel is None:
+            exprs = self.exprs
+            for batch in self.child.execute_batch(database):
+                yield [tuple(fn(row) for fn in exprs) for row in batch]
+        else:
+            for batch in self.child.execute_batch(database):
+                yield kernel(batch)
 
 
 class HashJoinOp(Operator):
@@ -133,6 +232,15 @@ class HashJoinOp(Operator):
 
     Output rows are ``left_row + right_row`` so downstream column offsets
     follow FROM order (the planner always joins left-deep in FROM order).
+
+    ``left_tuple_fn``/``right_tuple_fn`` are optional single-call key
+    extractors (``row → key tuple``); without them the per-key closure
+    lists are used. ``left_positions`` (probe-key column positions, when
+    the keys are plain columns) additionally enables a compiled probe
+    kernel on the batch path. When the build side is a base-table
+    :class:`ScanOp`, the bucket map is cached on the operator keyed by
+    the table's mutation version — static relations build once per plan
+    lifetime.
     """
 
     def __init__(
@@ -141,33 +249,145 @@ class HashJoinOp(Operator):
         right: Operator,
         left_keys: Sequence[RowFn],
         right_keys: Sequence[RowFn],
+        left_tuple_fn: Optional[RowFn] = None,
+        right_tuple_fn: Optional[RowFn] = None,
+        left_positions: Optional[Sequence[int]] = None,
     ):
         self.left = left
         self.right = right
         self.left_keys = list(left_keys)
         self.right_keys = list(right_keys)
+        self.left_tuple_fn = left_tuple_fn
+        self.right_tuple_fn = right_tuple_fn
+        self._probe_kernel = (
+            join_probe_kernel(left_positions) if left_positions else None
+        )
+        #: lineage flag → (build table, version built at, buckets).
+        self._build_cache: dict[bool, tuple] = {}
+
+    # -- build side ---------------------------------------------------------
+
+    def _build_table(self, database: Database) -> Optional[Table]:
+        """The base table backing the build side, if cacheable."""
+        right = self.right
+        if isinstance(right, TracedOp):
+            right = right.inner
+        if isinstance(right, ScanOp):
+            return database.table(right.table_name)
+        return None
+
+    def build_cache_state(self) -> Optional[str]:
+        """``"hit"``/``"miss"`` for the next execution; None if uncacheable."""
+        right = self.right.inner if isinstance(self.right, TracedOp) else self.right
+        if not isinstance(right, ScanOp):
+            return None
+        for flag in (False, True):
+            entry = self._build_cache.get(flag)
+            if entry is not None and entry[0].version == entry[1]:
+                return "hit"
+        return "miss"
+
+    def _key_fn(self, tuple_fn: Optional[RowFn], fns: "list[RowFn]") -> RowFn:
+        if tuple_fn is not None:
+            return tuple_fn
+        return lambda row: tuple(fn(row) for fn in fns)
+
+    def _right_buckets(self, database: Database, lineage: bool) -> dict:
+        """Build (or reuse) the bucket map for the right input.
+
+        Non-lineage buckets hold plain right rows; lineage buckets hold
+        ``(row, lineage)`` pairs.
+        """
+        table = self._build_table(database)
+        version = None
+        if table is not None:
+            entry = self._build_cache.get(lineage)
+            if (
+                entry is not None
+                and entry[0] is table
+                and entry[1] == table.version
+            ):
+                database.join_build_hits += 1
+                return entry[2]
+            database.join_build_misses += 1
+            version = table.version
+
+        right_key = self._key_fn(self.right_tuple_fn, self.right_keys)
+        buckets: dict = {}
+        if lineage:
+            for row, lin in self.right.execute(database, True):
+                key = right_key(row)
+                if None in key:
+                    continue  # NULL never equi-joins
+                buckets.setdefault(key, []).append((row, lin))
+        else:
+            for batch in self.right.execute_batch(database):
+                for row in batch:
+                    key = right_key(row)
+                    if None in key:
+                        continue
+                    buckets.setdefault(key, []).append(row)
+        if table is not None:
+            self._build_cache[lineage] = (table, version, buckets)
+        return buckets
+
+    # -- probe side ---------------------------------------------------------
 
     def execute(self, database: Database, lineage: bool) -> Stream:
-        buckets: dict[tuple, list[tuple[tuple, Lineage]]] = {}
-        for row, lin in self.right.execute(database, lineage):
-            key = tuple(fn(row) for fn in self.right_keys)
-            if any(value is None for value in key):
-                continue  # NULL never equi-joins
-            buckets.setdefault(key, []).append((row, lin))
+        buckets = self._right_buckets(database, lineage)
+        left_key = self._key_fn(self.left_tuple_fn, self.left_keys)
+        if lineage:
+            for row, lin in self.left.execute(database, True):
+                key = left_key(row)
+                if None in key:
+                    continue
+                matches = buckets.get(key)
+                if not matches:
+                    continue
+                for right_row, right_lin in matches:
+                    yield row + right_row, (lin or frozenset()) | (
+                        right_lin or frozenset()
+                    )
+        else:
+            for row, _ in self.left.execute(database, False):
+                key = left_key(row)
+                if None in key:
+                    continue
+                matches = buckets.get(key)
+                if not matches:
+                    continue
+                for right_row in matches:
+                    yield row + right_row, None
 
-        for row, lin in self.left.execute(database, lineage):
-            key = tuple(fn(row) for fn in self.left_keys)
-            if any(value is None for value in key):
-                continue
-            matches = buckets.get(key)
-            if not matches:
-                continue
-            for right_row, right_lin in matches:
-                combined = row + right_row
-                if lineage:
-                    yield combined, (lin or frozenset()) | (right_lin or frozenset())
-                else:
-                    yield combined, None
+    def execute_batch(self, database: Database) -> BatchStream:
+        buckets = self._right_buckets(database, False)
+        if not buckets:
+            return
+        get = buckets.get
+        probe = self._probe_kernel
+        out: list = []
+        if probe is not None:
+            for batch in self.left.execute_batch(database):
+                out += probe(batch, get)
+                if len(out) >= BATCH_SIZE:
+                    yield out
+                    out = []
+        else:
+            # No NULL-key check needed on the probe side: build sides
+            # never admit keys containing NULL, so a NULL key misses.
+            left_key = self._key_fn(self.left_tuple_fn, self.left_keys)
+            empty: tuple = ()
+            for batch in self.left.execute_batch(database):
+                out += [
+                    row + right_row
+                    for row in batch
+                    for right_row in get(left_key(row), empty)
+                ]
+                if len(out) >= BATCH_SIZE:
+                    yield out
+                    out = []
+        if out:
+            yield out
 
 
 class NestedLoopOp(Operator):
@@ -192,6 +412,27 @@ class NestedLoopOp(Operator):
                     yield combined, (lin or frozenset()) | (right_lin or frozenset())
                 else:
                     yield combined, None
+
+    def execute_batch(self, database: Database) -> BatchStream:
+        right_rows = [
+            row
+            for batch in self.right.execute_batch(database)
+            for row in batch
+        ]
+        predicate = self.predicate
+        out: list = []
+        for batch in self.left.execute_batch(database):
+            for row in batch:
+                for right_row in right_rows:
+                    combined = row + right_row
+                    if predicate is not None and not predicate(combined):
+                        continue
+                    out.append(combined)
+            if len(out) >= BATCH_SIZE:
+                yield out
+                out = []
+        if out:
+            yield out
 
 
 class LeftJoinOp(Operator):
@@ -232,6 +473,31 @@ class LeftJoinOp(Operator):
             if not matched:
                 yield row + padding, lin
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        right_rows = [
+            row
+            for batch in self.right.execute_batch(database)
+            for row in batch
+        ]
+        padding = (None,) * self.right_width
+        predicate = self.predicate
+        out: list = []
+        for batch in self.left.execute_batch(database):
+            for row in batch:
+                matched = False
+                for right_row in right_rows:
+                    combined = row + right_row
+                    if predicate(combined):
+                        matched = True
+                        out.append(combined)
+                if not matched:
+                    out.append(row + padding)
+            if len(out) >= BATCH_SIZE:
+                yield out
+                out = []
+        if out:
+            yield out
+
 
 class GroupOp(Operator):
     """Hash aggregation.
@@ -239,7 +505,8 @@ class GroupOp(Operator):
     Emits *group rows* of shape ``key_values + aggregate_results``; the
     planner compiles HAVING and the select list against that layout. When
     ``key_fns`` is empty, a single group is emitted even for empty input
-    (standard scalar-aggregate semantics).
+    (standard scalar-aggregate semantics). ``key_tuple_fn`` is an optional
+    single-call key extractor for the batch path.
     """
 
     def __init__(
@@ -247,10 +514,12 @@ class GroupOp(Operator):
         child: Operator,
         key_fns: Sequence[RowFn],
         agg_factories: Sequence[AccumulatorFactory],
+        key_tuple_fn: Optional[RowFn] = None,
     ):
         self.child = child
         self.key_fns = list(key_fns)
         self.agg_factories = list(agg_factories)
+        self.key_tuple_fn = key_tuple_fn
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         groups: dict[tuple, list] = {}
@@ -279,6 +548,38 @@ class GroupOp(Operator):
             results = tuple(acc.result() for acc in accumulators)
             yield key + results, lin
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        if not self.key_fns:
+            # Scalar aggregation: one group, accumulators sweep each
+            # chunk back-to-back (accumulators are independent, so the
+            # per-accumulator order is unobservable).
+            accumulators = [factory() for factory in self.agg_factories]
+            for batch in self.child.execute_batch(database):
+                for accumulator in accumulators:
+                    accumulator.add_batch(batch)
+            yield [tuple(acc.result() for acc in accumulators)]
+            return
+
+        key_of = self.key_tuple_fn or (
+            lambda row: tuple(fn(row) for fn in self.key_fns)
+        )
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for batch in self.child.execute_batch(database):
+            for row in batch:
+                key = key_of(row)
+                state = groups.get(key)
+                if state is None:
+                    state = [factory() for factory in self.agg_factories]
+                    groups[key] = state
+                    order.append(key)
+                for accumulator in state:
+                    accumulator.add(row)
+        out = [
+            key + tuple(acc.result() for acc in groups[key]) for key in order
+        ]
+        yield from chunked(out)
+
 
 class DistinctOp(Operator):
     """Set semantics: one output per distinct row, lineages unioned."""
@@ -304,6 +605,21 @@ class DistinctOp(Operator):
                 order.append(row)
         for row in order:
             yield row, merged[row]
+
+    def execute_batch(self, database: Database) -> BatchStream:
+        seen: set = set()
+        add = seen.add
+        out: list = []
+        for batch in self.child.execute_batch(database):
+            for row in batch:
+                if row not in seen:
+                    add(row)
+                    out.append(row)
+            if len(out) >= BATCH_SIZE:
+                yield out
+                out = []
+        if out:
+            yield out
 
 
 class DistinctOnOp(Operator):
@@ -331,6 +647,24 @@ class DistinctOnOp(Operator):
             seen.add(key)
             yield tuple(fn(row) for fn in self.out_fns), lin
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        seen: set = set()
+        key_fns = self.key_fns
+        out_fns = self.out_fns
+        out: list = []
+        for batch in self.child.execute_batch(database):
+            for row in batch:
+                key = tuple(fn(row) for fn in key_fns)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(tuple(fn(row) for fn in out_fns))
+            if len(out) >= BATCH_SIZE:
+                yield out
+                out = []
+        if out:
+            yield out
+
 
 class UnionOp(Operator):
     """UNION / UNION ALL over two inputs of identical arity."""
@@ -350,6 +684,25 @@ class UnionOp(Operator):
         else:
             yield from DistinctOp(_Wrapped(chained())).execute(database, lineage)
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        if self.all_rows:
+            yield from self.left.execute_batch(database)
+            yield from self.right.execute_batch(database)
+            return
+        seen: set = set()
+        out: list = []
+        for source in (self.left, self.right):
+            for batch in source.execute_batch(database):
+                for row in batch:
+                    if row not in seen:
+                        seen.add(row)
+                        out.append(row)
+                if len(out) >= BATCH_SIZE:
+                    yield out
+                    out = []
+        if out:
+            yield out
+
 
 class ExceptOp(Operator):
     """Set difference (always distinct, like SQL EXCEPT)."""
@@ -367,6 +720,24 @@ class ExceptOp(Operator):
             emitted.add(row)
             yield row, lin
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        removed: set = set()
+        for batch in self.right.execute_batch(database):
+            removed.update(batch)
+        emitted: set = set()
+        out: list = []
+        for batch in self.left.execute_batch(database):
+            for row in batch:
+                if row in removed or row in emitted:
+                    continue
+                emitted.add(row)
+                out.append(row)
+            if len(out) >= BATCH_SIZE:
+                yield out
+                out = []
+        if out:
+            yield out
+
 
 class IntersectOp(Operator):
     """Set intersection (always distinct, like SQL INTERSECT)."""
@@ -383,6 +754,24 @@ class IntersectOp(Operator):
                 continue
             emitted.add(row)
             yield row, lin
+
+    def execute_batch(self, database: Database) -> BatchStream:
+        keep: set = set()
+        for batch in self.right.execute_batch(database):
+            keep.update(batch)
+        emitted: set = set()
+        out: list = []
+        for batch in self.left.execute_batch(database):
+            for row in batch:
+                if row not in keep or row in emitted:
+                    continue
+                emitted.add(row)
+                out.append(row)
+            if len(out) >= BATCH_SIZE:
+                yield out
+                out = []
+        if out:
+            yield out
 
 
 class OrderOp(Operator):
@@ -402,6 +791,16 @@ class OrderOp(Operator):
             rows.sort(key=lambda pair: sort_key(fn(pair[0])), reverse=desc)
         yield from rows
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        rows = [
+            row
+            for batch in self.child.execute_batch(database)
+            for row in batch
+        ]
+        for fn, desc in reversed(list(zip(self.key_fns, self.descending))):
+            rows.sort(key=lambda row: sort_key(fn(row)), reverse=desc)
+        yield from chunked(rows)
+
 
 class LimitOp(Operator):
     """Emit at most ``limit`` rows."""
@@ -420,6 +819,18 @@ class LimitOp(Operator):
             if remaining == 0:
                 return
 
+    def execute_batch(self, database: Database) -> BatchStream:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for batch in self.child.execute_batch(database):
+            if len(batch) < remaining:
+                remaining -= len(batch)
+                yield batch
+            else:
+                yield batch[:remaining]
+                return
+
 
 class ValuesOp(Operator):
     """A constant relation (used for the one-row Clock and for tests)."""
@@ -430,6 +841,9 @@ class ValuesOp(Operator):
     def execute(self, database: Database, lineage: bool) -> Stream:
         for row in self.rows:
             yield row, (frozenset() if lineage else None)
+
+    def execute_batch(self, database: Database) -> BatchStream:
+        yield from chunked(self.rows)
 
 
 class _Wrapped(Operator):
@@ -450,6 +864,7 @@ class TracedOp(Operator):
     from its stream, so ``span.seconds`` is the node's *inclusive* wall
     time — time inside its subtree, like ``actual time`` in PostgreSQL's
     ``EXPLAIN ANALYZE`` — and ``span.counters["rows"]`` is rows emitted.
+    Under batch execution each pull is one chunk; rows still count rows.
     """
 
     def __init__(self, inner: Operator, span) -> None:
@@ -475,4 +890,23 @@ class TracedOp(Operator):
         finally:
             # Abandoned early (LIMIT upstream, is_empty probes): the rows
             # pulled so far still count.
+            span.counters["rows"] = span.counters.get("rows", 0) + rows
+
+    def execute_batch(self, database: Database) -> BatchStream:
+        span = self.span
+        counter = time.perf_counter
+        stream = self.inner.execute_batch(database)
+        rows = 0
+        try:
+            while True:
+                started = counter()
+                try:
+                    batch = next(stream)
+                except StopIteration:
+                    span.seconds += counter() - started
+                    return
+                span.seconds += counter() - started
+                rows += len(batch)
+                yield batch
+        finally:
             span.counters["rows"] = span.counters.get("rows", 0) + rows

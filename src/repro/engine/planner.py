@@ -2,10 +2,15 @@
 
 Planning decisions, in order:
 
-1. FROM items are planned left-deep in syntactic order. Single-table WHERE
-   conjuncts are pushed below the joins onto their scan; plain
-   column-equality conjuncts linking the new item to the accumulated prefix
-   become hash-join keys; everything else lands in one residual filter.
+1. FROM items are planned left-deep in syntactic order. WHERE conjuncts
+   are classified by the set of FROM units they reference: single-unit
+   conjuncts are pushed beneath the joins onto their unit — descending the
+   left spine of LEFT JOIN units (σ_p(L) ⟕ R ≡ σ_p(L ⟕ R) when p reads
+   only L) and promoting ``col = constant`` probes on base scans to
+   :class:`IndexScanOp`; plain column-equality conjuncts linking a new
+   unit to the accumulated prefix become hash-join keys; multi-unit
+   conjuncts are attached directly above the first join that binds all
+   their columns; only what's left lands in the top residual filter.
 2. If the query groups or aggregates, a :class:`GroupOp` materializes
    ``key + aggregate`` rows and the select list / HAVING / ORDER BY are
    compiled against that layout (non-grouped column refs are rejected, as
@@ -13,6 +18,10 @@ Planning decisions, in order:
 3. ``DISTINCT ON`` keys are evaluated on the pre-projection row, matching
    PostgreSQL, which is what the paper's witness queries (Lemma 4.2) rely
    on.
+
+Alongside each compiled closure the planner emits batch *kernels* (see
+:mod:`repro.engine.vector`) for filters, projections, and join/group key
+extraction; the row path never touches them.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ from .operators import (
     UnionOp,
     ValuesOp,
 )
+from . import vector
 
 
 @dataclass
@@ -118,6 +128,21 @@ class Layout:
     def column_fn(self, ref: ast.ColumnRef) -> RowFn:
         index = self.resolve_position(ref)
         return lambda row: row[index]
+
+    def source_resolver(self, base: int = 0) -> vector.SourceResolver:
+        """A kernel-emission resolver: ref → ``row[i]`` source, or None.
+
+        ``base`` rebases positions for operators that see a sub-span of
+        the concatenated row (unit-level pushed filters).
+        """
+
+        def resolve(ref: ast.ColumnRef) -> Optional[str]:
+            try:
+                return f"row[{self.resolve_position(ref) - base}]"
+            except BindError:
+                return None
+
+        return resolve
 
     def bindings_of(self, expr: ast.Expr) -> set[str]:
         """Binding names an expression's column refs resolve into."""
@@ -191,9 +216,7 @@ class Planner:
         layout, from_op, residual = self._plan_from(select)
 
         if residual is not None:
-            from_op = FilterOp(
-                from_op, compile_predicate(residual, layout.column_fn)
-            )
+            from_op = self._make_filter(from_op, residual, layout)
 
         grouped = bool(select.group_by) or self._select_has_aggregates(select)
         if grouped:
@@ -244,51 +267,54 @@ class Planner:
         conjuncts = list(ast.conjuncts(select.where))
         consumed: set[int] = set()
 
-        # Push single-binding conjuncts onto single-binding units. Never
-        # push below a join unit: filtering the right side of a LEFT JOIN
-        # before the join changes which rows get NULL-padded.
-        pushable = {
-            bindings[0].name
-            for bindings, _ in units
-            if len(bindings) == 1
+        # Classify conjuncts by the set of units they reference. A
+        # single-unit conjunct is pushed into that unit (for join units,
+        # down the left spine where its columns allow — never into the
+        # right side of a LEFT JOIN, which would change NULL padding).
+        unit_of_binding = {
+            binding.name: unit_index
+            for unit_index, (bindings, _) in enumerate(units)
+            for binding in bindings
         }
-        per_binding: dict[str, list[ast.Expr]] = {}
+        per_unit: dict[int, list[tuple[ast.Expr, list[int]]]] = {}
         for index, conjunct in enumerate(conjuncts):
             refs = layout.bindings_of(conjunct)
-            if (
-                len(refs) == 1
-                and next(iter(refs)) in pushable
-                and not contains_aggregate(conjunct)
-            ):
-                per_binding.setdefault(next(iter(refs)), []).append(conjunct)
+            if not refs or contains_aggregate(conjunct):
+                continue
+            owners = {unit_of_binding[name] for name in refs}
+            if len(owners) == 1:
+                positions = [
+                    layout.resolve_position(ref)
+                    for ref in ast.column_refs(conjunct)
+                ]
+                per_unit.setdefault(owners.pop(), []).append(
+                    (conjunct, positions)
+                )
                 consumed.add(index)
 
         planned: list[tuple[list[Binding], Operator]] = []
-        for bindings, op in units:
-            if len(bindings) == 1:
-                binding = bindings[0]
-                local = list(per_binding.get(binding.name, ()))
-                if local and isinstance(op, ScanOp):
-                    # Equality-with-constant conjuncts probe the hash index.
-                    index_scan, local = self._try_index_scan(op, binding, local)
-                    if index_scan is not None:
-                        op = index_scan
-                if local:
-                    solo = Layout([Binding(binding.name, binding.columns, 0)])
-                    predicate = compile_predicate(
-                        ast.conjoin(local), solo.column_fn
-                    )
-                    op = FilterOp(op, predicate)
+        for unit_index, (bindings, op) in enumerate(units):
+            items = per_unit.get(unit_index)
+            if items:
+                base = bindings[0].offset
+                width = sum(len(binding.columns) for binding in bindings)
+                op = self._attach_unit_filters(op, items, base, width, layout)
             planned.append((bindings, op))
 
-        # Left-deep joins in FROM order, consuming equi-join conjuncts.
+        # Left-deep joins in FROM order, consuming equi-join conjuncts;
+        # remaining multi-unit conjuncts attach right above the first join
+        # that binds all their columns (accumulated rows are an offset
+        # prefix, so global positions stay valid).
         first_bindings, acc_op = planned[0]
         acc_binding_names = {binding.name for binding in first_bindings}
-        for bindings, op in planned[1:]:
+        last = len(planned) - 1
+        for unit_index, (bindings, op) in enumerate(planned[1:], start=1):
             unit_names = {binding.name for binding in bindings}
             local_layout = self._local_layout(bindings)
             left_keys: list[RowFn] = []
             right_keys: list[RowFn] = []
+            left_positions: list[int] = []
+            right_positions: list[int] = []
             for index, conjunct in enumerate(conjuncts):
                 if index in consumed:
                     continue
@@ -298,19 +324,119 @@ class Planner:
                 if keys is None:
                     continue
                 left_ref, right_ref = keys
+                left_positions.append(layout.resolve_position(left_ref))
+                right_positions.append(local_layout.resolve_position(right_ref))
                 left_keys.append(layout.column_fn(left_ref))
                 right_keys.append(local_layout.column_fn(right_ref))
                 consumed.add(index)
             if left_keys:
-                acc_op = HashJoinOp(acc_op, op, left_keys, right_keys)
+                acc_op = HashJoinOp(
+                    acc_op,
+                    op,
+                    left_keys,
+                    right_keys,
+                    left_tuple_fn=vector.tuple_fn(left_positions),
+                    right_tuple_fn=vector.tuple_fn(right_positions),
+                    left_positions=left_positions,
+                )
             else:
                 acc_op = NestedLoopOp(acc_op, op)
             acc_binding_names |= unit_names
+            if unit_index == last:
+                break  # whatever is left is the top residual anyway
+            ready: list[ast.Expr] = []
+            for index, conjunct in enumerate(conjuncts):
+                if index in consumed:
+                    continue
+                refs = layout.bindings_of(conjunct)
+                if (
+                    refs
+                    and refs <= acc_binding_names
+                    and not contains_aggregate(conjunct)
+                ):
+                    ready.append(conjunct)
+                    consumed.add(index)
+            if ready:
+                acc_op = self._make_filter(
+                    acc_op, ast.conjoin(ready), layout, pushed=len(ready)
+                )
 
         residual = ast.conjoin(
             [c for i, c in enumerate(conjuncts) if i not in consumed]
         )
         return layout, acc_op, residual
+
+    def _make_filter(
+        self,
+        child: Operator,
+        expr: ast.Expr,
+        layout: Layout,
+        base: int = 0,
+        pushed: int = 0,
+    ) -> FilterOp:
+        """A FilterOp with both the closure predicate and a batch kernel."""
+
+        def column_fn(ref: ast.ColumnRef) -> RowFn:
+            index = layout.resolve_position(ref) - base
+            return lambda row: row[index]
+
+        predicate = compile_predicate(expr, column_fn)
+        kernel = vector.filter_kernel(
+            predicate, expr, layout.source_resolver(base)
+        )
+        return FilterOp(child, predicate, kernel=kernel, pushed=pushed)
+
+    def _attach_unit_filters(
+        self,
+        op: Operator,
+        items: list,
+        base: int,
+        width: int,
+        layout: Layout,
+    ) -> Operator:
+        """Push WHERE conjuncts into one FROM unit.
+
+        ``items`` is a list of ``(conjunct, global column positions)``
+        pairs, every position inside ``[base, base + width)``. For left
+        joins, conjuncts reading only the left span descend recursively
+        (filtering L before L ⟕ R preserves NULL padding; filtering R
+        before the join would not, so right-side conjuncts stop here,
+        above the join). At a base-table leaf, ``col = constant`` probes
+        promote the scan to an index probe.
+        """
+        from .operators import LeftJoinOp
+
+        if isinstance(op, LeftJoinOp):
+            left_end = base + (width - op.right_width)
+            descend = [
+                item for item in items if all(p < left_end for p in item[1])
+            ]
+            if descend:
+                op.left = self._attach_unit_filters(
+                    op.left, descend, base, left_end - base, layout
+                )
+                items = [
+                    item
+                    for item in items
+                    if not all(p < left_end for p in item[1])
+                ]
+            if not items:
+                return op
+
+        local = [conjunct for conjunct, _ in items]
+        if isinstance(op, ScanOp):
+            binding = next(
+                (b for b in layout.bindings if b.offset == base), None
+            )
+            if binding is not None:
+                index_scan, local = self._try_index_scan(op, binding, local)
+                if index_scan is not None:
+                    op = index_scan
+        if not local:
+            return op
+        return self._make_filter(
+            op, ast.conjoin(local), layout, base=base, pushed=len(local)
+        )
 
     def _plan_source_item(
         self, item: ast.FromItem, offset: int
@@ -420,7 +546,9 @@ class Planner:
     def _plan_plain(
         self, select: ast.Select, layout: Layout, child: Operator
     ) -> Plan:
-        out_fns, out_names = self._output_exprs(select, layout, grouped=False)
+        out_fns, out_names, out_sources = self._output_exprs(
+            select, layout, grouped=False
+        )
 
         key_fn = layout.column_fn  # input-context resolver
 
@@ -436,7 +564,11 @@ class Planner:
             ]
             op: Operator = DistinctOnOp(child, on_fns, out_fns)
         else:
-            op = ProjectOp(child, out_fns)
+            op = ProjectOp(
+                child,
+                out_fns,
+                kernel=vector.project_kernel(out_fns, sources=out_sources),
+            )
             if select.distinct:
                 op = DistinctOp(op)
 
@@ -496,10 +628,17 @@ class Planner:
 
     def _output_exprs(
         self, select: ast.Select, layout: Layout, grouped: bool
-    ) -> tuple[list[RowFn], list[str]]:
-        """Compile the select list (non-grouped path) and name the output."""
+    ) -> tuple[list[RowFn], list[str], list[Optional[str]]]:
+        """Compile the select list (non-grouped path) and name the output.
+
+        The third return is per-slot kernel source (``row[i]`` / emitted
+        expression / None for closure-only slots), feeding the projection
+        kernel.
+        """
         fns: list[RowFn] = []
         names: list[str] = []
+        sources: list[Optional[str]] = []
+        emit_source = layout.source_resolver()
         for position, item in enumerate(select.items):
             if isinstance(item.expr, ast.Star):
                 if grouped:
@@ -514,10 +653,12 @@ class Planner:
                         index = binding.offset + column_index
                         fns.append(lambda row, i=index: row[i])
                         names.append(column)
+                        sources.append(f"row[{index}]")
                 continue
             fns.append(compile_expr(item.expr, layout.column_fn))
             names.append(self._output_name(item, position))
-        return fns, names
+            sources.append(vector.emit(item.expr, emit_source))
+        return fns, names, sources
 
     @staticmethod
     def _output_name(item: ast.SelectItem, position: int) -> str:
@@ -537,6 +678,11 @@ class Planner:
         key_exprs = [normalize_expr(e, layout) for e in select.group_by]
         key_index = {expr: i for i, expr in enumerate(key_exprs)}
         key_fns = [compile_expr(e, layout.column_fn) for e in key_exprs]
+        key_tuple = (
+            vector.key_tuple_fn(key_fns, key_exprs, layout.source_resolver())
+            if key_exprs
+            else None
+        )
 
         # Collect distinct aggregate calls across all post-agg expressions.
         agg_order: list[ast.FuncCall] = []
@@ -596,7 +742,7 @@ class Planner:
         def compile_grouped(expr: ast.Expr) -> RowFn:
             return compile_expr(expr, grouped_column, resolve_special)
 
-        op: Operator = GroupOp(child, key_fns, factories)
+        op: Operator = GroupOp(child, key_fns, factories, key_tuple_fn=key_tuple)
         if select.having is not None:
             having_fn = compile_grouped(select.having)
             op = FilterOp(op, lambda row: having_fn(row) is True)

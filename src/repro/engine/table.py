@@ -4,11 +4,16 @@ Each row receives a monotonically increasing tuple id (tid) when inserted.
 Tids are the currency of lineage tracking (:mod:`repro.engine.lineage`) and
 of log compaction, whose *mark* phase collects the tids to retain and whose
 *delete* phase removes the rest.
+
+Tables also carry a monotone **mutation version**: every change to the row
+set bumps it. Derived structures built from a snapshot of the rows (hash
+indexes, the tid→position map, and the executor's cached hash-join build
+sides) are valid exactly as long as the version they were built at.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import EngineError
 from .schema import TableSchema, make_schema
@@ -28,6 +33,10 @@ class Table:
         #: Lazily built hash indexes: column position → value → row indexes.
         #: Any mutation invalidates them; static tables keep them forever.
         self._indexes: dict[int, dict] = {}
+        #: Lazy tid → row position map (see :meth:`tid_positions`).
+        self._tid_pos: Optional[dict[int, int]] = None
+        #: Monotone mutation counter; see the module docstring.
+        self._version = 0
 
     # -- construction -------------------------------------------------------
 
@@ -45,6 +54,11 @@ class Table:
     def name(self) -> str:
         return self.schema.name
 
+    @property
+    def version(self) -> int:
+        """Monotone mutation version (bumped once per mutating call)."""
+        return self._version
+
     def __len__(self) -> int:
         return len(self._rows)
 
@@ -59,12 +73,27 @@ class Table:
     def tids(self) -> list[int]:
         return self._tids
 
+    def tid_positions(self) -> dict:
+        """The lazy tid → row-position map (rebuilt after any mutation).
+
+        Shared by :meth:`row_for_tid` and the log store's insert phase,
+        which resolves the marked tids of a compaction pass in one build
+        instead of one linear scan each.
+        """
+        positions = self._tid_pos
+        if positions is None:
+            positions = {tid: pos for pos, tid in enumerate(self._tids)}
+            self._tid_pos = positions
+        return positions
+
     def row_for_tid(self, tid: int) -> Row:
-        """Fetch a row by tuple id (linear scan; used only in tests/debug)."""
-        for existing_tid, row in self.scan():
-            if existing_tid == tid:
-                return row
-        raise EngineError(f"table {self.name!r} has no tuple with tid {tid}")
+        """Fetch a row by tuple id through the lazy tid→position map."""
+        try:
+            return self._rows[self.tid_positions()[tid]]
+        except KeyError:
+            raise EngineError(
+                f"table {self.name!r} has no tuple with tid {tid}"
+            ) from None
 
     # -- hash indexes -----------------------------------------------------------
 
@@ -91,6 +120,8 @@ class Table:
         return [(self._tids[p], self._rows[p]) for p in positions]
 
     def _invalidate_indexes(self) -> None:
+        self._version += 1
+        self._tid_pos = None
         if self._indexes:
             self._indexes = {}
 
@@ -111,8 +142,25 @@ class Table:
         return tid
 
     def insert_many(self, rows: Iterable[Sequence[SqlValue]]) -> list[int]:
-        """Insert rows in order; returns their tids."""
-        return [self.insert(row) for row in rows]
+        """Bulk append: one arity pass, one version bump, one invalidation."""
+        arity = self.schema.arity
+        added: list[Row] = []
+        for row in rows:
+            if len(row) != arity:
+                raise EngineError(
+                    f"arity mismatch inserting into {self.name!r}: "
+                    f"expected {arity} values, got {len(row)}"
+                )
+            added.append(tuple(row))
+        if not added:
+            return []
+        first = self._next_tid
+        tids = list(range(first, first + len(added)))
+        self._next_tid = first + len(added)
+        self._rows.extend(added)
+        self._tids.extend(tids)
+        self._invalidate_indexes()
+        return tids
 
     def insert_with_tids(
         self, rows: Sequence[Sequence[SqlValue]], tids: Sequence[int]
@@ -185,9 +233,19 @@ class Table:
         self._invalidate_indexes()
 
     def clone(self) -> "Table":
-        """Deep-enough copy: rows are immutable tuples, so sharing is safe."""
+        """Deep-enough copy: rows are immutable tuples, so sharing is safe.
+
+        Derived structures ride along: the hash indexes, tid map and
+        version carry over, so per-shard clones of a static catalog don't
+        re-pay index builds. Inner index dicts are built-then-assigned and
+        never mutated in place, and mutation on either side *reassigns*
+        its own containers, so sharing them is safe.
+        """
         copy = Table(self.schema)
         copy._rows = list(self._rows)
         copy._tids = list(self._tids)
         copy._next_tid = self._next_tid
+        copy._indexes = dict(self._indexes)
+        copy._tid_pos = self._tid_pos
+        copy._version = self._version
         return copy

@@ -91,6 +91,84 @@ def compare(op: str, left: SqlValue, right: SqlValue) -> SqlBool:
     raise ExecutionError(f"unknown comparison operator: {op}")
 
 
+# Per-operator specializations of :func:`compare`, emitted by the
+# vectorized kernel compiler (:mod:`repro.engine.vector`) to skip the
+# operator-string dispatch on every row. Each must mirror the matching
+# branch of ``compare`` exactly: same NULL propagation, same cross-family
+# results, same error text. The ``int``/``int`` fast paths are semantic
+# no-ops (``_comparable`` is always True there; ``bool`` has its own
+# ``__class__`` so it never takes them). ``test_vectorized`` holds each
+# specialization bit-identical to ``compare`` over a value matrix.
+
+
+def compare_eq(left: SqlValue, right: SqlValue) -> SqlBool:
+    if left is None or right is None:
+        return None
+    if left.__class__ is int and right.__class__ is int:
+        return left == right
+    if not _comparable(left, right):
+        return False
+    return left == right
+
+
+def compare_ne(left: SqlValue, right: SqlValue) -> SqlBool:
+    if left is None or right is None:
+        return None
+    if left.__class__ is int and right.__class__ is int:
+        return left != right
+    if not _comparable(left, right):
+        return True
+    return left != right
+
+
+def compare_lt(left: SqlValue, right: SqlValue) -> SqlBool:
+    if left is None or right is None:
+        return None
+    if left.__class__ is int and right.__class__ is int:
+        return left < right
+    if not _comparable(left, right):
+        raise ExecutionError(
+            f"cannot order values of incompatible types: {left!r} < {right!r}"
+        )
+    return left < right
+
+
+def compare_le(left: SqlValue, right: SqlValue) -> SqlBool:
+    if left is None or right is None:
+        return None
+    if left.__class__ is int and right.__class__ is int:
+        return left <= right
+    if not _comparable(left, right):
+        raise ExecutionError(
+            f"cannot order values of incompatible types: {left!r} <= {right!r}"
+        )
+    return left <= right
+
+
+def compare_gt(left: SqlValue, right: SqlValue) -> SqlBool:
+    if left is None or right is None:
+        return None
+    if left.__class__ is int and right.__class__ is int:
+        return left > right
+    if not _comparable(left, right):
+        raise ExecutionError(
+            f"cannot order values of incompatible types: {left!r} > {right!r}"
+        )
+    return left > right
+
+
+def compare_ge(left: SqlValue, right: SqlValue) -> SqlBool:
+    if left is None or right is None:
+        return None
+    if left.__class__ is int and right.__class__ is int:
+        return left >= right
+    if not _comparable(left, right):
+        raise ExecutionError(
+            f"cannot order values of incompatible types: {left!r} >= {right!r}"
+        )
+    return left >= right
+
+
 def arithmetic(op: str, left: SqlValue, right: SqlValue) -> SqlValue:
     """Evaluate an arithmetic or string operator with NULL propagation."""
     if left is None or right is None:

@@ -209,17 +209,20 @@ class LogStore:
 
             insert_start = time.perf_counter()
             if keep_staged:
-                # Real append work: materialize the persisted image.
-                by_tid = dict(zip(table.tids(), table.rows()))
+                # Real append work: materialize the persisted image. The
+                # table's lazy tid→position map resolves every marked tid
+                # in one pass (it was just rebuilt by the delete phase).
+                positions = table.tid_positions()
+                rows = table.rows()
                 disk_list = self._disk[name]
                 for tid in sorted(keep_staged):
-                    disk_list.append((tid, by_tid[tid]))
+                    disk_list.append((tid, rows[positions[tid]]))
                 stats.tuples_inserted += len(keep_staged)
                 if self._wal is not None:
                     ordered = sorted(keep_staged)
                     wal_insert[name] = {
                         "tids": ordered,
-                        "rows": [list(by_tid[tid]) for tid in ordered],
+                        "rows": [list(rows[positions[tid]]) for tid in ordered],
                     }
             stats.insert_seconds += time.perf_counter() - insert_start
             if disk_shrunk or keep_staged:

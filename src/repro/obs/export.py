@@ -28,6 +28,10 @@ Metric names and labels (all prefixed ``repro_``):
 ``repro_decision_cache_entries``      gauge      ``{shard}``
 ``repro_plan_cache_hits_total``       counter    ``{shard}``
 ``repro_plan_cache_misses_total``     counter    ``{shard}``
+``repro_join_build_cache_hits_total``  counter   ``{shard}``
+``repro_join_build_cache_misses_total``  counter  ``{shard}``
+``repro_vector_batches_total``        counter    ``{shard}``
+``repro_vector_rows_total``           counter    ``{shard}``
 ``repro_policy_eval_seconds``         histogram  ``{shard,policy}``
 ``repro_policy_violations_total``     counter    ``{shard,policy}``
 ``repro_phase_seconds_total``         counter    ``{shard,phase}``
@@ -125,6 +129,22 @@ def collect_service(service) -> "list[MetricFamily]":
         "repro_plan_cache_misses_total", "counter",
         "Textual queries that required a fresh plan.",
     )
+    build_hits = MetricFamily(
+        "repro_join_build_cache_hits_total", "counter",
+        "Hash-join build sides reused from the version-keyed cache.",
+    )
+    build_misses = MetricFamily(
+        "repro_join_build_cache_misses_total", "counter",
+        "Hash-join build sides (re)built over a base table.",
+    )
+    vector_batches = MetricFamily(
+        "repro_vector_batches_total", "counter",
+        "Row chunks produced by vectorized plan roots.",
+    )
+    vector_rows = MetricFamily(
+        "repro_vector_rows_total", "counter",
+        "Rows delivered through the vectorized path.",
+    )
     policy_hist = MetricFamily(
         "repro_policy_eval_seconds", "histogram",
         "Per-policy evaluation time within one check.",
@@ -182,6 +202,10 @@ def collect_service(service) -> "list[MetricFamily]":
         engine = shard.enforcer.engine
         plan_hits.add(label, engine.plan_cache_hits)
         plan_misses.add(label, engine.plan_cache_misses)
+        build_hits.add(label, engine.database.join_build_hits)
+        build_misses.add(label, engine.database.join_build_misses)
+        vector_batches.add(label, engine.vector_batches)
+        vector_rows.add(label, engine.vector_rows)
         for policy, hist_snap in sorted(snap["policy_eval"].items()):
             policy_hist.add_histogram(
                 {"shard": str(shard.index), "policy": policy}, hist_snap
@@ -211,6 +235,7 @@ def collect_service(service) -> "list[MetricFamily]":
         check_hist, wait_hist, batch_hist, policy_hist, violations, phases,
         cache_hits, cache_misses, cache_invalidations, cache_entries,
         plan_hits, plan_misses,
+        build_hits, build_misses, vector_batches, vector_rows,
     ]
     if durable:
         families.extend([wal_appends, wal_fsyncs, wal_bytes, wal_seq])

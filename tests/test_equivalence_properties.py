@@ -69,6 +69,11 @@ CONFIGS = {
     "no-preemptive": EnforcerOptions.datalawyer(preemptive_compaction=False),
     "improved-partial": EnforcerOptions.datalawyer(improved_partial=True),
     "everything-off-but-compaction": EnforcerOptions.noopt(log_compaction=True),
+    # Row-at-a-time engine under full optimizations: the vectorized batch
+    # path (the baseline runs it, every other config above inherits it)
+    # must be invisible in the decision stream.
+    "row-engine": EnforcerOptions.datalawyer(vectorized=False),
+    "row-engine-noopt": EnforcerOptions.noopt(vectorized=False),
 }
 
 

@@ -92,6 +92,64 @@ class TestMutation:
         assert copy.insert((2,)) == 1
 
 
+class TestVersioning:
+    def test_every_mutation_bumps_version(self):
+        table = Table.from_rows("t", ["a"], [(1,), (2,)])
+        start = table.version
+        table.insert((3,))
+        assert table.version == start + 1
+        table.delete_tids({0})
+        assert table.version == start + 2
+        table.clear()
+        assert table.version == start + 3
+
+    def test_insert_many_bumps_version_once(self):
+        table = Table.from_rows("t", ["a"], [])
+        start = table.version
+        tids = table.insert_many([(1,), (2,), (3,)])
+        assert tids == [0, 1, 2]
+        assert table.version == start + 1
+
+    def test_insert_many_empty_is_noop(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        start = table.version
+        assert table.insert_many([]) == []
+        assert table.version == start
+
+    def test_insert_many_checks_arity_before_appending(self):
+        table = Table.from_rows("t", ["a", "b"], [])
+        with pytest.raises(EngineError):
+            table.insert_many([(1, 2), (3,)])
+        assert len(table) == 0  # all-or-nothing
+
+    def test_reads_do_not_bump_version(self):
+        table = Table.from_rows("t", ["a"], [(1,)])
+        start = table.version
+        table.rows()
+        table.index_probe(0, 1)
+        table.tid_positions()
+        table.row_for_tid(0)
+        assert table.version == start
+
+    def test_tid_positions_rebuilt_after_mutation(self):
+        table = Table.from_rows("t", ["a"], [(1,), (2,), (3,)])
+        assert table.tid_positions() == {0: 0, 1: 1, 2: 2}
+        table.delete_tids({1})
+        assert table.tid_positions() == {0: 0, 2: 1}
+
+    def test_clone_carries_version_and_indexes(self):
+        table = Table.from_rows("t", ["a"], [(1,), (2,)])
+        table.index_probe(0, 1)  # build an index
+        copy = table.clone()
+        assert copy.version == table.version
+        assert copy._indexes  # carried over, not rebuilt
+        # Mutating the copy invalidates only its own derived state.
+        copy.insert((3,))
+        assert copy.version == table.version + 1
+        assert table.index_probe(0, 1) == [(0, (1,))]
+        assert len(copy.index_probe(0, 1)) == 1
+
+
 class TestIndexes:
     def test_index_probe_finds_matches(self):
         table = Table.from_rows("t", ["a", "b"], [(1, "x"), (2, "y"), (1, "z")])

@@ -1,0 +1,359 @@
+"""Vectorized execution: batch path ≡ row path ≡ SQLite, predicate
+pushdown, and the version-keyed hash-join build cache.
+
+The referee property: for every query, ``Engine(db, vectorized=True)``
+and ``Engine(db, vectorized=False)`` return bit-identical results —
+including lineage-mode runs (which always take the row path) and
+mid-stream mutations that bump table versions under a cached plan.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database, Engine
+from repro.workloads import MimicConfig, build_mimic_database, make_workload
+
+int_or_null = st.one_of(st.integers(min_value=-4, max_value=4), st.none())
+rows_r = st.lists(st.tuples(int_or_null, int_or_null), max_size=8)
+rows_s = st.lists(st.tuples(int_or_null, int_or_null), max_size=8)
+
+
+def build_db(r_rows, s_rows) -> Database:
+    db = Database()
+    db.load_table("r", ["a", "b"], r_rows)
+    db.load_table("s", ["a", "c"], s_rows)
+    return db
+
+
+def build_pair(r_rows, s_rows):
+    """Two engines — batch and row discipline — over one shared catalog."""
+    db = build_db(r_rows, s_rows)
+    return Engine(db, vectorized=True), Engine(db, vectorized=False)
+
+
+def to_sqlite(db: Database) -> sqlite3.Connection:
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+    connection.execute("CREATE TABLE s (a INTEGER, c INTEGER)")
+    connection.executemany(
+        "INSERT INTO r VALUES (?, ?)", db.table("r").rows()
+    )
+    connection.executemany(
+        "INSERT INTO s VALUES (?, ?)", db.table("s").rows()
+    )
+    return connection
+
+
+QUERY_FORMS = [
+    "SELECT r.a, r.b FROM r WHERE r.a = 1",
+    "SELECT r.a FROM r WHERE r.a > 0 AND r.b < 3",
+    "SELECT r.a, s.c FROM r, s WHERE r.a = s.a",
+    "SELECT r.a, s.c FROM r, s WHERE r.a = s.a AND r.b = 2",
+    "SELECT r.a, s.c FROM r, s WHERE r.a = s.a AND r.b < s.c",
+    "SELECT r.a, s.c FROM r LEFT JOIN s ON r.a = s.a WHERE r.b = 1",
+    "SELECT r.a FROM r, s WHERE r.b > s.c",
+    "SELECT r.a, COUNT(*) FROM r GROUP BY r.a",
+    "SELECT r.a, SUM(r.b) FROM r GROUP BY r.a HAVING COUNT(*) > 1",
+    "SELECT COUNT(*) FROM r WHERE r.a IS NOT NULL",
+    "SELECT DISTINCT r.a FROM r",
+    "SELECT r.a FROM r UNION SELECT s.a FROM s",
+    "SELECT r.a FROM r EXCEPT SELECT s.a FROM s",
+    "SELECT r.a FROM r ORDER BY r.a LIMIT 3",
+    "SELECT r.a + r.b FROM r WHERE NOT (r.a = 2)",
+]
+
+
+class TestBatchEqualsRowEqualsSqlite:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_r, rows_s, st.integers(0, len(QUERY_FORMS) - 1))
+    def test_three_way_agreement(self, r_rows, s_rows, query_index):
+        sql = QUERY_FORMS[query_index]
+        vec, row = build_pair(r_rows, s_rows)
+        got_vec = vec.execute(sql)
+        got_row = row.execute(sql)
+        assert got_vec.rows == got_row.rows
+        assert got_vec.columns == got_row.columns
+        if "ORDER BY" not in sql:  # multiset compare against the oracle
+            theirs = to_sqlite(vec.database).execute(sql).fetchall()
+            assert sorted(got_vec.rows, key=repr) == sorted(
+                [tuple(r) for r in theirs], key=repr
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows_r, rows_s, st.integers(0, len(QUERY_FORMS) - 1))
+    def test_lineage_mode_identical(self, r_rows, s_rows, query_index):
+        """lineage=True forces the row path on both engines — rows *and*
+        provenance must agree with the row-engine reference."""
+        sql = QUERY_FORMS[query_index]
+        vec, row = build_pair(r_rows, s_rows)
+        got_vec = vec.execute(sql, lineage=True)
+        got_row = row.execute(sql, lineage=True)
+        assert got_vec.rows == got_row.rows
+        assert got_vec.lineages == got_row.lineages
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows_r, rows_s)
+    def test_mutation_under_cached_plan(self, r_rows, s_rows):
+        """A cached plan must see catalog mutations: versions invalidate
+        the join build cache, so results track the current table state."""
+        sql = "SELECT r.a, s.c FROM r, s WHERE r.a = s.a"
+        vec, row = build_pair(r_rows, s_rows)
+        assert vec.execute(sql).rows == row.execute(sql).rows
+        s = vec.database.table("s")
+        s.insert_many([(1, 99), (2, 98)])
+        assert vec.execute(sql).rows == row.execute(sql).rows
+        s.delete_tids({s.tids()[0]} if s.tids() else set())
+        assert vec.execute(sql).rows == row.execute(sql).rows
+
+
+class TestKernelFallback:
+    """Expression shapes the kernel emitter punts on (IN, CASE, function
+    calls) must still agree between the two paths — they run through the
+    spliced-closure fallback."""
+
+    FALLBACK_QUERIES = [
+        "SELECT r.a FROM r WHERE r.a IN (1, 2, 3)",
+        "SELECT CASE WHEN r.a > 0 THEN 'pos' ELSE 'neg' END FROM r",
+        "SELECT ABS(r.a) FROM r WHERE r.a IS NOT NULL",
+    ]
+
+    @pytest.mark.parametrize("sql", FALLBACK_QUERIES)
+    def test_fallback_agreement(self, sql):
+        vec, row = build_pair(
+            [(1, 2), (-3, 4), (None, 1), (2, None)], [(1, 5)]
+        )
+        assert vec.execute(sql).rows == row.execute(sql).rows
+
+
+class TestComparisonSpecializations:
+    """The per-op comparison helpers the kernel emitter uses must be
+    bit-identical to ``compare`` — same results, same exception type and
+    message — over a matrix covering every type family, NULL, and the
+    bool-is-not-int edge."""
+
+    VALUES = [None, True, False, 0, 1, -3, 2.5, 0.0, "", "a", "b"]
+
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_matches_compare(self, op):
+        from repro.engine import types
+        from repro.errors import ExecutionError
+
+        specialized = {
+            "=": types.compare_eq,
+            "<>": types.compare_ne,
+            "<": types.compare_lt,
+            "<=": types.compare_le,
+            ">": types.compare_gt,
+            ">=": types.compare_ge,
+        }[op]
+        for left in self.VALUES:
+            for right in self.VALUES:
+                try:
+                    expected = ("ok", types.compare(op, left, right))
+                except ExecutionError as exc:
+                    expected = ("err", str(exc))
+                try:
+                    actual = ("ok", specialized(left, right))
+                except ExecutionError as exc:
+                    actual = ("err", str(exc))
+                assert actual == expected, (op, left, right)
+
+
+class TestJoinBuildCache:
+    def setup_pair(self):
+        db = build_db([(i % 5, i) for i in range(40)], [(i, i * 10) for i in range(5)])
+        return Engine(db, vectorized=True), db
+
+    def test_second_execution_hits(self):
+        engine, db = self.setup_pair()
+        sql = "SELECT r.b, s.c FROM r, s WHERE r.a = s.a"
+        first = engine.execute(sql)
+        assert db.join_build_misses == 1
+        assert db.join_build_hits == 0
+        second = engine.execute(sql)
+        assert db.join_build_hits == 1
+        assert db.join_build_misses == 1
+        assert first.rows == second.rows
+
+    def test_build_side_mutation_invalidates(self):
+        engine, db = self.setup_pair()
+        sql = "SELECT r.b, s.c FROM r, s WHERE r.a = s.a"
+        engine.execute(sql)
+        db.table("s").insert((0, 999))  # build side: forces a rebuild
+        result = engine.execute(sql)
+        assert db.join_build_misses == 2
+        assert (0, 999) in {(row[1] // 1, row[1]) for row in result.rows} or any(
+            row[1] == 999 for row in result.rows
+        )
+
+    def test_probe_side_mutation_does_not_invalidate(self):
+        engine, db = self.setup_pair()
+        sql = "SELECT r.b, s.c FROM r, s WHERE r.a = s.a"
+        engine.execute(sql)
+        db.table("r").insert((0, 777))  # probe side only
+        result = engine.execute(sql)
+        assert db.join_build_hits == 1
+        assert db.join_build_misses == 1
+        assert any(row[0] == 777 for row in result.rows)
+
+    def test_lineage_and_batch_caches_are_separate(self):
+        engine, db = self.setup_pair()
+        sql = "SELECT r.b, s.c FROM r, s WHERE r.a = s.a"
+        plain = engine.execute(sql)
+        traced = engine.execute(sql, lineage=True)
+        assert plain.rows == traced.rows
+        assert db.join_build_misses == 2  # one build per discipline
+        engine.execute(sql, lineage=True)
+        assert db.join_build_hits == 1
+
+    def test_explain_annotates_miss_then_hit(self):
+        engine, _ = self.setup_pair()
+        sql = "SELECT r.b, s.c FROM r, s WHERE r.a = s.a"
+        assert "[build-cache=miss]" in engine.explain(sql)
+        engine.execute(sql)
+        assert "[build-cache=hit]" in engine.explain(sql)
+
+    def test_subquery_build_side_not_cached(self):
+        engine, db = self.setup_pair()
+        sql = (
+            "SELECT r.b, q.c FROM r, "
+            "(SELECT s.a AS a, s.c AS c FROM s WHERE s.c > 0) q "
+            "WHERE r.a = q.a"
+        )
+        engine.execute(sql)
+        engine.execute(sql)
+        assert db.join_build_hits == 0  # derived build sides rebuild
+        assert "[build-cache=" not in engine.explain(sql)
+
+
+class TestPushdown:
+    def make_engine(self):
+        db = build_db([(1, 2), (2, 3)], [(1, 10), (2, 20)])
+        db.load_table("t", ["a", "d"], [(1, 7)])
+        return Engine(db)
+
+    def test_single_table_conjunct_pushed_below_join(self):
+        engine = self.make_engine()
+        text = engine.explain(
+            "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND s.c > 5"
+        )
+        lines = text.splitlines()
+        join_depth = next(
+            i for i, line in enumerate(lines) if "HashJoin" in line
+        )
+        pushed = [i for i, line in enumerate(lines) if "[pushed=1]" in line]
+        assert pushed and pushed[0] > join_depth  # below the join node
+
+    def test_constant_equality_promotes_index_scan(self):
+        engine = self.make_engine()
+        text = engine.explain(
+            "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND r.a = 1"
+        )
+        assert "IndexScan r (col 0)" in text
+
+    def test_left_join_pushes_left_side_only(self):
+        engine = self.make_engine()
+        # Equality would promote all the way to an IndexScan; use an
+        # inequality so the pushed FilterOp itself is visible.
+        text = engine.explain(
+            "SELECT r.b, s.c FROM r LEFT JOIN s ON r.a = s.a WHERE r.b > 2"
+        )
+        lines = text.splitlines()
+        left_join = next(i for i, l in enumerate(lines) if "LeftJoin" in l)
+        pushed = next(i for i, l in enumerate(lines) if "[pushed=1]" in l)
+        assert pushed > left_join  # descended under the left join
+
+        # A right-side conjunct must stay above the LeftJoin.
+        text = engine.explain(
+            "SELECT r.b, s.c FROM r LEFT JOIN s ON r.a = s.a WHERE s.c = 10"
+        )
+        lines = text.splitlines()
+        left_join = next(i for i, l in enumerate(lines) if "LeftJoin" in l)
+        pushed = next(i for i, l in enumerate(lines) if "[pushed=1]" in l)
+        assert pushed < left_join
+
+    def test_left_join_pushdown_preserves_padding_semantics(self):
+        vec, row = build_pair([(1, 2), (2, 3), (3, 3)], [(1, 10)])
+        sql = "SELECT r.a, s.c FROM r LEFT JOIN s ON r.a = s.a WHERE r.b = 3"
+        got = vec.execute(sql)
+        assert got.rows == row.execute(sql).rows
+        assert sorted(got.rows) == [(2, None), (3, None)]
+
+    def test_multi_unit_conjunct_attached_mid_join(self):
+        engine = self.make_engine()
+        text = engine.explain(
+            "SELECT r.b FROM r, s, t "
+            "WHERE r.a = s.a AND s.a = t.a AND r.b < s.c"
+        )
+        lines = text.splitlines()
+        joins = [i for i, l in enumerate(lines) if "HashJoin" in l]
+        pushed = [i for i, l in enumerate(lines) if "[pushed=" in l]
+        assert len(joins) == 2
+        # r.b < s.c is evaluable after the first join: it sits between
+        # the outer join and the inner one.
+        assert pushed and joins[0] < pushed[0]
+
+    def test_pushdown_equivalence_on_random_data(self):
+        vec, row = build_pair(
+            [(i % 4, i % 3) for i in range(30)],
+            [(i % 4, i) for i in range(12)],
+        )
+        for sql in (
+            "SELECT r.a, s.c FROM r, s WHERE r.a = s.a AND r.b = 1 AND s.c > 3",
+            "SELECT r.a FROM r, s WHERE r.a = s.a AND r.b < s.c AND s.a = 2",
+        ):
+            assert vec.execute(sql).rows == row.execute(sql).rows
+
+
+class TestVectorCounters:
+    def test_batches_and_rows_counted(self):
+        engine, _ = TestJoinBuildCache().setup_pair()
+        engine.execute("SELECT r.a FROM r")
+        assert engine.vector_batches >= 1
+        assert engine.vector_rows == 40
+
+    def test_row_engine_leaves_counters_alone(self):
+        db = build_db([(1, 1)], [])
+        engine = Engine(db, vectorized=False)
+        engine.execute("SELECT r.a FROM r")
+        assert engine.vector_batches == 0
+        assert engine.vector_rows == 0
+
+
+class TestMimicWorkload:
+    """The canonical W1–W4 workload over the generated MIMIC data: the
+    two disciplines must agree on every query, with and without lineage,
+    before and after a mid-stream mutation."""
+
+    @pytest.fixture(scope="class")
+    def engines(self):
+        database = build_mimic_database(MimicConfig(n_patients=40))
+        return (
+            Engine(database, vectorized=True),
+            Engine(database, vectorized=False),
+            make_workload(MimicConfig(n_patients=40)),
+        )
+
+    def test_all_queries_agree(self, engines):
+        vec, row, workload = engines
+        for name, sql in workload.all().items():
+            got_vec = vec.execute(sql)
+            got_row = row.execute(sql)
+            assert got_vec.rows == got_row.rows, name
+            got_vec = vec.execute(sql, lineage=True)
+            got_row = row.execute(sql, lineage=True)
+            assert got_vec.rows == got_row.rows, name
+            assert got_vec.lineages == got_row.lineages, name
+
+    def test_agreement_survives_mutation(self, engines):
+        vec, row, workload = engines
+        patients = vec.database.table("d_patients")
+        template = patients.rows()[0]
+        patients.insert(tuple(template))  # bump the version mid-stream
+        for name, sql in workload.all().items():
+            assert vec.execute(sql).rows == row.execute(sql).rows, name

@@ -1,0 +1,195 @@
+"""Incremental maintenance — per-check cost vs usage-log size.
+
+The claim: with incremental maintenance, a check of an incrementalizable
+policy costs the same whether the usage log holds 1k or 50k entries —
+the enforcer consults per-group running aggregates plus the query's own
+increment instead of re-aggregating history. Full evaluation of the same
+policy degrades linearly with the log.
+
+Protocol: a lifetime-quota policy (windowless ``COUNT(DISTINCT u.ts)``
+over the users log — compaction cannot prune it, so full evaluation must
+scan everything) is checked by the same cheap query after seeding the
+log to a small and a large size. Both systems see identical submissions;
+the bench asserts their decisions match and publishes
+``results/BENCH_incremental.json`` for the CI smoke lane.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import time
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.engine import Database
+from repro.log import SimulatedClock, standard_registry
+
+from figutil import RESULTS_DIR, format_table, publish, scaled
+
+SMALL = scaled(1_000, minimum=250)
+LARGE = scaled(50_000, minimum=3_000)
+REPEATS = 30
+
+#: Threshold far above any seeded size: the policy never fires, so every
+#: submission commits and the log keeps growing.
+POLICY = Policy.from_sql(
+    "lifetime_quota",
+    "SELECT DISTINCT 'lifetime quota exceeded' FROM users u "
+    "WHERE u.uid = 1 HAVING COUNT(DISTINCT u.ts) > 10000000",
+)
+
+QUERY = "SELECT i.iid FROM items i"
+
+
+def build_database() -> Database:
+    db = Database()
+    db.load_table("items", ["iid"], [(i,) for i in range(8)])
+    return db
+
+
+def make_enforcer(incremental: bool) -> Enforcer:
+    return Enforcer(
+        build_database(),
+        [POLICY],
+        registry=standard_registry().subset(["users"]),
+        clock=SimulatedClock(default_step_ms=10),
+        # Compaction cannot prune a windowless policy (every entry stays
+        # live forever), so its per-query mark scan over the full log is
+        # pure noise here — off for both systems, decisions unchanged.
+        options=EnforcerOptions.datalawyer(
+            incremental=incremental, log_compaction=False
+        ),
+    )
+
+
+def seed(enforcer: Enforcer, start_ts: int, count: int) -> None:
+    """Append ``count`` log entries directly (distinct timestamps)."""
+    store = enforcer.store
+    for ts in range(start_ts, start_ts + count):
+        store.set_time(ts)
+        store.stage("users", [(1,)], ts)
+    store.commit(None, ["users"])
+    # Submitted queries must stamp later timestamps than the seed.
+    enforcer.clock.sleep(start_ts + count + 1000)
+
+
+def assert_lockstep(incremental: Enforcer, full: Enforcer, n: int) -> None:
+    """Drive both systems through the same submissions; decisions match."""
+    for _ in range(n):
+        mine = incremental.submit(QUERY, uid=1)
+        theirs = full.submit(QUERY, uid=1)
+        assert mine.allowed == theirs.allowed
+        assert [v.policy_name for v in mine.violations] == [
+            v.policy_name for v in theirs.violations
+        ]
+
+
+def measure(enforcer: Enforcer) -> float:
+    """Median per-check milliseconds, measured in isolation.
+
+    Isolation matters: interleaving the two systems in one timed loop
+    makes the full evaluator's 50k-row scan evict the caches right
+    before every timed incremental submit, inflating the large-log
+    medians with pollution that has nothing to do with the checked
+    path. Decision equivalence is asserted separately (lockstep, above).
+
+    GC is paused over the timed region: a generation-2 sweep scans the
+    whole heap, so with a 50k-entry log it shows up as log-proportional
+    noise in sub-millisecond medians — a property of CPython's collector,
+    not of the checked path.
+    """
+    samples = []
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            begin = time.perf_counter()
+            enforcer.submit(QUERY, uid=1)
+            samples.append((time.perf_counter() - begin) * 1000)
+    finally:
+        gc.enable()
+    return statistics.median(samples)
+
+
+def test_incremental_flat_vs_log_size(capsys):
+    classification = {
+        entry["runtime"]: entry["incrementalizable"]
+        for entry in make_enforcer(True).incremental_report()
+    }
+    assert classification == {"lifetime_quota": True}
+
+    incremental = make_enforcer(True)
+    incremental.warm_incremental()
+    full = make_enforcer(False)
+
+    seed(incremental, 0, SMALL)
+    seed(full, 0, SMALL)
+    assert_lockstep(incremental, full, 10)
+    # Warm both paths (plan caches, maintainer bootstrap) off the clock.
+    measure(incremental)
+    measure(full)
+    inc_small = measure(incremental)
+    full_small = measure(full)
+
+    # Each enforcer saw the same submit count, so their clocks agree;
+    # the second seed just has to start past every stamped timestamp.
+    submits = 10 + 3 * REPEATS
+    grow = LARGE - SMALL - submits
+    seed(incremental, SMALL + 10 * submits + 2000, grow)
+    seed(full, SMALL + 10 * submits + 2000, grow)
+    assert_lockstep(incremental, full, 10)
+    inc_large = measure(incremental)
+    full_large = measure(full)
+
+    stats = incremental.incremental.stats
+    assert stats.hits > 0, "incremental path never engaged"
+    assert stats.fallbacks == 0, stats.fallback_reasons
+
+    inc_ratio = inc_large / inc_small
+    full_ratio = full_large / full_small
+    speedup = full_large / inc_large
+
+    payload = {
+        "sizes": {"small": SMALL, "large": LARGE},
+        "incremental_ms": {"small": inc_small, "large": inc_large},
+        "full_eval_ms": {"small": full_small, "large": full_large},
+        "incremental_ratio": inc_ratio,
+        "full_eval_ratio": full_ratio,
+        "speedup_at_large": speedup,
+        "incremental_stats": stats.as_dict(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_incremental.json").write_text(
+        json.dumps(payload, indent=2), encoding="utf-8"
+    )
+    publish(
+        capsys,
+        "BENCH_incremental",
+        format_table(
+            "Incremental maintenance — per-check ms vs usage-log size",
+            ["system", f"{SMALL} entries", f"{LARGE} entries", "ratio"],
+            [
+                ("incremental", round(inc_small, 3), round(inc_large, 3),
+                 round(inc_ratio, 2)),
+                ("full eval", round(full_small, 3), round(full_large, 3),
+                 round(full_ratio, 2)),
+            ],
+            note=(
+                "Decisions asserted identical per submission; JSON "
+                "artifact in results/BENCH_incremental.json."
+            ),
+        ),
+    )
+
+    # The incremental check must not grow with the log. The floor differs
+    # by lane: full scale asserts the paper-style bound; the CI smoke
+    # lane's shrunken sizes leave sub-millisecond medians where scheduler
+    # noise dominates, so it gets slack.
+    quick = LARGE < 50_000
+    assert inc_ratio <= (2.0 if quick else 1.25), payload
+    # Full evaluation must actually degrade — otherwise the comparison
+    # proves nothing about the maintained state.
+    assert full_ratio >= (2.0 if quick else 5.0), payload
+    # And at the large log the incremental path must win outright.
+    assert speedup >= (2.0 if quick else 5.0), payload

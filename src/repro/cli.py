@@ -13,6 +13,9 @@ Subcommands:
   observed rows and time;
 - ``serve`` — the sharded HTTP enforcement gateway (``--data-dir``
   makes every decision durable via a write-ahead log);
+- ``incremental`` — report which policies the incremental classifier
+  accepts for running-aggregate maintenance, and why the rest fall
+  back to full evaluation; ``--explain NAME`` focuses one policy;
 - ``recover`` — offline inspection/repair of a durability directory:
   replays each shard's WAL and reports what survived.
 
@@ -221,6 +224,55 @@ def cmd_demo(args, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_incremental(args, out=sys.stdout) -> int:
+    """Show the incremental classifier's verdict for each policy."""
+    if args.demo:
+        from .workloads import (
+            MimicConfig,
+            PolicyParams,
+            build_mimic_database,
+            make_all_policies,
+        )
+
+        config = MimicConfig(n_patients=args.patients)
+        enforcer = Enforcer(
+            build_mimic_database(config),
+            make_all_policies(PolicyParams.for_config(config)),
+            clock=SimulatedClock(default_step_ms=10),
+            options=EnforcerOptions.datalawyer(),
+        )
+    else:
+        enforcer = build_enforcer(args.data, args.policy)
+    report = enforcer.incremental_report()
+    if args.explain:
+        report = [
+            entry
+            for entry in report
+            if args.explain == entry["runtime"]
+            or args.explain in entry["policies"]
+        ]
+        if not report:
+            print(f"no policy named {args.explain!r}", file=out)
+            return 1
+    for entry in report:
+        verdict = (
+            "incrementalizable" if entry["incrementalizable"] else "full-eval"
+        )
+        names = ", ".join(entry["policies"])
+        print(f"{names}: {verdict} — {entry['reason']}", file=out)
+        plan = entry.get("plan")
+        if plan:
+            print(f"  group by: {', '.join(plan['group_by']) or '(global)'}",
+                  file=out)
+            for aggregate in plan["aggregates"]:
+                print(f"  aggregate: {aggregate}", file=out)
+            for window in plan["windows"]:
+                print(f"  window: {window}", file=out)
+            print(f"  log relations: {', '.join(plan['log_relations'])}",
+                  file=out)
+    return 0
+
+
 def cmd_explain(args, out=sys.stdout) -> int:
     """EXPLAIN / EXPLAIN ANALYZE one query, outside any policy check."""
     from .engine import Engine
@@ -291,6 +343,7 @@ def build_server(args):
             checkpoint_every=args.checkpoint_every,
             batch_size=args.batch_size,
             decision_cache=not args.no_decision_cache,
+            incremental=not args.no_incremental,
             tracing=not args.no_tracing,
             slow_query_seconds=args.slow_query_ms / 1000.0,
         ),
@@ -519,6 +572,11 @@ def make_parser() -> argparse.ArgumentParser:
         help="disable the per-shard cross-query decision cache",
     )
     serve.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable incremental aggregate maintenance (every check "
+        "re-evaluates its policies over the full usage log)",
+    )
+    serve.add_argument(
         "--no-tracing", action="store_true",
         help="disable per-query trace spans (trims the /metrics and "
         "explain=analyze surfaces)",
@@ -533,6 +591,29 @@ def make_parser() -> argparse.ArgumentParser:
         "keep them on GET /slowlog; 0 disables",
     )
     serve.set_defaults(func=cmd_serve)
+
+    incremental = sub.add_parser(
+        "incremental",
+        help="show which policies can be maintained incrementally",
+    )
+    incremental.add_argument(
+        "--data", action="append", default=[], help="CSV file to load as a table"
+    )
+    incremental.add_argument(
+        "--policy", action="append", default=[], help=".sql policy file"
+    )
+    incremental.add_argument(
+        "--demo",
+        action="store_true",
+        help="classify the paper's six policies on the MIMIC-II setup",
+    )
+    incremental.add_argument("--patients", type=int, default=50)
+    incremental.add_argument(
+        "--explain", metavar="NAME",
+        help="show only the named policy's classification (exit 1 if "
+        "no policy has that name)",
+    )
+    incremental.set_defaults(func=cmd_incremental)
 
     recover = sub.add_parser(
         "recover",

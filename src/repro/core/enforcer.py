@@ -35,6 +35,12 @@ from ..analysis import (
 )
 from ..engine import Database, Engine, Result
 from ..errors import ReproError
+from ..incremental import (
+    IncrementalMaintainer,
+    IncrementalPlan,
+    classify_policy,
+    plan_summary,
+)
 from ..log import Clock, LogicalClock, LogRegistry, QueryContext, standard_registry
 from ..obs import TraceContext
 from ..log.store import LogStore
@@ -98,6 +104,16 @@ class EnforcerOptions:
     decision_cache: bool = False
     #: LRU capacity of the decision cache (entries, not bytes).
     decision_cache_size: int = 1024
+    #: Maintain per-group running aggregates for incrementalizable policies
+    #: (see :mod:`repro.incremental`) so their checks cost O(delta) instead
+    #: of a full-log scan. Decisions are bit-identical either way. Off by
+    #: default at this layer for the same reason as ``decision_cache``; the
+    #: sharded service turns it on.
+    incremental: bool = False
+    #: Poison a policy's incremental state (permanent full-eval fallback)
+    #: when its exact state outgrows this many entries — the bounded-sketch
+    #: escape hatch for unbounded distinct-key domains.
+    incremental_max_entries: int = 100_000
 
     @classmethod
     def datalawyer(cls, **overrides) -> "EnforcerOptions":
@@ -141,6 +157,10 @@ class RuntimePolicy:
     member_names: list[str] = field(default_factory=list)
     #: Offline cacheability classification (stable/versioned/uncacheable).
     cache_profile: Optional[CachePolicyProfile] = None
+    #: Incremental-maintenance plan, when the shape qualifies.
+    incremental_plan: Optional[IncrementalPlan] = None
+    #: Human-readable classification verdict (always set by _analyze).
+    incremental_reason: str = ""
 
 
 class Enforcer:
@@ -169,6 +189,9 @@ class Enforcer:
         self._queries_since_compaction = 0
         self._decision_cache: Optional[DecisionCache] = None
         self._cache_plan = None
+        self._incremental: Optional[IncrementalMaintainer] = None
+        self._union_residual: Optional[ast.Query] = None
+        self.store.attach_observer(self)
         self._prepare()
 
     # ------------------------------------------------------------------
@@ -269,6 +292,19 @@ class Enforcer:
                 union = ast.SetOp("union", union, runtime.select)
             self._union_select = union
 
+        # Any policy-set change invalidates the incremental maintainer;
+        # it is rebuilt lazily (and folds resume) on the next check.
+        self._incremental = None
+        self._union_residual = None
+        residual = [r for r in effective if r.incremental_plan is None]
+        if residual:
+            residual_union: ast.Query = residual[0].select
+            for runtime in residual[1:]:
+                residual_union = ast.SetOp(
+                    "union", residual_union, runtime.select
+                )
+            self._union_residual = residual_union
+
         # Any policy-set change is an epoch bump for the decision cache:
         # every memoized verdict predates the new set.
         self._cache_plan = merge_profiles(
@@ -335,6 +371,20 @@ class Enforcer:
                 for predicate in structure.clock_predicates
             )
         )
+
+        # Classify for incremental maintenance regardless of the toggle —
+        # the verdict is static analysis, surfaced via `repro incremental`
+        # and /v1/policies even when the maintainer itself is off.
+        classification = classify_policy(
+            runtime.name,
+            select,
+            self.registry,
+            self.database,
+            time_independent=skip_compaction,
+            structure=structure,
+        )
+        runtime.incremental_plan = classification.plan
+        runtime.incremental_reason = classification.reason
 
     # ------------------------------------------------------------------
     # Online phase (§4.4)
@@ -479,6 +529,94 @@ class Enforcer:
         """The live decision cache (None when disabled or never used)."""
         return self._decision_cache if self.options.decision_cache else None
 
+    # -- incremental maintenance ------------------------------------------
+
+    def _build_maintainer(self) -> IncrementalMaintainer:
+        plans = {
+            runtime.name: runtime.incremental_plan
+            for runtime in self._runtime
+            if runtime.incremental_plan is not None
+        }
+        return IncrementalMaintainer(
+            self.database,
+            self.registry,
+            self.store,
+            plans,
+            vectorized=self.options.vectorized,
+            max_entries=self.options.incremental_max_entries,
+        )
+
+    def _incremental_handle(self) -> Optional[IncrementalMaintainer]:
+        """The maintainer, created (and bootstrapped from the persisted
+        log) on first use when enabled — same lazy pattern as the decision
+        cache, so flipping ``options.incremental`` after construction works.
+        """
+        if not self.options.incremental:
+            self._incremental = None
+            return None
+        if self._incremental is None:
+            maintainer = self._build_maintainer()
+            maintainer.bootstrap()
+            self._incremental = maintainer
+        return self._incremental
+
+    @property
+    def incremental(self) -> Optional[IncrementalMaintainer]:
+        """The live maintainer (None when disabled or never used)."""
+        return self._incremental if self.options.incremental else None
+
+    def warm_incremental(self) -> None:
+        """Build and bootstrap the maintainer now instead of lazily.
+
+        A no-op when ``options.incremental`` is off or state is already
+        warm; the sharded service calls this at startup so the first
+        admitted query doesn't pay the bootstrap scan under the shard
+        lock.
+        """
+        self._incremental_handle()
+
+    def incremental_report(self) -> list[dict]:
+        """Per-runtime-policy classification, for the CLI and the API."""
+        report = []
+        for runtime in self._runtime:
+            entry = {
+                "runtime": runtime.name,
+                "policies": list(runtime.member_names) or [runtime.name],
+                "incrementalizable": runtime.incremental_plan is not None,
+                "reason": runtime.incremental_reason,
+            }
+            if runtime.incremental_plan is not None:
+                entry["plan"] = plan_summary(runtime.incremental_plan)
+            report.append(entry)
+        return report
+
+    def load_incremental_state(self, payload: dict) -> bool:
+        """Adopt checkpointed incremental state (restore path).
+
+        False leaves the lazy-rebuild path in charge: the next check
+        bootstraps deterministically from the recovered disk image.
+        """
+        if not self.options.incremental:
+            return False
+        maintainer = self._build_maintainer()
+        if maintainer.restore(payload):
+            self._incremental = maintainer
+            return True
+        return False
+
+    # LogStore observer protocol: fold exactly what each commit persists.
+
+    def log_observer_active(self) -> bool:
+        return self.options.incremental and self._incremental is not None
+
+    def on_log_commit(self, timestamp: int, inserted: dict) -> None:
+        if self.log_observer_active():
+            self._incremental.on_commit(timestamp, inserted)
+
+    def on_log_discard(self) -> None:
+        if self.log_observer_active():
+            self._incremental.on_discard()
+
     @staticmethod
     def _finish_trace(trace, metrics, violations):
         if trace is None:
@@ -499,7 +637,14 @@ class Enforcer:
     ) -> list[Violation]:
         """Algorithm 3 over the interleavable policies, then the rest."""
         violations: list[Violation] = []
-        active = [r for r in self._runtime if r.interleavable and r.chain_map]
+        maintainer = self._incremental_handle()
+        active = [
+            r
+            for r in self._runtime
+            if r.interleavable
+            and r.chain_map
+            and not (maintainer is not None and r.incremental_plan is not None)
+        ]
         active_ids = {id(r) for r in active}
         deferred = [r for r in self._runtime if id(r) not in active_ids]
 
@@ -531,9 +676,20 @@ class Enforcer:
             active = still_active
 
         # Anything that cannot interleave is evaluated in full (§4.4 step 2).
+        # Incrementally routed policies land here too: their staging is
+        # identical whether the state check or the full fallback answers,
+        # which is what keeps warm and cold runs bit-identical.
         for runtime in deferred:
             for name in sorted(runtime.log_relations):
                 ensure_log(name)
+            if maintainer is not None and runtime.incremental_plan is not None:
+                verdict = maintainer.check(runtime.name)
+                if verdict is not None:
+                    if verdict:
+                        violations.append(
+                            self._violation_for(runtime, metrics)
+                        )
+                    continue
             with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
                 empty = self.engine.is_empty(runtime.select)
             metrics.add_count("statements")
@@ -600,6 +756,7 @@ class Enforcer:
         ensure_log: Callable[[str], None],
     ) -> list[Violation]:
         """Non-interleaved evaluation: one UNION statement or serial."""
+        maintainer = self._incremental_handle()
         needed: set[str] = set()
         for runtime in self._runtime:
             needed |= runtime.log_relations
@@ -607,20 +764,48 @@ class Enforcer:
             if name in needed:
                 ensure_log(name)
 
+        if maintainer is not None:
+            residual = [
+                r for r in self._runtime if r.incremental_plan is None
+            ]
+            union_query = self._union_residual
+        else:
+            residual = list(self._runtime)
+            union_query = self._union_select
+
         violations: list[Violation] = []
-        if self.options.eval_strategy == "union" and self._union_select is not None:
+        if (
+            self.options.eval_strategy == "union"
+            and union_query is not None
+            and residual
+        ):
             with metrics.timed(PHASE_POLICY, span="policy:union"):
-                result = self.engine.execute(self._union_select)
+                result = self.engine.execute(union_query)
             metrics.add_count("statements")
             for row in result.rows:
                 message = row[0] if row and isinstance(row[0], str) else "violated"
                 violations.append(Violation("policy-set", " ".join(message.split())))
         else:
-            for runtime in self._runtime:
+            for runtime in residual:
                 with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
                     empty = self.engine.is_empty(runtime.select)
                 metrics.add_count("statements")
                 if not empty:
+                    violations.append(self._violation_for(runtime, metrics))
+
+        if maintainer is not None:
+            for runtime in self._runtime:
+                if runtime.incremental_plan is None:
+                    continue
+                verdict = maintainer.check(runtime.name)
+                if verdict is None:
+                    with metrics.timed(
+                        PHASE_POLICY, span=f"policy:{runtime.name}"
+                    ):
+                        empty = self.engine.is_empty(runtime.select)
+                    metrics.add_count("statements")
+                    verdict = not empty
+                if verdict:
                     violations.append(self._violation_for(runtime, metrics))
         return violations
 

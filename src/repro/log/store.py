@@ -48,6 +48,10 @@ class LogStore:
         self.database = database
         self.registry = registry
         self._staged: dict[str, list[int]] = {}
+        #: Staged tid → row values, captured at :meth:`stage` time so the
+        #: commit/observer paths materialize increments in O(increment)
+        #: instead of resolving tids through the table's full position map.
+        self._staged_rows: dict[str, dict[int, tuple]] = {}
         self._disk: dict[str, list[tuple[int, tuple]]] = {}
         #: Per-relation monotone versions, bumped whenever a commit
         #: changes the relation's *disk* image (delete or insert). Staged
@@ -58,6 +62,10 @@ class LogStore:
         #: Optional write-ahead log (see :mod:`repro.storage.wal`); when
         #: attached, every commit/discard appends one durable record.
         self._wal = None
+        #: Optional commit observer (the enforcer, forwarding to the
+        #: incremental maintainer). Duck-typed: ``log_observer_active()``,
+        #: ``on_log_commit(ts, inserted)``, ``on_log_discard()``.
+        self._observer = None
 
         for function in registry.ordered():
             if not database.has_table(function.name):
@@ -80,6 +88,18 @@ class LogStore:
     @property
     def wal(self):
         return self._wal
+
+    def attach_observer(self, observer) -> None:
+        """Notify ``observer`` of persisted inserts and discards.
+
+        The committed rows passed to ``on_log_commit`` are exactly the
+        rows the WAL's commit record carries, so an observer fed live and
+        one fed from WAL replay see identical input.
+        """
+        self._observer = observer
+
+    def _observer_active(self) -> bool:
+        return self._observer is not None and self._observer.log_observer_active()
 
     def _next_tid_map(self) -> dict:
         """Per-relation tid counters, recorded so replay reproduces the
@@ -109,8 +129,10 @@ class LogStore:
         if key not in self._disk:
             raise PolicyError(f"{name!r} is not a registered log relation")
         table = self.database.table(key)
-        tids = table.insert_many((timestamp, *row) for row in rows)
+        values = [(timestamp, *row) for row in rows]
+        tids = table.insert_many(values)
         self._staged.setdefault(key, []).extend(tids)
+        self._staged_rows.setdefault(key, {}).update(zip(tids, values))
         return len(tids)
 
     def staged_relations(self) -> list[str]:
@@ -118,6 +140,12 @@ class LogStore:
 
     def staged_tids(self, name: str) -> list[int]:
         return list(self._staged.get(name.lower(), []))
+
+    def staged_row_values(self, name: str) -> list[tuple]:
+        """Row values of the staged increment, in stage order."""
+        key = name.lower()
+        row_by_tid = self._staged_rows.get(key, {})
+        return [row_by_tid[tid] for tid in self._staged.get(key, ())]
 
     def is_staged(self, name: str) -> bool:
         return bool(self._staged.get(name.lower()))
@@ -136,6 +164,9 @@ class LogStore:
             if tids:
                 dropped += self.database.table(name).delete_tids(set(tids))
         self._staged.clear()
+        self._staged_rows.clear()
+        if record and self._observer_active():
+            self._observer.on_log_discard()
         if record and self._wal is not None:
             self._wal.append(
                 {
@@ -169,6 +200,8 @@ class LogStore:
         )
         wal_insert: dict[str, dict] = {}
         wal_delete: dict[str, list[int]] = {}
+        observing = self._observer_active()
+        committed_rows: dict[str, list[tuple]] = {}
 
         for name in list(self._disk):
             staged = set(self._staged.get(name, ()))
@@ -209,26 +242,30 @@ class LogStore:
 
             insert_start = time.perf_counter()
             if keep_staged:
-                # Real append work: materialize the persisted image. The
-                # table's lazy tid→position map resolves every marked tid
-                # in one pass (it was just rebuilt by the delete phase).
-                positions = table.tid_positions()
-                rows = table.rows()
+                # Real append work: materialize the persisted image from
+                # the values captured at stage time — O(increment), never
+                # touching the table's full tid→position map.
+                row_by_tid = self._staged_rows.get(name, {})
                 disk_list = self._disk[name]
-                for tid in sorted(keep_staged):
-                    disk_list.append((tid, rows[positions[tid]]))
+                ordered = sorted(keep_staged)
+                for tid in ordered:
+                    disk_list.append((tid, row_by_tid[tid]))
                 stats.tuples_inserted += len(keep_staged)
-                if self._wal is not None:
-                    ordered = sorted(keep_staged)
-                    wal_insert[name] = {
-                        "tids": ordered,
-                        "rows": [list(rows[positions[tid]]) for tid in ordered],
-                    }
+                if self._wal is not None or observing:
+                    persisted_rows = [row_by_tid[tid] for tid in ordered]
+                    if observing:
+                        committed_rows[name] = persisted_rows
+                    if self._wal is not None:
+                        wal_insert[name] = {
+                            "tids": ordered,
+                            "rows": [list(row) for row in persisted_rows],
+                        }
             stats.insert_seconds += time.perf_counter() - insert_start
             if disk_shrunk or keep_staged:
                 self._versions[name] += 1
 
         self._staged.clear()
+        self._staged_rows.clear()
         if self._wal is not None:
             self._wal.append(
                 {
@@ -239,6 +276,10 @@ class LogStore:
                     "delete": wal_delete,
                     "next_tid": self._next_tid_map(),
                 }
+            )
+        if observing and committed_rows:
+            self._observer.on_log_commit(
+                self.current_time() or 0, committed_rows
             )
         return stats
 

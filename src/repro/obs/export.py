@@ -26,6 +26,10 @@ Metric names and labels (all prefixed ``repro_``):
 ``repro_decision_cache_misses_total``  counter   ``{shard}``
 ``repro_decision_cache_invalidations_total``  counter  ``{shard}``
 ``repro_decision_cache_entries``      gauge      ``{shard}``
+``repro_incremental_hits_total``      counter    ``{shard}``
+``repro_incremental_fallbacks_total``  counter   ``{shard}``
+``repro_incremental_folds_total``     counter    ``{shard}``
+``repro_incremental_state_entries``   gauge      ``{shard}``
 ``repro_plan_cache_hits_total``       counter    ``{shard}``
 ``repro_plan_cache_misses_total``     counter    ``{shard}``
 ``repro_join_build_cache_hits_total``  counter   ``{shard}``
@@ -121,6 +125,22 @@ def collect_service(service) -> "list[MetricFamily]":
         "repro_decision_cache_entries", "gauge",
         "Verdicts currently memoized.",
     )
+    inc_hits = MetricFamily(
+        "repro_incremental_hits_total", "counter",
+        "Policy checks answered from incremental running aggregates.",
+    )
+    inc_fallbacks = MetricFamily(
+        "repro_incremental_fallbacks_total", "counter",
+        "Incremental-eligible checks that fell back to full evaluation.",
+    )
+    inc_folds = MetricFamily(
+        "repro_incremental_folds_total", "counter",
+        "Usage-log commits folded into incremental state.",
+    )
+    inc_entries = MetricFamily(
+        "repro_incremental_state_entries", "gauge",
+        "Live incremental state entries (groups + windowed contributions).",
+    )
     plan_hits = MetricFamily(
         "repro_plan_cache_hits_total", "counter",
         "Textual queries planned from the canonical-form plan cache.",
@@ -199,6 +219,12 @@ def collect_service(service) -> "list[MetricFamily]":
             cache_misses.add(label, cache.stats.misses)
             cache_invalidations.add(label, cache.stats.invalidations)
             cache_entries.add(label, cache.stats.entries)
+        maintainer = shard.enforcer.incremental
+        if maintainer is not None:
+            inc_hits.add(label, maintainer.stats.hits)
+            inc_fallbacks.add(label, maintainer.stats.fallbacks)
+            inc_folds.add(label, maintainer.stats.folds)
+            inc_entries.add(label, maintainer.state_entries())
         engine = shard.enforcer.engine
         plan_hits.add(label, engine.plan_cache_hits)
         plan_misses.add(label, engine.plan_cache_misses)
@@ -234,6 +260,7 @@ def collect_service(service) -> "list[MetricFamily]":
         queue_depth, queue_capacity, busy, slow,
         check_hist, wait_hist, batch_hist, policy_hist, violations, phases,
         cache_hits, cache_misses, cache_invalidations, cache_entries,
+        inc_hits, inc_fallbacks, inc_folds, inc_entries,
         plan_hits, plan_misses,
         build_hits, build_misses, vector_batches, vector_rows,
     ]

@@ -47,6 +47,10 @@ class ServiceConfig:
       :class:`~repro.core.EnforcerOptions` default stays off so the
       paper-ablation benchmarks are unaffected.
     - ``decision_cache_size`` — LRU entries per shard.
+    - ``incremental`` — maintain per-group running aggregates for
+      incrementalizable policies (see :mod:`repro.incremental`) so their
+      checks stop scanning the full usage log. On by default here, same
+      reasoning as ``decision_cache``; decisions are identical either way.
     - ``tracing`` — attach a per-query trace (span tree) to every check;
       feeds ``GET /metrics``, ``explain=analyze``, and the slow-query
       log. Off trims a few percent from the hot path.
@@ -69,6 +73,7 @@ class ServiceConfig:
     batch_size: int = 1
     decision_cache: bool = True
     decision_cache_size: int = 1024
+    incremental: bool = True
     tracing: bool = True
     slow_query_seconds: float = 0.0
 

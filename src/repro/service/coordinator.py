@@ -77,12 +77,14 @@ class ShardedEnforcerService:
                 options.tracing != self.config.tracing
                 or options.decision_cache != self.config.decision_cache
                 or options.decision_cache_size != self.config.decision_cache_size
+                or options.incremental != self.config.incremental
             ):
                 shard_enforcer.options = replace(
                     options,
                     tracing=self.config.tracing,
                     decision_cache=self.config.decision_cache,
                     decision_cache_size=self.config.decision_cache_size,
+                    incremental=self.config.incremental,
                 )
 
         reference = pairs[0][0]
@@ -295,6 +297,17 @@ class ShardedEnforcerService:
             )
 
     def _refresh_snapshot(self, policies, placements) -> None:
+        # Per-policy incremental classification from shard 0 (the offline
+        # phase is identical on every shard); unified groups report the
+        # same verdict for each member policy.
+        classifications: dict = {}
+        for entry in self.shards[0].enforcer.incremental_report():
+            verdict = {
+                "incrementalizable": entry["incrementalizable"],
+                "reason": entry["reason"],
+            }
+            for member in entry["policies"]:
+                classifications[member] = verdict
         self._policy_snapshot = tuple(
             {
                 "name": policy.name,
@@ -302,6 +315,10 @@ class ShardedEnforcerService:
                 "message": policy.message,
                 "description": policy.description,
                 "placement": placement.scope,
+                "classification": classifications.get(
+                    policy.name,
+                    {"incrementalizable": False, "reason": "unclassified"},
+                ),
             }
             for policy, placement in zip(policies, placements)
         )
@@ -337,6 +354,11 @@ class ShardedEnforcerService:
             cache = shard.enforcer.decision_cache
             if cache is not None:
                 snapshot["decision_cache"] = cache.stats.as_dict()
+            maintainer = shard.enforcer.incremental
+            if maintainer is not None:
+                incremental = maintainer.stats.as_dict()
+                incremental["state_entries"] = maintainer.state_entries()
+                snapshot["incremental"] = incremental
             shard_stats.append(snapshot)
         totals = {
             key: sum(entry[key] for entry in shard_stats)
@@ -355,6 +377,7 @@ class ShardedEnforcerService:
             "tracing": self.config.tracing,
             "batch_size": self.config.batch_size,
             "decision_cache": self.config.decision_cache,
+            "incremental": self.config.incremental,
             "per_shard": shard_stats,
             "totals": totals,
         }

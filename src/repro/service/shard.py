@@ -112,6 +112,11 @@ class Shard:
         self.index = index
         self.enforcer = enforcer
         self.durability = durability
+        # Each shard owns its slice of the usage log, so it owns the
+        # matching incremental state too: warm it (bootstrap over any
+        # recovered log, or adopt the checkpointed state loaded during
+        # recovery) before the workers accept queries.
+        enforcer.warm_incremental()
         #: Max queued queries drained per worker wakeup; a batch shares
         #: one lock acquisition and one WAL group commit.
         self.batch_size = batch_size

@@ -26,6 +26,11 @@ from .format import StorageError, read_table, write_table
 
 MANIFEST = "manifest.json"
 FORMAT_VERSION = 1
+#: Incremental-maintainer state rides alongside the snapshot. Optional on
+#: restore: a missing/stale file just means the maintainer rebuilds from
+#: the restored disk image (its own format/signature markers are checked
+#: by :meth:`repro.incremental.IncrementalMaintainer.restore`).
+INCREMENTAL_STATE = "incremental.json"
 
 
 def save_database(database: Database, directory: Path) -> None:
@@ -97,6 +102,12 @@ def save_enforcer_state(
             enforcer.database.table(name),
             directory / f"__log_{name}.jsonl",
             keep_tids=True,
+        )
+
+    maintainer = enforcer.incremental
+    if maintainer is not None and maintainer.warm:
+        (directory / INCREMENTAL_STATE).write_text(
+            json.dumps(maintainer.to_json(), indent=2)
         )
 
     manifest = {
@@ -180,6 +191,17 @@ def restore_enforcer(
     enforcer._queries_since_compaction = int(  # noqa: SLF001
         manifest.get("queries_since_compaction", 0)
     )
+
+    state_path = directory / INCREMENTAL_STATE
+    if enforcer.options.incremental and state_path.exists():
+        try:
+            payload = json.loads(state_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        if payload is not None:
+            # False (stale format/signatures) leaves the lazy rebuild path
+            # in charge — never trust unvalidated state.
+            enforcer.load_incremental_state(payload)
     return enforcer
 
 

@@ -338,6 +338,47 @@ class TestEnforcerIntegration:
         enforcer.remove_policy("deny-8")
         assert len(cache) == 0
 
+    def test_readded_policy_with_new_contract_sees_no_stale_state(self):
+        # Regression guard for the policy add/remove lifecycle: a verdict
+        # cached under an old "deny-9" must not survive removing it and
+        # re-adding a *different* policy under the same name, and the
+        # cache plan (profiles) must be the new set's, not the old one's.
+        enforcer = cached_enforcer()
+        first = enforcer.submit(self.QUERY, uid=5)
+        assert first.allowed
+        cache = enforcer.decision_cache
+        assert len(cache) == 1
+
+        enforcer.remove_policy("deny-9")
+        enforcer.add_policy(
+            Policy.from_sql(
+                "deny-9",
+                "SELECT DISTINCT 'no' FROM users u WHERE u.uid = 5",
+                "uid 5 may not query",
+            )
+        )
+        assert len(cache) == 0  # _prepare cleared the stale verdicts
+        denied = enforcer.submit(self.QUERY, uid=5)
+        assert not denied.allowed
+        assert cache.stats.hits == 0
+
+        # Swap again, to a policy whose profile is uncacheable: if the
+        # old per-policy profile leaked through _prepare, verdicts would
+        # still be stored under the stale plan.
+        enforcer.remove_policy("deny-9")
+        enforcer.add_policy(
+            Policy.from_sql(
+                "deny-9",
+                "SELECT DISTINCT 'too fast' FROM users u, clock c "
+                "WHERE u.uid = 5 AND u.ts > c.ts - 100 "
+                "HAVING COUNT(DISTINCT u.ts) > 3",
+            )
+        )
+        enforcer.submit(self.QUERY, uid=5)
+        enforcer.submit(self.QUERY, uid=5)
+        assert cache.stats.hits == 0
+        assert len(cache) == 0
+
     def test_uncacheable_policy_disables_storing(self):
         rate = Policy.from_sql(
             "rate",

@@ -109,6 +109,10 @@ class TestVersioning:
         tids = table.insert_many([(1,), (2,), (3,)])
         assert tids == [0, 1, 2]
         assert table.version == start + 1
+        # The bump is per call, not per row: a bigger batch is still +1.
+        before = table.version
+        table.insert_many([(i,) for i in range(100)])
+        assert table.version - before == 1
 
     def test_insert_many_empty_is_noop(self):
         table = Table.from_rows("t", ["a"], [(1,)])

@@ -1,24 +1,33 @@
-"""Service throughput — sharded gateway scaling on the marketplace.
+"""Service throughput — real wall-clock scaling with process shards.
 
 The tentpole acceptance check for ``repro.service``: the same concurrent
 marketplace workload is pushed through the gateway at 1 shard and at 4
-shards, and 4 shards must deliver at least 2× the queries/second while
+shards with ``workers_mode="process"`` — **no modeled sleeps** — and 4
+shards must deliver at least ``SPEEDUP_FLOOR``× the queries/second while
 producing decisions identical to a single-enforcer rerun of each uid's
-sequence.
+sequence. Policy checking is pure Python and CPU-bound (the decision
+cache and incremental maintenance are disabled here so every check pays
+full evaluation), so this floor is only reachable when shards actually
+escape the GIL: worker processes on separate cores.
 
-Modeling note: policy checking itself is pure Python, so threads alone
-cannot overlap it (the GIL). What shards parallelize in a real deployment
-is the enforcement backend round trip — the DBMS executing the policy
-queries. As with :data:`repro.workloads.runner.DISPATCH_SECONDS`, we make
-that explicit: each shard worker holds its slot for a modeled dispatch
-wait (sized at ~5× the measured in-process check time, i.e. a backend
-where enforcement SQL dominates), which sleeps outside the interpreter
-lock exactly like a socket wait would. Shard counts then scale wall-clock
-throughput the way Figure 7-style middleware scaling does.
+The floor is asserted when the machine has >= 4 usable CPUs (CI runners
+do); on smaller boxes the bench still runs and still proves decision
+equivalence, but reports the speedup without failing — one core cannot
+scale wall-clock no matter the architecture.
+
+DEPRECATED — modeled dispatch: the original PR 1 version of this bench
+"scaled" thread shards by sleeping a modeled backend round trip in each
+worker (sleeps release the GIL, so any shard count "scales"). That
+measured the model, not the middleware. It survives behind the
+``--modeled`` flag strictly as a regression check on the thread-mode
+admission machinery; its numbers must never be quoted as scaling
+results.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import pytest
@@ -36,7 +45,7 @@ from repro.workloads import (
     split_by_uid,
 )
 
-from figutil import format_table, ms, publish, scaled
+from figutil import RESULTS_DIR, format_table, ms, publish, scaled
 
 CONFIG = MarketplaceConfig(
     n_subscribers=16,
@@ -50,10 +59,23 @@ CONFIG = MarketplaceConfig(
     rate_limit=scaled(30, minimum=2),
     free_tier_tuples=scaled(2_000, minimum=100),
 )
-QUERIES_PER_UID = scaled(12, minimum=3)
+QUERIES_PER_UID = scaled(12, minimum=6)
 CLIENT_THREADS = 16
 SHARD_COUNTS = (1, 4)
-SPEEDUP_FLOOR = 2.0
+
+#: Wall-clock floor for 4 process shards vs 1 — real parallel checking,
+#: not modeled sleeps. Only asserted with >= 4 usable CPUs.
+SPEEDUP_FLOOR = 2.5
+
+#: Floor for the deprecated modeled thread-mode lane (--modeled).
+MODELED_SPEEDUP_FLOOR = 2.0
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def make_enforcer() -> Enforcer:
@@ -73,6 +95,153 @@ def make_stream():
     )
 
 
+def assert_decisions_match_baseline(stream, runs) -> None:
+    """Every run's per-uid decision sequence == a fresh single-enforcer
+    rerun: sharding (and the process boundary) changes throughput, never
+    verdicts."""
+    per_uid = split_by_uid(stream)
+    for uid, queries in per_uid.items():
+        baseline = make_enforcer()
+        expected = [baseline.submit(sql, uid=uid) for sql in queries]
+        for shards, result in runs.items():
+            got = result.decisions[uid]
+            assert len(got) == len(expected)
+            for want, have in zip(expected, got):
+                assert have.allowed == want.allowed, (shards, uid)
+                assert sorted(v.policy_name for v in have.violations) == (
+                    sorted(v.policy_name for v in want.violations)
+                )
+                if want.allowed:
+                    assert sorted(have.result.rows) == sorted(want.result.rows)
+
+
+def run_mode(stream, shards: int, mode: str):
+    service = ShardedEnforcerService(
+        make_enforcer(),
+        ServiceConfig(
+            shards=shards,
+            workers_mode=mode,
+            queue_depth=max(64, len(stream)),
+            routing="modulo",
+            # Full evaluation on every check: scaling must come from
+            # cores, not from caches absorbing the repeat queries.
+            decision_cache=False,
+            incremental=False,
+        ),
+    )
+    try:
+        return run_service_stream(
+            service, stream, client_threads=CLIENT_THREADS
+        )
+    finally:
+        service.drain()
+
+
+def test_process_sharding_scales_wall_clock(capsys):
+    stream = make_stream()
+    cpus = usable_cpus()
+
+    runs = {
+        shards: run_mode(stream, shards, "process")
+        for shards in SHARD_COUNTS
+    }
+    # Control: 4 thread shards see the *same* log partitioning but stay
+    # behind one GIL, so process-vs-thread at equal shard count isolates
+    # the multicore effect from the smaller-per-shard-logs effect.
+    control = run_mode(stream, SHARD_COUNTS[-1], "thread")
+
+    assert_decisions_match_baseline(
+        stream, {**runs, "thread-control": control}
+    )
+
+    single, sharded = runs[SHARD_COUNTS[0]], runs[SHARD_COUNTS[-1]]
+    assert single.total == sharded.total == control.total == len(stream)
+    assert sharded.rejected > 0  # the contract fires under this stream
+    speedup = sharded.qps / single.qps
+    gil_escape = sharded.qps / control.qps
+    floor_asserted = cpus >= max(SHARD_COUNTS)
+
+    rows = [
+        [
+            f"{shards} ({mode})",
+            result.total,
+            result.allowed,
+            result.rejected,
+            result.overloads,
+            round(result.qps, 1),
+            round(result.elapsed, 2),
+        ]
+        for shards, mode, result in (
+            (SHARD_COUNTS[0], "process", single),
+            (SHARD_COUNTS[-1], "process", sharded),
+            (SHARD_COUNTS[-1], "thread", control),
+        )
+    ]
+    publish(
+        capsys,
+        "service_throughput",
+        format_table(
+            "Process-shard service throughput — marketplace contract "
+            f"({CONFIG.n_subscribers} subscribers, "
+            f"{QUERIES_PER_UID} queries each, {CLIENT_THREADS} clients, "
+            "un-modeled CPU-bound checks)",
+            ["shards", "queries", "allowed", "denied", "429-retries",
+             "qps", "elapsed s"],
+            rows,
+            note=(
+                f"wall-clock speedup {speedup:.2f}x vs 1 shard, "
+                f"{gil_escape:.2f}x vs 4 thread shards (GIL escape), on "
+                f"{cpus} usable CPUs (floor {SPEEDUP_FLOOR}x "
+                f"{'asserted' if floor_asserted else 'not asserted: < 4 CPUs'}); "
+                "decisions identical to the single-enforcer baseline in "
+                "every run"
+            ),
+        ),
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_service_scaling.json").write_text(
+        json.dumps(
+            {
+                "bench": "service_scaling",
+                "workers_mode": "process",
+                "usable_cpus": cpus,
+                "queries": len(stream),
+                "client_threads": CLIENT_THREADS,
+                "speedup": round(speedup, 3),
+                "gil_escape_vs_threads": round(gil_escape, 3),
+                "floor": SPEEDUP_FLOOR,
+                "floor_asserted": floor_asserted,
+                "runs": [
+                    {
+                        "shards": shards,
+                        "workers_mode": mode,
+                        "qps": round(result.qps, 2),
+                        "elapsed_s": round(result.elapsed, 3),
+                        "total": result.total,
+                        "allowed": result.allowed,
+                        "denied": result.rejected,
+                        "overloads": result.overloads,
+                    }
+                    for shards, mode, result in (
+                        (SHARD_COUNTS[0], "process", single),
+                        (SHARD_COUNTS[-1], "process", sharded),
+                        (SHARD_COUNTS[-1], "thread", control),
+                    )
+                ],
+            },
+            indent=2,
+        ),
+        encoding="utf-8",
+    )
+
+    if floor_asserted:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"4-process-shard wall-clock speedup {speedup:.2f}x below "
+            f"{SPEEDUP_FLOOR}x on {cpus} CPUs"
+        )
+
+
 def measure_check_seconds() -> float:
     """Mean in-process enforcement time over one round of the workload."""
     enforcer = make_enforcer()
@@ -86,7 +255,16 @@ def measure_check_seconds() -> float:
     return sum(samples) / len(samples)
 
 
-def test_sharding_scales_throughput(capsys):
+def test_modeled_dispatch_legacy(capsys, request):
+    """DEPRECATED thread-mode lane: scaling here comes from modeled
+    dispatch sleeps, not from parallel checking. Kept only to regress
+    the thread-mode admission machinery; run with ``--modeled``."""
+    if not request.config.getoption("--modeled"):
+        pytest.skip(
+            "modeled-dispatch lane is deprecated (sleep-based pseudo-"
+            "scaling); pass --modeled to run it anyway"
+        )
+
     check_seconds = measure_check_seconds()
     dispatch = check_seconds * 5
     stream = make_stream()
@@ -107,58 +285,32 @@ def test_sharding_scales_throughput(capsys):
         )
         service.drain()
 
-    # -- identical decisions at every shard count, and vs a fresh
-    #    single-enforcer rerun of each uid's sequence ------------------
-    per_uid = split_by_uid(stream)
-    for uid, queries in per_uid.items():
-        baseline = make_enforcer()
-        expected = [baseline.submit(sql, uid=uid) for sql in queries]
-        for shards, result in runs.items():
-            got = result.decisions[uid]
-            assert len(got) == len(expected)
-            for want, have in zip(expected, got):
-                assert have.allowed == want.allowed, (shards, uid)
-                assert sorted(v.policy_name for v in have.violations) == (
-                    sorted(v.policy_name for v in want.violations)
-                )
-                if want.allowed:
-                    assert sorted(have.result.rows) == sorted(want.result.rows)
+    assert_decisions_match_baseline(stream, runs)
 
     single, sharded = runs[SHARD_COUNTS[0]], runs[SHARD_COUNTS[-1]]
     assert single.total == sharded.total == len(stream)
-    assert sharded.rejected > 0  # the contract fires under this stream
     speedup = sharded.qps / single.qps
-
-    rows = [
-        [
-            shards,
-            runs[shards].total,
-            runs[shards].allowed,
-            runs[shards].rejected,
-            runs[shards].overloads,
-            round(runs[shards].qps, 1),
-            round(runs[shards].elapsed, 2),
-        ]
-        for shards in SHARD_COUNTS
-    ]
     publish(
         capsys,
-        "service_throughput",
+        "service_throughput_modeled",
         format_table(
-            "Sharded service throughput — marketplace contract "
-            f"({CONFIG.n_subscribers} subscribers, "
-            f"{QUERIES_PER_UID} queries each, {CLIENT_THREADS} clients)",
-            ["shards", "queries", "allowed", "denied", "429-retries",
-             "qps", "elapsed s"],
-            rows,
+            "[DEPRECATED] Modeled-dispatch thread-shard lane",
+            ["shards", "queries", "qps", "elapsed s"],
+            [
+                [
+                    shards,
+                    runs[shards].total,
+                    round(runs[shards].qps, 1),
+                    round(runs[shards].elapsed, 2),
+                ]
+                for shards in SHARD_COUNTS
+            ],
             note=(
-                f"modeled dispatch {ms(dispatch):.2f} ms/query "
-                f"(5x the {ms(check_seconds):.2f} ms in-process check); "
-                f"speedup {speedup:.2f}x — decisions identical to the "
-                "single-enforcer baseline at both shard counts"
+                f"modeled dispatch {ms(dispatch):.2f} ms/query sleeps — "
+                "NOT a scaling result; see "
+                "test_process_sharding_scales_wall_clock for the real "
+                f"wall-clock numbers. speedup {speedup:.2f}x"
             ),
         ),
     )
-    assert speedup >= SPEEDUP_FLOOR, (
-        f"4-shard speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x"
-    )
+    assert speedup >= MODELED_SPEEDUP_FLOOR

@@ -338,6 +338,7 @@ def build_server(args):
             shards=args.shards,
             queue_depth=args.queue_depth,
             workers=args.workers,
+            workers_mode="process" if args.processes else "thread",
             data_dir=args.data_dir,
             wal_sync=not args.no_fsync,
             checkpoint_every=args.checkpoint_every,
@@ -546,6 +547,12 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=1,
         help="worker threads per shard",
+    )
+    serve.add_argument(
+        "--processes", action="store_true",
+        help="back each shard with a worker process instead of threads "
+        "(shared-nothing enforcers behind pipes; real multi-core "
+        "scaling for CPU-bound policy checks)",
     )
     serve.add_argument(
         "--data-dir", default=None,

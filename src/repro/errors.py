@@ -89,6 +89,16 @@ class ServiceClosedError(ServiceError):
     """Raised when submitting to a service that is draining or closed."""
 
 
+class WorkerCrashError(ServiceError):
+    """Raised when a shard worker process died with the request in flight.
+
+    The outcome is indeterminate: the worker may or may not have durably
+    committed the decision before dying. Callers that need certainty
+    should re-check idempotently after the coordinator respawns the
+    shard (durable shards recover to bit-identical state via WAL replay).
+    """
+
+
 class PolicyPlacementError(PolicyError):
     """Raised when a policy cannot be enforced soundly under sharding.
 

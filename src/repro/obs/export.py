@@ -43,14 +43,22 @@ Metric names and labels (all prefixed ``repro_``):
 ``repro_wal_fsyncs_total``            counter    ``{shard}``
 ``repro_wal_bytes``                   gauge      ``{shard}``
 ``repro_wal_last_seq``                gauge      ``{shard}``
+``repro_process_alive``               gauge      ``{shard}`` worker up?
+``repro_process_restarts_total``      counter    ``{shard}`` respawns
+``repro_process_inflight``            gauge      ``{shard}`` window usage
 ====================================  =========  ==========================
 
-The WAL families appear only on durable deployments (``--data-dir``).
+The WAL families appear only on durable deployments (``--data-dir``);
+the ``repro_process_*`` families only in ``workers_mode=process``, where
+each shard is a worker process and the collector gathers every child's
+counters into this one scrape (shards answer an ``export`` RPC; a shard
+mid-respawn contributes an idle stub so the scrape never blocks on a
+dead pipe).
 """
 
 from __future__ import annotations
 
-from .prom import MetricFamily, Registry
+from .prom import HistogramSnapshot, MetricFamily, Registry
 
 
 def build_service_registry(service) -> Registry:
@@ -191,11 +199,28 @@ def collect_service(service) -> "list[MetricFamily]":
         "repro_wal_last_seq", "gauge",
         "Sequence number of the newest WAL record.",
     )
+    proc_alive = MetricFamily(
+        "repro_process_alive", "gauge",
+        "Whether the shard's worker process is up (0 while respawning).",
+    )
+    proc_restarts = MetricFamily(
+        "repro_process_restarts_total", "counter",
+        "Worker processes respawned after a crash (WAL replay when "
+        "durable).",
+    )
+    proc_inflight = MetricFamily(
+        "repro_process_inflight", "gauge",
+        "Requests in flight to the worker (admission window usage).",
+    )
 
     durable = False
+    any_process = False
     for shard in service.shards:
         label = {"shard": str(shard.index)}
-        snap = shard.counters.prom_snapshot()
+        # The uniform shard surface: thread shards snapshot in-process,
+        # process shards answer an RPC (or an idle stub mid-respawn).
+        state = shard.export_state()
+        snap = state["prom"]
         admitted.add(label, snap["admitted"])
         rejected.add(label, snap["rejected"])
         for outcome in ("allowed", "denied", "error"):
@@ -203,38 +228,41 @@ def collect_service(service) -> "list[MetricFamily]":
                 {"shard": str(shard.index), "outcome": outcome},
                 snap["completed"][outcome],
             )
-        queue_depth.add(label, shard.queue_depth())
+        queue_depth.add(label, state["queue_depth"])
         queue_capacity.add(label, config.queue_depth)
-        busy.add(label, shard.busy_workers())
+        busy.add(label, state["busy_workers"])
         slow.add(label, snap["slow"])
-        check_hist.add_histogram(label, snap["check_hist"])
-        wait_hist.add_histogram(label, snap["wait_hist"])
-        batch_hist.add_histogram(label, snap["batch_hist"])
-        # Plain-int reads of enforcer-side counters: no shard lock needed
-        # (torn reads are impossible for Python ints; staleness is fine
-        # for a scrape).
-        cache = shard.enforcer.decision_cache
+        for family, key in (
+            (check_hist, "check_hist"),
+            (wait_hist, "wait_hist"),
+            (batch_hist, "batch_hist"),
+        ):
+            family.add_histogram(
+                label, HistogramSnapshot.from_dict(snap[key])
+            )
+        cache = state["decision_cache"]
         if cache is not None:
-            cache_hits.add(label, cache.stats.hits)
-            cache_misses.add(label, cache.stats.misses)
-            cache_invalidations.add(label, cache.stats.invalidations)
-            cache_entries.add(label, cache.stats.entries)
-        maintainer = shard.enforcer.incremental
-        if maintainer is not None:
-            inc_hits.add(label, maintainer.stats.hits)
-            inc_fallbacks.add(label, maintainer.stats.fallbacks)
-            inc_folds.add(label, maintainer.stats.folds)
-            inc_entries.add(label, maintainer.state_entries())
-        engine = shard.enforcer.engine
-        plan_hits.add(label, engine.plan_cache_hits)
-        plan_misses.add(label, engine.plan_cache_misses)
-        build_hits.add(label, engine.database.join_build_hits)
-        build_misses.add(label, engine.database.join_build_misses)
-        vector_batches.add(label, engine.vector_batches)
-        vector_rows.add(label, engine.vector_rows)
+            cache_hits.add(label, cache["hits"])
+            cache_misses.add(label, cache["misses"])
+            cache_invalidations.add(label, cache["invalidations"])
+            cache_entries.add(label, cache["entries"])
+        incremental = state["incremental"]
+        if incremental is not None:
+            inc_hits.add(label, incremental["hits"])
+            inc_fallbacks.add(label, incremental["fallbacks"])
+            inc_folds.add(label, incremental["folds"])
+            inc_entries.add(label, incremental["state_entries"])
+        engine = state["engine"]
+        plan_hits.add(label, engine["plan_hits"])
+        plan_misses.add(label, engine["plan_misses"])
+        build_hits.add(label, engine["build_hits"])
+        build_misses.add(label, engine["build_misses"])
+        vector_batches.add(label, engine["vector_batches"])
+        vector_rows.add(label, engine["vector_rows"])
         for policy, hist_snap in sorted(snap["policy_eval"].items()):
             policy_hist.add_histogram(
-                {"shard": str(shard.index), "policy": policy}, hist_snap
+                {"shard": str(shard.index), "policy": policy},
+                HistogramSnapshot.from_dict(hist_snap),
             )
         for policy, count in sorted(snap["policy_violations"].items()):
             violations.add(
@@ -243,17 +271,21 @@ def collect_service(service) -> "list[MetricFamily]":
         for phase, seconds in sorted(snap["phase_totals"].items()):
             phases.add({"shard": str(shard.index), "phase": phase}, seconds)
 
-        durability = shard.durability
-        if durability is not None:
+        wal = state["wal"]
+        if wal is not None:
             durable = True
-            wal = durability.wal
-            wal_appends.add(label, wal.appends)
-            wal_fsyncs.add(label, wal.fsyncs)
-            wal_bytes.add(
-                label,
-                wal.path.stat().st_size if wal.path.exists() else 0,
-            )
-            wal_seq.add(label, wal.last_seq)
+            wal_appends.add(label, wal["appends"])
+            wal_fsyncs.add(label, wal["fsyncs"])
+            wal_bytes.add(label, wal["bytes"])
+            wal_seq.add(label, wal["last_seq"])
+
+        process_state = getattr(shard, "process_state", None)
+        if process_state is not None:
+            any_process = True
+            process = process_state()
+            proc_alive.add(label, 1 if process["alive"] else 0)
+            proc_restarts.add(label, process["restarts"])
+            proc_inflight.add(label, process["inflight"])
 
     families = [
         epoch, shards_g, admitted, rejected, completed,
@@ -266,4 +298,6 @@ def collect_service(service) -> "list[MetricFamily]":
     ]
     if durable:
         families.extend([wal_appends, wal_fsyncs, wal_bytes, wal_seq])
+    if any_process:
+        families.extend([proc_alive, proc_restarts, proc_inflight])
     return families

@@ -83,6 +83,24 @@ class HistogramSnapshot:
         self.sum = sum
         self.count = count
 
+    def as_dict(self) -> dict:
+        """A JSON-safe view (process shards ship snapshots over IPC)."""
+        return {
+            "bounds": list(self.bounds),
+            "cumulative": list(self.cumulative),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "HistogramSnapshot":
+        return HistogramSnapshot(
+            bounds=tuple(payload["bounds"]),
+            cumulative=tuple(payload["cumulative"]),
+            sum=payload["sum"],
+            count=payload["count"],
+        )
+
     @staticmethod
     def merge(snapshots: "Sequence[HistogramSnapshot]") -> "HistogramSnapshot":
         """Sum snapshots with identical bounds (cross-shard aggregation)."""

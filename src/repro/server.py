@@ -53,7 +53,7 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
-from .core import Enforcer, Policy, explain_decision
+from .core import Enforcer, Policy
 from .core.metrics import PHASE_QUERY
 from .engine.explain import render_analyzed
 from .errors import (
@@ -177,8 +177,9 @@ class EnforcerService:
 
         When tracing is on, the decision's trace already holds one span
         per operator under the ``query`` phase — render those (the plan
-        the check actually executed, for free). With tracing off, re-run
-        the query as a plain ``EXPLAIN ANALYZE`` under the shard lock
+        the check actually executed, for free). With tracing off — or in
+        process mode, where spans never cross the pipe — re-run the
+        query as a plain ``EXPLAIN ANALYZE`` on the routed shard
         (admin-grade, like evidence explanation).
         """
         span = getattr(decision, "span", None)
@@ -186,34 +187,18 @@ class EnforcerService:
             for child in span.children:
                 if child.name == PHASE_QUERY and child.children:
                     return render_analyzed(child)
-        shard = self.service.shards[self.service.shard_for(uid)]
-        with shard.lock:
-            return shard.enforcer.engine.explain(sql, analyze=True)
+        return self.service.analyzed_plan(uid, sql)
 
     def _explain(self, decision, uid: int) -> "list[dict]":
         """Re-run the violated policies with lineage on the same shard.
 
-        Explanation reads the shard's current log state, so it takes that
-        shard's lock directly (explain is an admin-grade operation, not a
+        Explanation reads the shard's current log state; the service
+        runs it on the routed shard outside the admission path (thread
+        mode takes the shard lock directly, process mode answers over
+        the control channel — explain is an admin-grade operation, not a
         policy check, and must not consume an admission slot).
         """
-        shard = self.service.shards[self.service.shard_for(uid)]
-        with shard.lock:
-            explanations = explain_decision(shard.enforcer, decision)
-        return [
-            {
-                "policy": e.policy_name,
-                "tuples": [
-                    {
-                        "relation": t.relation,
-                        "values": t.values,
-                        "from_current_query": t.from_current_query,
-                    }
-                    for t in e.evidence
-                ],
-            }
-            for e in explanations
-        ]
+        return self.service.explain_evidence(uid, decision)
 
     def list_policies(self) -> "tuple[int, dict]":
         return 200, {"policies": self.service.policies()}

@@ -6,6 +6,10 @@ by ``uid`` onto N independent :class:`~repro.core.Enforcer` shards (each
 with its own clone of the base tables and its own slice of the usage
 log), admission is a bounded per-shard queue with backpressure, and a
 coordinator broadcasts policy changes to all shards under an epoch.
+With ``ServiceConfig(workers_mode="process")`` each shard runs in its
+own worker process (:class:`~repro.service.process.ProcessShard`), so
+CPU-bound policy checks scale across cores instead of serializing on
+the GIL.
 
 Quickstart::
 
@@ -29,6 +33,7 @@ from .placement import (
     classify_policies,
     classify_policy,
 )
+from .process import ProcessShard
 from .routing import ShardRouter, mix64
 from .shard import Shard, ShardDurability
 
@@ -37,6 +42,7 @@ __all__ = [
     "ShardedEnforcerService",
     "Shard",
     "ShardDurability",
+    "ProcessShard",
     "ShardCounters",
     "ShardRouter",
     "PolicyPlacement",

@@ -2,10 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ServiceError
+
+
+def _default_workers_mode() -> str:
+    """``thread`` unless ``REPRO_WORKERS_MODE`` overrides it.
+
+    The env hook lets CI run the existing ``test_service*`` suites
+    against process shards without touching every ``ServiceConfig(...)``
+    call site; explicit ``workers_mode=`` arguments always win.
+    """
+    return os.environ.get("REPRO_WORKERS_MODE", "thread")
 
 
 @dataclass(frozen=True)
@@ -57,6 +68,14 @@ class ServiceConfig:
     - ``slow_query_seconds`` — checks at least this slow (enqueue to
       completion) are logged with their span tree and kept in a small
       per-shard ring; ``0`` disables the slow-query log.
+    - ``workers_mode`` — ``"thread"`` (default: shards are worker
+      threads in this process) or ``"process"`` (each shard is a
+      ``multiprocessing`` worker process owning its shared-nothing
+      enforcer clone, WAL directory, and clock — CPU-bound policy
+      checks then scale across cores instead of serializing on the
+      GIL; see :mod:`repro.service.process`). The default can be
+      overridden with the ``REPRO_WORKERS_MODE`` environment variable
+      (used by CI to re-run the service suites under process shards).
     """
 
     shards: int = 1
@@ -76,8 +95,14 @@ class ServiceConfig:
     incremental: bool = True
     tracing: bool = True
     slow_query_seconds: float = 0.0
+    workers_mode: str = field(default_factory=_default_workers_mode)
 
     def __post_init__(self) -> None:
+        if self.workers_mode not in ("thread", "process"):
+            raise ServiceError(
+                f"unknown workers_mode {self.workers_mode!r} "
+                "(expected 'thread' or 'process')"
+            )
         if self.shards < 1:
             raise ServiceError("shards must be >= 1")
         if self.queue_depth < 1:

@@ -20,25 +20,36 @@ silently under-enforce it.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 from contextlib import ExitStack
 from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence
 
-from ..core import Decision, Enforcer, Policy
+from ..core import Decision, Enforcer, Policy, explain_decision
 from ..obs import build_service_registry
 from ..errors import (
     PolicyError,
     PolicyPlacementError,
+    ReproError,
     ServiceClosedError,
     ServiceError,
 )
-from ..storage.wal import has_state, initialize_durability, recover_enforcer
+from ..storage.snapshot import save_enforcer_state
+from ..storage.wal import (
+    RecoveryReport,
+    has_state,
+    initialize_durability,
+    recover_enforcer,
+)
 from .config import ServiceConfig
 from .placement import PolicyPlacement, classify_policy
+from .process import ProcessShard
 from .routing import ShardRouter
 from .shard import Shard, ShardDurability
+from .worker import clock_spec
 
 
 class ShardedEnforcerService:
@@ -54,10 +65,39 @@ class ShardedEnforcerService:
         self._admin_lock = threading.RLock()
         self._epoch = 0
         self._closed = False
+        #: ``thread`` or ``process`` — which kind of shard backs this
+        #: service (see :class:`~repro.service.process.ProcessShard`).
+        self.workers_mode = self.config.workers_mode
         #: One :class:`~repro.storage.wal.RecoveryReport` per shard that
         #: was rebuilt from durable state on startup.
         self.recovery_reports: list = []
+        #: Bootstrap snapshot directory for process workers (cleaned on
+        #: drain); None in thread mode.
+        self._bootstrap_dir: Optional[Path] = None
 
+        if self.workers_mode == "process":
+            self._init_process_shards(enforcer)
+        else:
+            self._init_thread_shards(enforcer)
+
+        reference = self._reference
+        placements = [
+            classify_policy(policy, reference.registry)
+            for policy in reference.policies
+        ]
+        try:
+            self._check_placements(placements)
+        except PolicyPlacementError:
+            self.drain(timeout=5)
+            raise
+        #: Prometheus surface (GET /metrics); collectors snapshot the
+        #: shards at scrape time, so building it up front is free.
+        self.metrics_registry = build_service_registry(self)
+        #: Immutable snapshot read lock-free by GET /policies and /health.
+        self._policy_snapshot: tuple = ()
+        self._refresh_snapshot(reference.policies, placements)
+
+    def _init_thread_shards(self, enforcer: Enforcer) -> None:
         # Shard 0 adopts the caller's enforcer (single-shard deployments
         # behave exactly like the old facade); the rest are clones over
         # the same base tables with empty per-shard usage logs. With a
@@ -72,29 +112,10 @@ class ShardedEnforcerService:
         # carry different settings). A recovered enforcer's cache starts
         # empty by construction — verdict memos never survive a restart.
         for shard_enforcer, _ in pairs:
-            options = shard_enforcer.options
-            if (
-                options.tracing != self.config.tracing
-                or options.decision_cache != self.config.decision_cache
-                or options.decision_cache_size != self.config.decision_cache_size
-                or options.incremental != self.config.incremental
-            ):
-                shard_enforcer.options = replace(
-                    options,
-                    tracing=self.config.tracing,
-                    decision_cache=self.config.decision_cache,
-                    decision_cache_size=self.config.decision_cache_size,
-                    incremental=self.config.incremental,
-                )
+            self._apply_option_overrides(shard_enforcer)
 
-        reference = pairs[0][0]
-        placements = [
-            classify_policy(policy, reference.registry)
-            for policy in reference.policies
-        ]
-        self._check_placements(placements)
-
-        self.shards = [
+        self._reference = pairs[0][0]
+        self.shards: list = [
             Shard(
                 index,
                 shard_enforcer,
@@ -108,12 +129,133 @@ class ShardedEnforcerService:
             )
             for index, (shard_enforcer, durability) in enumerate(pairs)
         ]
-        #: Prometheus surface (GET /metrics); collectors snapshot the
-        #: shards at scrape time, so building it up front is free.
-        self.metrics_registry = build_service_registry(self)
-        #: Immutable snapshot read lock-free by GET /policies and /health.
-        self._policy_snapshot: tuple = ()
-        self._refresh_snapshot(reference.policies, placements)
+
+    def _init_process_shards(self, prototype: Enforcer) -> None:
+        """Spawn one worker process per shard.
+
+        The caller's enforcer never serves queries here: it is saved as
+        the *bootstrap snapshot* the workers restore from (shard 0
+        adopts its full state, the rest clone with empty usage logs —
+        exactly the thread-mode split), and then kept as the in-process
+        *reference* for placement checks, policy validation, and the
+        lock-free policy snapshot. Shards with durable state ignore the
+        bootstrap and recover by WAL replay in the worker instead.
+        """
+        self._apply_option_overrides(prototype)
+        self._reference = prototype
+        # Fail fast (before paying any spawn) when the caller's policy
+        # set is un-shardable; recovered sets are re-checked after boot.
+        self._check_placements([
+            classify_policy(policy, prototype.registry)
+            for policy in prototype.policies
+        ])
+
+        bootstrap = Path(tempfile.mkdtemp(prefix="repro-bootstrap-"))
+        save_enforcer_state(prototype, bootstrap)
+        self._bootstrap_dir = bootstrap
+        root = Path(self.config.data_dir) if self.config.data_dir else None
+        spec = {
+            "bootstrap_dir": str(bootstrap),
+            "wal_sync": self.config.wal_sync,
+            "checkpoint_every": self.config.checkpoint_every,
+            # The worker's internal queue holds the whole admission
+            # window (waiting + executing); the coordinator enforces
+            # the 429 boundary, so the worker itself never rejects.
+            "queue_depth": self.config.queue_depth + self.config.workers,
+            "queue_capacity": self.config.queue_depth,
+            "workers": self.config.workers,
+            "dispatch_seconds": self.config.dispatch_seconds,
+            "latency_window": self.config.latency_window,
+            "slow_query_seconds": self.config.slow_query_seconds,
+            "batch_size": self.config.batch_size,
+            "clock": clock_spec(prototype.clock),
+            "epoch": 0,
+            "options": {
+                "tracing": self.config.tracing,
+                "decision_cache": self.config.decision_cache,
+                "decision_cache_size": self.config.decision_cache_size,
+                "incremental": self.config.incremental,
+            },
+        }
+        self.shards = []
+        try:
+            for index in range(self.config.shards):
+                shard_spec = dict(spec)
+                shard_spec["index"] = index
+                shard_spec["shard_dir"] = (
+                    str(root / f"shard-{index}") if root else None
+                )
+                self.shards.append(
+                    ProcessShard(
+                        index,
+                        shard_spec,
+                        self.config.queue_depth,
+                        policy_source=self._reference_policies,
+                    )
+                )
+        except ServiceError:
+            self.drain(timeout=5)
+            raise
+
+        self.recovery_reports = [
+            RecoveryReport(**shard.hello["recovery"])
+            for shard in self.shards
+            if shard.hello.get("recovery")
+        ]
+        # A crash mid-broadcast can leave shards with diverged policy
+        # sets; refusing to serve beats silently under-enforcing.
+        names = [p["name"] for p in self.shards[0].hello["policies"]]
+        for shard in self.shards[1:]:
+            shard_names = [p["name"] for p in shard.hello["policies"]]
+            if shard_names != names:
+                self.drain(timeout=5)
+                raise ServiceError(
+                    f"recovered policy sets diverge: shard 0 has {names}, "
+                    f"shard {shard.index} has {shard_names}; re-apply the "
+                    "missing policy changes before serving"
+                )
+        # Recovered workers may carry policies the caller's prototype
+        # lacks (installed in a previous run): sync the reference so
+        # the policy surface reflects what is actually enforced.
+        if [p.name for p in self._reference.policies] != names:
+            for policy in list(self._reference.policies):
+                self._reference.remove_policy(policy.name)
+            for entry in self.shards[0].hello["policies"]:
+                self._reference.add_policy(
+                    Policy.from_sql(
+                        entry["name"],
+                        entry["sql"],
+                        entry.get("description", ""),
+                    )
+                )
+
+    def _apply_option_overrides(self, shard_enforcer: Enforcer) -> None:
+        options = shard_enforcer.options
+        if (
+            options.tracing != self.config.tracing
+            or options.decision_cache != self.config.decision_cache
+            or options.decision_cache_size != self.config.decision_cache_size
+            or options.incremental != self.config.incremental
+        ):
+            shard_enforcer.options = replace(
+                options,
+                tracing=self.config.tracing,
+                decision_cache=self.config.decision_cache,
+                decision_cache_size=self.config.decision_cache_size,
+                incremental=self.config.incremental,
+            )
+
+    def _reference_policies(self) -> "tuple[int, list[dict]]":
+        """The reference policy set, for respawned-worker re-sync."""
+        with self._admin_lock:
+            return self._epoch, [
+                {
+                    "name": policy.name,
+                    "sql": policy.sql,
+                    "description": policy.description,
+                }
+                for policy in self._reference.policies
+            ]
 
     def _build_shard_enforcers(
         self, prototype: Enforcer
@@ -193,10 +335,8 @@ class ShardedEnforcerService:
         if self._closed:
             raise ServiceClosedError("service is shut down")
         shard = self.shards[self.shard_for(uid)]
-        future = shard.offer(
-            lambda enforcer: enforcer.submit(
-                sql, uid=uid, execute=execute, attributes=attributes
-            )
+        future = shard.offer_query(
+            sql, uid=uid, execute=execute, attributes=attributes
         )
         return future.result()
 
@@ -214,20 +354,53 @@ class ShardedEnforcerService:
 
     def placements(self) -> "list[PolicyPlacement]":
         with self._admin_lock:
-            reference = self.shards[0].enforcer
+            reference = self._reference
             return [
                 classify_policy(policy, reference.registry)
                 for policy in reference.policies
             ]
 
     def add_policy(self, policy: Policy) -> int:
-        """Install on every shard atomically; returns the new epoch."""
+        """Install on every shard atomically; returns the new epoch.
+
+        Thread mode takes every shard lock before mutating, so no query
+        observes a half-applied policy set. Process mode broadcasts
+        per-shard RPCs (each applied atomically under that worker's
+        lock, checkpointed when durable) in shard order, rolling back
+        the already-applied shards if one refuses — cross-shard
+        atomicity is therefore *eventual within the broadcast*, the
+        documented trade of moving shards out of the address space.
+        """
         with self._admin_lock:
-            reference = self.shards[0].enforcer
+            reference = self._reference
             if any(p.name == policy.name for p in reference.policies):
                 raise PolicyError(f"policy {policy.name!r} already exists")
             placement = classify_policy(policy, reference.registry)
             self._check_placements([placement])
+            if self.workers_mode == "process":
+                new_epoch = self._epoch + 1
+                applied = []
+                try:
+                    for shard in self.shards:
+                        shard.apply_policy_change(
+                            "add",
+                            policy.name,
+                            sql=policy.sql,
+                            description=policy.description,
+                            epoch=new_epoch,
+                        )
+                        applied.append(shard)
+                except ReproError:
+                    for shard in applied:
+                        try:
+                            shard.apply_policy_change(
+                                "remove", policy.name, epoch=self._epoch
+                            )
+                        except ReproError:  # pragma: no cover - dead shard
+                            pass
+                    raise
+                reference.add_policy(policy)
+                return self._bump_epoch()
             with self._all_shard_locks():
                 for shard in self.shards:
                     shard.enforcer.add_policy(policy)
@@ -236,9 +409,36 @@ class ShardedEnforcerService:
 
     def remove_policy(self, name: str) -> int:
         with self._admin_lock:
-            reference = self.shards[0].enforcer
-            if not any(p.name == name for p in reference.policies):
+            reference = self._reference
+            removed = next(
+                (p for p in reference.policies if p.name == name), None
+            )
+            if removed is None:
                 raise PolicyError(f"no policy {name!r}")
+            if self.workers_mode == "process":
+                new_epoch = self._epoch + 1
+                applied = []
+                try:
+                    for shard in self.shards:
+                        shard.apply_policy_change(
+                            "remove", name, epoch=new_epoch
+                        )
+                        applied.append(shard)
+                except ReproError:
+                    for shard in applied:
+                        try:
+                            shard.apply_policy_change(
+                                "add",
+                                name,
+                                sql=removed.sql,
+                                description=removed.description,
+                                epoch=self._epoch,
+                            )
+                        except ReproError:  # pragma: no cover - dead shard
+                            pass
+                    raise
+                reference.remove_policy(name)
+                return self._bump_epoch()
             with self._all_shard_locks():
                 for shard in self.shards:
                     shard.enforcer.remove_policy(name)
@@ -249,11 +449,12 @@ class ShardedEnforcerService:
         return any(entry["name"] == name for entry in self._policy_snapshot)
 
     def _bump_epoch(self) -> int:
-        """Advance the epoch; caller holds admin + all shard locks."""
+        """Advance the epoch; caller holds the admin lock (and, in
+        thread mode, all shard locks)."""
         self._epoch += 1
         for shard in self.shards:
             shard.epoch = self._epoch
-        reference = self.shards[0].enforcer
+        reference = self._reference
         self._refresh_snapshot(
             reference.policies,
             [
@@ -297,11 +498,11 @@ class ShardedEnforcerService:
             )
 
     def _refresh_snapshot(self, policies, placements) -> None:
-        # Per-policy incremental classification from shard 0 (the offline
-        # phase is identical on every shard); unified groups report the
-        # same verdict for each member policy.
+        # Per-policy incremental classification from the reference
+        # enforcer (the offline phase is identical on every shard);
+        # unified groups report the same verdict for each member policy.
         classifications: dict = {}
-        for entry in self.shards[0].enforcer.incremental_report():
+        for entry in self._reference.incremental_report():
             verdict = {
                 "incrementalizable": entry["incrementalizable"],
                 "reason": entry["reason"],
@@ -336,30 +537,16 @@ class ShardedEnforcerService:
         return totals
 
     def per_shard_log_sizes(self) -> "list[dict[str, int]]":
-        sizes = []
-        for shard in self.shards:
-            with shard.lock:
-                sizes.append(shard.enforcer.log_sizes())
-        return sizes
+        return [shard.log_sizes() for shard in self.shards]
 
     def stats(self) -> dict:
-        """The service metrics surface (never touches a shard lock)."""
-        shard_stats = []
-        for shard in self.shards:
-            snapshot = shard.counters.snapshot()
-            snapshot["shard"] = shard.index
-            snapshot["epoch"] = shard.epoch
-            snapshot["queue_depth"] = shard.queue_depth()
-            snapshot["queue_capacity"] = self.config.queue_depth
-            cache = shard.enforcer.decision_cache
-            if cache is not None:
-                snapshot["decision_cache"] = cache.stats.as_dict()
-            maintainer = shard.enforcer.incremental
-            if maintainer is not None:
-                incremental = maintainer.stats.as_dict()
-                incremental["state_entries"] = maintainer.state_entries()
-                snapshot["incremental"] = incremental
-            shard_stats.append(snapshot)
+        """The service metrics surface (never blocks behind a query:
+        thread shards snapshot counters lock-free, process shards
+        answer a stats RPC on their IPC thread)."""
+        shard_stats = [
+            shard.stats_entry(self.config.queue_depth)
+            for shard in self.shards
+        ]
         totals = {
             key: sum(entry[key] for entry in shard_stats)
             for key in (
@@ -371,6 +558,7 @@ class ShardedEnforcerService:
             "epoch": self._epoch,
             "shards": self.config.shards,
             "workers": self.config.workers,
+            "workers_mode": self.workers_mode,
             "queue_depth": self.config.queue_depth,
             "routing": self.config.routing,
             "durable": bool(self.config.data_dir),
@@ -390,9 +578,39 @@ class ShardedEnforcerService:
         """Recent slow checks across shards, most recent last."""
         entries: "list[dict]" = []
         for shard in self.shards:
-            entries.extend(shard.counters.slow_entries())
+            entries.extend(shard.slow_entries())
         entries.sort(key=lambda entry: entry.get("timestamp", 0))
         return entries
+
+    def analyzed_plan(self, uid: int, sql: str) -> str:
+        """Re-run a query under EXPLAIN ANALYZE on its routed shard."""
+        shard = self.shards[self.shard_for(uid)]
+        if self.workers_mode == "process":
+            return shard.explain_analyze(sql)
+        with shard.lock:
+            return shard.enforcer.engine.explain(sql, analyze=True)
+
+    def explain_evidence(self, uid: int, decision: Decision) -> "list[dict]":
+        """Witness tuples for a denied decision, from its routed shard."""
+        shard = self.shards[self.shard_for(uid)]
+        if self.workers_mode == "process":
+            return shard.explain_evidence(decision)
+        with shard.lock:
+            explanations = explain_decision(shard.enforcer, decision)
+        return [
+            {
+                "policy": explanation.policy_name,
+                "tuples": [
+                    {
+                        "relation": evidence.relation,
+                        "values": list(evidence.values),
+                        "from_current_query": evidence.from_current_query,
+                    }
+                    for evidence in explanation.evidence
+                ],
+            }
+            for explanation in explanations
+        ]
 
     def durability_status(self) -> dict:
         """The durability surface (GET /durability)."""
@@ -407,9 +625,11 @@ class ShardedEnforcerService:
                 report.as_dict() for report in self.recovery_reports
             ],
             "per_shard": [
-                shard.durability.status()
-                for shard in self.shards
-                if shard.durability is not None
+                status
+                for status in (
+                    shard.durability_state() for shard in self.shards
+                )
+                if status is not None
             ],
         }
 
@@ -422,6 +642,9 @@ class ShardedEnforcerService:
         self._closed = True
         for shard in self.shards:
             shard.drain(timeout)
+        if self._bootstrap_dir is not None:
+            shutil.rmtree(self._bootstrap_dir, ignore_errors=True)
+            self._bootstrap_dir = None
 
     close = drain
 

@@ -1,0 +1,68 @@
+"""Framed JSON messaging between the coordinator and shard processes.
+
+Each message is one JSON object framed with the WAL's checksum
+discipline (:func:`repro.storage.wal.encode_record`): a crc32 prefix
+over the compact-JSON payload. The :class:`multiprocessing.connection`
+pipe already length-prefixes each ``send_bytes`` chunk, so the frame
+layer's job is *integrity* — a corrupted or half-written chunk decodes
+to ``None`` exactly like a torn WAL record, and the receiver treats it
+as a dead peer instead of acting on garbage.
+
+Wire protocol (all messages carry a ``type``; requests carry an ``id``
+the response echoes):
+
+========================  ============================================
+coordinator → worker
+========================  ============================================
+``query``                 ``{id, sql, uid, execute, attributes}``
+``policy``                ``{id, action: add|remove, name, sql,
+                          description, epoch}`` — applied atomically
+                          per shard, checkpointed when durable
+``set_epoch``             ``{id, epoch}`` — post-respawn resync
+``stats`` / ``export`` /  inspection RPCs answering with the same
+``log_sizes`` / ``slow``  shapes the thread-backed shard produces
+/ ``durability`` /
+``policies``
+``explain_analyze``       ``{id, sql}`` → rendered per-operator plan
+``explain_decision``      ``{id, sql, uid, timestamp, violations}`` →
+                          evidence tuples for a rejected decision
+``ping``                  liveness probe (responds with the pid)
+``drain``                 flush the backlog, checkpoint, exit
+========================  ============================================
+
+========================  ============================================
+worker → coordinator
+========================  ============================================
+``hello``                 one per boot: ``{pid, policies, recovery}``
+                          (or ``{error}`` when the enforcer could not
+                          be built — the spawn fails loudly)
+``result``                ``{id, ok: true, ...payload}`` or
+                          ``{id, ok: false, kind, error}`` with
+                          ``kind`` ∈ overloaded/closed/crash/repro/
+                          internal mapped back onto the matching
+                          exception coordinator-side
+========================  ============================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..storage.wal import decode_record, encode_record
+
+
+def send_message(conn, message: dict) -> None:
+    """Frame and send one message on a multiprocessing connection.
+
+    Callers serialize sends themselves (the worker shares one pipe
+    between its IPC loop and its completion callbacks).
+    """
+    conn.send_bytes(encode_record(message))
+
+
+def recv_message(conn) -> Optional[dict]:
+    """Receive and verify one message; ``None`` for a corrupt frame."""
+    chunk = conn.recv_bytes()
+    # encode_record appends the WAL's newline terminator; the pipe is
+    # already message-oriented, so strip it before checksum validation.
+    return decode_record(chunk.rstrip(b"\n"))

@@ -144,6 +144,26 @@ class Shard:
 
     # -- admission ---------------------------------------------------------
 
+    def offer_query(
+        self,
+        sql: str,
+        uid: int = 0,
+        execute: Optional[bool] = None,
+        attributes: Optional[dict] = None,
+    ) -> "Future":
+        """Enqueue one policy check by its wire-shaped arguments.
+
+        The uniform admission entry point shared with
+        :class:`~repro.service.process.ProcessShard`: the coordinator
+        calls this instead of building a closure, so the same call works
+        whether the shard lives in this process or behind a pipe.
+        """
+        return self.offer(
+            lambda enforcer: enforcer.submit(
+                sql, uid=uid, execute=execute, attributes=attributes
+            )
+        )
+
     def offer(self, job: Callable[[Enforcer], Decision]) -> "Future":
         """Enqueue a job; full queue → immediate backpressure error."""
         if self._closed.is_set():
@@ -180,6 +200,109 @@ class Shard:
         """Workers currently executing a job (not waiting on the queue)."""
         with self._busy_lock:
             return self._busy
+
+    # -- uniform inspection surface ---------------------------------------
+    #
+    # Everything the coordinator, /stats, and /metrics need from a shard,
+    # behind methods both this thread-backed Shard and the process-backed
+    # ProcessShard implement. The builders live here so a worker process
+    # (which hosts a real Shard internally) answers inspection RPCs with
+    # exactly the shapes the thread path produces.
+
+    def policy_names(self) -> "list[str]":
+        with self.lock:
+            return [policy.name for policy in self.enforcer.policies]
+
+    def log_sizes(self) -> "dict[str, int]":
+        with self.lock:
+            return self.enforcer.log_sizes()
+
+    def slow_entries(self) -> "list[dict]":
+        return self.counters.slow_entries()
+
+    def durability_state(self) -> Optional[dict]:
+        durability = self.durability
+        return durability.status() if durability is not None else None
+
+    def stats_entry(self, queue_capacity: int) -> dict:
+        """One shard's row of the ``GET /stats`` surface (lock-free)."""
+        snapshot = self.counters.snapshot()
+        snapshot["shard"] = self.index
+        snapshot["epoch"] = self.epoch
+        snapshot["queue_depth"] = self.queue_depth()
+        snapshot["queue_capacity"] = queue_capacity
+        cache = self.enforcer.decision_cache
+        if cache is not None:
+            snapshot["decision_cache"] = cache.stats.as_dict()
+        maintainer = self.enforcer.incremental
+        if maintainer is not None:
+            incremental = maintainer.stats.as_dict()
+            incremental["state_entries"] = maintainer.state_entries()
+            snapshot["incremental"] = incremental
+        return snapshot
+
+    def export_state(self) -> dict:
+        """Everything ``GET /metrics`` needs, as one JSON-safe dict.
+
+        Histograms are shipped as plain dicts
+        (:meth:`~repro.obs.prom.HistogramSnapshot.as_dict`) so a process
+        shard can answer this over the IPC pipe; the export collector
+        rebuilds snapshots on the other side. Reads are lock-free in the
+        same sense as ``GET /stats`` (counter mutex only, never the
+        shard lock; plain-int reads of enforcer counters cannot tear).
+        """
+        snap = self.counters.prom_snapshot()
+        prom = dict(snap)
+        for key in ("check_hist", "wait_hist", "batch_hist"):
+            prom[key] = snap[key].as_dict()
+        prom["policy_eval"] = {
+            name: hist.as_dict() for name, hist in snap["policy_eval"].items()
+        }
+        state: dict = {
+            "prom": prom,
+            "queue_depth": self.queue_depth(),
+            "busy_workers": self.busy_workers(),
+            "decision_cache": None,
+            "incremental": None,
+            "wal": None,
+        }
+        cache = self.enforcer.decision_cache
+        if cache is not None:
+            state["decision_cache"] = {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "invalidations": cache.stats.invalidations,
+                "entries": cache.stats.entries,
+            }
+        maintainer = self.enforcer.incremental
+        if maintainer is not None:
+            state["incremental"] = {
+                "hits": maintainer.stats.hits,
+                "fallbacks": maintainer.stats.fallbacks,
+                "folds": maintainer.stats.folds,
+                "state_entries": maintainer.state_entries(),
+            }
+        engine = self.enforcer.engine
+        state["engine"] = {
+            "plan_hits": engine.plan_cache_hits,
+            "plan_misses": engine.plan_cache_misses,
+            "build_hits": engine.database.join_build_hits,
+            "build_misses": engine.database.join_build_misses,
+            "vector_batches": engine.vector_batches,
+            "vector_rows": engine.vector_rows,
+        }
+        durability = self.durability
+        if durability is not None:
+            wal = durability.wal
+            state["wal"] = {
+                "appends": wal.appends,
+                "fsyncs": wal.fsyncs,
+                "bytes": (
+                    wal.path.stat().st_size if wal.path.exists() else 0
+                ),
+                "last_seq": wal.last_seq,
+            }
+        return state
 
     # -- worker loop -------------------------------------------------------
 

@@ -1,0 +1,406 @@
+"""The shard worker process: one shared-nothing enforcer behind a pipe.
+
+:func:`worker_main` is the child-process entry point spawned by
+:class:`~repro.service.process.ProcessShard`. It rebuilds this shard's
+enforcer — from the coordinator's bootstrap snapshot on a fresh boot, or
+by WAL replay (:func:`~repro.storage.wal.recover_enforcer`, bit-identical
+state) when the shard's durability directory already holds state — and
+then hosts a real thread-backed :class:`~repro.service.shard.Shard`
+around it, so admission, batching, group commit, checkpoint cadence, and
+the slow-query ring behave exactly as in thread mode.
+
+The main thread is the IPC loop: it reads framed requests
+(:mod:`repro.service.ipc`) and dispatches them. Query checks run on the
+shard's worker threads and answer from future callbacks (a shared send
+lock serializes the pipe), so control messages — policy broadcasts,
+stats scrapes, drain — are never stuck behind a slow check. EOF on the
+pipe means the coordinator is gone; the worker drains and exits.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import traceback
+from dataclasses import replace
+from typing import Optional
+
+from ..core import Decision, Enforcer, Policy, Violation, explain_decision
+from ..engine import Result
+from ..errors import (
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from ..log import LogicalClock, SimulatedClock
+from ..storage.snapshot import restore_enforcer
+from ..storage.wal import has_state, initialize_durability, recover_enforcer
+from .ipc import recv_message, send_message
+from .shard import Shard, ShardDurability
+
+
+def clock_spec(clock) -> Optional[dict]:
+    """A picklable description of a clock's kind and state.
+
+    ``restore_enforcer`` defaults to ``SimulatedClock(start_ms=...)``,
+    which would silently drop a custom step — and a different step means
+    different timestamps, which means decisions stop being bit-identical
+    to the thread-mode baseline. So the coordinator ships the prototype
+    clock's exact kind/state and the worker rebuilds it.
+    """
+    if isinstance(clock, SimulatedClock):
+        return {"kind": "simulated", "start": clock.now(), "step": clock._step}
+    if isinstance(clock, LogicalClock):
+        return {"kind": "logical", "start": clock.now(), "step": clock._step}
+    return None
+
+
+def clock_from_spec(spec: Optional[dict]):
+    if spec is None:
+        return None
+    if spec["kind"] == "simulated":
+        return SimulatedClock(
+            start_ms=spec["start"], default_step_ms=spec["step"]
+        )
+    return LogicalClock(start=spec["start"], step=spec["step"])
+
+
+# ---------------------------------------------------------------------------
+# Serialization helpers (child side)
+# ---------------------------------------------------------------------------
+
+
+def decision_to_json(decision: Decision) -> dict:
+    payload: dict = {
+        "allowed": decision.allowed,
+        "timestamp": decision.timestamp,
+        "sql": decision.sql,
+        "uid": decision.uid,
+        "violations": [
+            {
+                "policy_name": violation.policy_name,
+                "message": violation.message,
+                "evidence_rows": violation.evidence_rows,
+            }
+            for violation in decision.violations
+        ],
+        "result": None,
+    }
+    result = decision.result
+    if result is not None:
+        payload["result"] = {
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "statements": result.statements,
+        }
+    return payload
+
+
+def decision_from_json(payload: dict) -> Decision:
+    """Rebuild a decision coordinator-side.
+
+    Trace spans and phase metrics do not cross the process boundary
+    (``span``/``metrics`` are ``None``); the worker already folded them
+    into its own counters, which the coordinator aggregates via the
+    stats/export RPCs instead.
+    """
+    result = None
+    if payload.get("result") is not None:
+        raw = payload["result"]
+        result = Result(
+            columns=list(raw["columns"]),
+            rows=[tuple(row) for row in raw["rows"]],
+            statements=raw.get("statements", 1),
+        )
+    return Decision(
+        allowed=payload["allowed"],
+        timestamp=payload["timestamp"],
+        violations=[
+            Violation(
+                violation["policy_name"],
+                violation["message"],
+                violation.get("evidence_rows", 1),
+            )
+            for violation in payload.get("violations", [])
+        ],
+        result=result,
+        metrics=None,
+        sql=payload.get("sql", ""),
+        uid=payload.get("uid", 0),
+        span=None,
+    )
+
+
+def _policy_listing(enforcer: Enforcer) -> "list[dict]":
+    return [
+        {
+            "name": policy.name,
+            "sql": policy.sql,
+            "description": policy.description,
+        }
+        for policy in enforcer.policies
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Boot: rebuild this shard's enforcer
+# ---------------------------------------------------------------------------
+
+
+def _build_shard(spec: dict) -> "tuple[Shard, Optional[dict]]":
+    """The shard this worker hosts, plus its recovery report (if any)."""
+    clock = clock_from_spec(spec["clock"])
+    shard_dir = spec["shard_dir"]
+    report = None
+    if shard_dir is not None and has_state(shard_dir):
+        enforcer, wal, recovery = recover_enforcer(
+            shard_dir, clock=clock, sync=spec["wal_sync"]
+        )
+        report = recovery.as_dict()
+    else:
+        enforcer = restore_enforcer(spec["bootstrap_dir"], clock=clock)
+        if spec["index"] > 0:
+            # Mirror thread mode: shard 0 adopts the prototype's state
+            # (usage log included); the rest are clones over the same
+            # base tables with empty per-shard usage logs.
+            enforcer = enforcer.clone()
+        wal = None
+        if shard_dir is not None:
+            wal = initialize_durability(
+                enforcer, shard_dir, sync=spec["wal_sync"]
+            )
+
+    options = enforcer.options
+    overrides = spec["options"]
+    if (
+        options.tracing != overrides["tracing"]
+        or options.decision_cache != overrides["decision_cache"]
+        or options.decision_cache_size != overrides["decision_cache_size"]
+        or options.incremental != overrides["incremental"]
+    ):
+        enforcer.options = replace(
+            options,
+            tracing=overrides["tracing"],
+            decision_cache=overrides["decision_cache"],
+            decision_cache_size=overrides["decision_cache_size"],
+            incremental=overrides["incremental"],
+        )
+
+    durability = None
+    if wal is not None:
+        durability = ShardDurability(
+            shard_dir,
+            wal,
+            checkpoint_every=spec["checkpoint_every"],
+            sync=spec["wal_sync"],
+        )
+    shard = Shard(
+        spec["index"],
+        enforcer,
+        queue_depth=spec["queue_depth"],
+        workers=spec["workers"],
+        dispatch_seconds=spec["dispatch_seconds"],
+        latency_window=spec["latency_window"],
+        durability=durability,
+        slow_query_seconds=spec["slow_query_seconds"],
+        batch_size=spec["batch_size"],
+    )
+    shard.epoch = spec["epoch"]
+    return shard, report
+
+
+# ---------------------------------------------------------------------------
+# Request handling
+# ---------------------------------------------------------------------------
+
+
+def _handle_query(shard: Shard, msg: dict, reply) -> None:
+    request_id = msg["id"]
+    try:
+        future = shard.offer_query(
+            msg["sql"],
+            uid=msg.get("uid", 0),
+            execute=msg.get("execute"),
+            attributes=msg.get("attributes"),
+        )
+    except ServiceOverloadedError as error:
+        reply({
+            "type": "result", "id": request_id, "ok": False,
+            "kind": "overloaded", "error": str(error),
+            "shard": error.shard, "retry_after": error.retry_after,
+        })
+        return
+    except ServiceClosedError as error:
+        reply({
+            "type": "result", "id": request_id, "ok": False,
+            "kind": "closed", "error": str(error),
+        })
+        return
+
+    def complete(done) -> None:
+        try:
+            decision = done.result()
+        except ServiceClosedError as error:
+            payload = {"ok": False, "kind": "closed", "error": str(error)}
+        except ReproError as error:
+            payload = {"ok": False, "kind": "repro", "error": str(error)}
+        except BaseException as error:  # noqa: BLE001 - forwarded verbatim
+            payload = {"ok": False, "kind": "internal", "error": repr(error)}
+        else:
+            payload = {"ok": True, "decision": decision_to_json(decision)}
+        payload["type"] = "result"
+        payload["id"] = request_id
+        reply(payload)
+
+    future.add_done_callback(complete)
+
+
+def _handle_control(shard: Shard, spec: dict, msg: dict) -> dict:
+    mtype = msg["type"]
+    enforcer = shard.enforcer
+    if mtype == "policy":
+        with shard.lock:
+            if msg["action"] == "add":
+                enforcer.add_policy(
+                    Policy.from_sql(
+                        msg["name"], msg["sql"], msg.get("description", "")
+                    )
+                )
+            else:
+                enforcer.remove_policy(msg["name"])
+            if shard.durability is not None:
+                # Policy texts live in the checkpoint manifest, not WAL
+                # records — same rule as the thread-mode broadcast.
+                shard.durability.checkpoint(enforcer)
+        shard.epoch = msg["epoch"]
+        return {"ok": True, "epoch": shard.epoch}
+    if mtype == "set_epoch":
+        shard.epoch = msg["epoch"]
+        return {"ok": True}
+    if mtype == "stats":
+        return {"ok": True, "stats": shard.stats_entry(spec["queue_capacity"])}
+    if mtype == "export":
+        return {"ok": True, "state": shard.export_state()}
+    if mtype == "log_sizes":
+        return {"ok": True, "sizes": shard.log_sizes()}
+    if mtype == "slow":
+        return {"ok": True, "entries": shard.slow_entries()}
+    if mtype == "durability":
+        return {"ok": True, "status": shard.durability_state()}
+    if mtype == "policies":
+        with shard.lock:
+            return {"ok": True, "policies": _policy_listing(enforcer)}
+    if mtype == "explain_analyze":
+        with shard.lock:
+            plan = enforcer.engine.explain(msg["sql"], analyze=True)
+        return {"ok": True, "plan": plan}
+    if mtype == "explain_decision":
+        decision = Decision(
+            allowed=False,
+            timestamp=msg["timestamp"],
+            violations=[
+                Violation(
+                    violation["policy_name"],
+                    violation["message"],
+                    violation.get("evidence_rows", 1),
+                )
+                for violation in msg["violations"]
+            ],
+            sql=msg["sql"],
+            uid=msg["uid"],
+        )
+        with shard.lock:
+            explanations = explain_decision(enforcer, decision)
+        return {
+            "ok": True,
+            "evidence": [
+                {
+                    "policy": explanation.policy_name,
+                    "tuples": [
+                        {
+                            "relation": evidence.relation,
+                            "values": list(evidence.values),
+                            "from_current_query": evidence.from_current_query,
+                        }
+                        for evidence in explanation.evidence
+                    ],
+                }
+                for explanation in explanations
+            ],
+        }
+    if mtype == "ping":
+        return {"ok": True, "pid": os.getpid()}
+    return {"ok": False, "kind": "internal", "error": f"unknown type {mtype!r}"}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def worker_main(conn, spec: dict) -> None:
+    """Child-process main: boot the shard, serve the pipe, drain on exit."""
+    # The coordinator owns interrupt handling; a Ctrl+C in the parent
+    # must not kill workers mid-commit (drain/terminate does that).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+
+    try:
+        shard, report = _build_shard(spec)
+    except BaseException:  # noqa: BLE001 - boot failures must surface
+        send_message(
+            conn,
+            {"type": "hello", "error": traceback.format_exc(limit=20)},
+        )
+        conn.close()
+        return
+
+    send_lock = threading.Lock()
+
+    def reply(payload: dict) -> None:
+        try:
+            with send_lock:
+                send_message(conn, payload)
+        except (BrokenPipeError, OSError):  # parent gone; nothing to tell
+            pass
+
+    reply({
+        "type": "hello",
+        "pid": os.getpid(),
+        "policies": _policy_listing(shard.enforcer),
+        "recovery": report,
+    })
+
+    try:
+        while True:
+            try:
+                msg = recv_message(conn)
+            except (EOFError, OSError):
+                break
+            if msg is None:  # corrupt frame: treat the pipe as dead
+                break
+            mtype = msg.get("type")
+            if mtype == "query":
+                _handle_query(shard, msg, reply)
+                continue
+            if mtype == "drain":
+                shard.drain()
+                reply({"type": "result", "id": msg["id"], "ok": True})
+                break
+            try:
+                payload = _handle_control(shard, spec, msg)
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                payload = {
+                    "ok": False, "kind": "internal", "error": repr(error),
+                }
+            payload["type"] = "result"
+            payload["id"] = msg["id"]
+            reply(payload)
+    finally:
+        # Idempotent: a served drain already checkpointed and closed the
+        # WAL; an EOF-triggered exit gets the same clean shutdown.
+        shard.drain()
+        conn.close()

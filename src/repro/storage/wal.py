@@ -90,6 +90,14 @@ def _decode(chunk: bytes) -> Optional[dict]:
     return record if isinstance(record, dict) else None
 
 
+#: Public framing aliases: the process-shard IPC layer
+#: (:mod:`repro.service.ipc`) frames its request/response messages with
+#: the same ``<crc32 hex> <compact json>`` discipline the WAL uses, so a
+#: corrupted pipe read is detected exactly like a torn WAL record.
+encode_record = _encode
+decode_record = _decode
+
+
 @dataclass
 class WalScan:
     """The readable prefix of one WAL file."""

@@ -313,9 +313,12 @@ def build_server(args):
         )
 
         config = MarketplaceConfig()
+        # Sharded demos use the per-uid contract rewrite — unless the
+        # global tier is on, which exists precisely to host the standard
+        # contract's cross-user free-tier quota.
         contract = (
             sharded_contract(config)
-            if args.shards > 1
+            if args.shards > 1 and args.global_tier == "off"
             else standard_contract(config)
         )
         enforcer = Enforcer(
@@ -347,6 +350,7 @@ def build_server(args):
             incremental=not args.no_incremental,
             tracing=not args.no_tracing,
             slow_query_seconds=args.slow_query_ms / 1000.0,
+            global_tier=args.global_tier,
         ),
     )
 
@@ -538,7 +542,15 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shards", type=int, default=1,
         help="enforcer shards (uid-hash routed; policies must be "
-        "shard-local when > 1)",
+        "shard-local when > 1 unless --global-tier is enabled)",
+    )
+    serve.add_argument(
+        "--global-tier", choices=("off", "async", "strict"), default="off",
+        help="coordinator-side global policy tier for multi-shard "
+        "deployments: 'async' admits monotone aggregate thresholds "
+        "answered from streamed aggregator state (bounded staleness), "
+        "'strict' additionally serializes the rest through two-phase "
+        "reserve/commit admission (bit-identical to one shard)",
     )
     serve.add_argument(
         "--queue-depth", type=int, default=32,

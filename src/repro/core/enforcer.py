@@ -17,7 +17,7 @@ toggles each optimization independently so the benchmarks can ablate them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..analysis import (
     WitnessSet,
@@ -184,6 +184,12 @@ class Enforcer:
         self.policies: list[Policy] = list(policies)
         self._runtime: list[RuntimePolicy] = []
         self._persist_relations: set[str] = set()
+        #: Relations persisted (and, under compaction, retained) on every
+        #: commit even when no local policy needs them — the sharded
+        #: service's global tier sets this so shards keep committing the
+        #: log rows its cross-shard aggregates fold, and the commit
+        #: observer keeps streaming them.
+        self.extra_persist_relations: set[str] = set()
         self._union_select: Optional[ast.Query] = None
         self._const_tables: list[str] = []
         self._queries_since_compaction = 0
@@ -396,9 +402,18 @@ class Enforcer:
         uid: int = 0,
         execute: Optional[bool] = None,
         attributes: Optional[dict] = None,
+        timestamp: Optional[int] = None,
     ) -> Decision:
-        """Check a query against all policies; run it if compliant."""
-        timestamp = self.clock.advance()
+        """Check a query against all policies; run it if compliant.
+
+        ``timestamp`` overrides the enforcer's own clock (the clock seeks
+        to it) — the sharded service's global tier assigns timestamps
+        coordinator-side so every shard observes one global order.
+        """
+        if timestamp is None:
+            timestamp = self.clock.advance()
+        else:
+            self.clock.seek(timestamp)
         self.store.set_time(timestamp)
         trace = (
             TraceContext(f"submit uid={uid} ts={timestamp}")
@@ -834,6 +849,8 @@ class Enforcer:
         generated: set[str],
         timestamp: int,
     ) -> None:
+        extras = set(self.extra_persist_relations)
+        persist_all = self._persist_relations | extras
         compact_now = False
         if self.options.log_compaction:
             self._queries_since_compaction += 1
@@ -842,13 +859,23 @@ class Enforcer:
         if compact_now:
             self._queries_since_compaction = 0
             marks: Optional[dict[str, set[int]]] = {
-                name: set() for name in self._persist_relations
+                name: set() for name in persist_all
             }
             for runtime in self._runtime:
                 if runtime.witness is not None:
                     self._mark_policy(
                         runtime.witness, metrics, ensure_log, generated, timestamp, marks
                     )
+            # Extra relations are retained in full — the global tier
+            # rebuilds aggregator state exactly from shard disk images, so
+            # compaction must never drop their history. Marking every live
+            # tid (disk + staged) keeps the whole table and commits the
+            # staged increment exactly once.
+            for name in sorted(extras):
+                ensure_log(name)
+                marks.setdefault(name, set()).update(
+                    self.database.table(name).tids()
+                )
         else:
             # Either compaction is off, or this query is between compaction
             # points: persist the increments untouched (always sound).
@@ -859,13 +886,16 @@ class Enforcer:
                 # lost forever — so every persisted relation's increment
                 # must be generated now. (Under eager compaction the
                 # witness/probe machinery does this on demand.)
-                for name in sorted(self._persist_relations):
+                for name in sorted(persist_all):
+                    ensure_log(name)
+            else:
+                for name in sorted(extras):
                     ensure_log(name)
 
         persist = (
-            self._persist_relations
+            persist_all
             if self.options.log_compaction
-            else self._persist_relations & generated
+            else persist_all & generated
         )
         stats = self.store.commit(marks, persist)
         metrics.add_seconds(PHASE_DELETE, stats.delete_seconds)

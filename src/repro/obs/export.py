@@ -46,6 +46,16 @@ Metric names and labels (all prefixed ``repro_``):
 ``repro_process_alive``               gauge      ``{shard}`` worker up?
 ``repro_process_restarts_total``      counter    ``{shard}`` respawns
 ``repro_process_inflight``            gauge      ``{shard}`` window usage
+``repro_global_checks_total``         counter    ``{mode}`` async/strict
+``repro_global_denials_total``        counter    ``{mode}`` tier denials
+``repro_global_reservations_total``   counter    strict reservations opened
+``repro_global_reservations_active``  gauge      reservations in flight
+``repro_global_delta_frames_total``   counter    shard delta frames folded
+``repro_global_folds_total``          counter    aggregator fold passes
+``repro_global_delta_lag``            gauge      frames queued, not folded
+``repro_global_staleness_seconds``    gauge      age of the oldest unfolded
+                                                 delta (0 when caught up)
+``repro_global_policy_entries``       gauge      ``{policy}`` async state
 ====================================  =========  ==========================
 
 The WAL families appear only on durable deployments (``--data-dir``);
@@ -53,7 +63,9 @@ the ``repro_process_*`` families only in ``workers_mode=process``, where
 each shard is a worker process and the collector gathers every child's
 counters into this one scrape (shards answer an ``export`` RPC; a shard
 mid-respawn contributes an idle stub so the scrape never blocks on a
-dead pipe).
+dead pipe); the ``repro_global_*`` families only when a global policy
+tier is active (``--global-tier async|strict`` with ``--shards`` > 1,
+see :mod:`repro.service.global_tier`).
 """
 
 from __future__ import annotations
@@ -287,6 +299,58 @@ def collect_service(service) -> "list[MetricFamily]":
             proc_restarts.add(label, process["restarts"])
             proc_inflight.add(label, process["inflight"])
 
+    tier = getattr(service, "global_tier", None)
+    global_families: "list[MetricFamily]" = []
+    if tier is not None:
+        tier_stats = tier.stats()
+        g_checks = MetricFamily(
+            "repro_global_checks_total", "counter",
+            "Global-tier admission checks by mode (async/strict).",
+        )
+        g_denials = MetricFamily(
+            "repro_global_denials_total", "counter",
+            "Queries denied by a global policy, by mode.",
+        )
+        for mode in ("async", "strict"):
+            g_checks.add({"mode": mode}, tier_stats["checks"][mode])
+            g_denials.add({"mode": mode}, tier_stats["denials"][mode])
+        g_res_total = MetricFamily(
+            "repro_global_reservations_total", "counter",
+            "Two-phase strict reservations opened.",
+        ).add(None, tier_stats["reservations"]["total"])
+        g_res_active = MetricFamily(
+            "repro_global_reservations_active", "gauge",
+            "Strict reservations currently awaiting commit/abort.",
+        ).add(None, tier_stats["reservations"]["active"])
+        g_frames = MetricFamily(
+            "repro_global_delta_frames_total", "counter",
+            "Committed usage-log delta frames received from shards.",
+        ).add(None, tier_stats["delta_frames"])
+        g_folds = MetricFamily(
+            "repro_global_folds_total", "counter",
+            "Delta frames folded into aggregator state.",
+        ).add(None, tier_stats["folds"])
+        g_lag = MetricFamily(
+            "repro_global_delta_lag", "gauge",
+            "Delta frames queued but not yet folded (staleness window).",
+        ).add(None, tier_stats["delta_lag"])
+        g_staleness = MetricFamily(
+            "repro_global_staleness_seconds", "gauge",
+            "Seconds since the oldest unfolded delta arrived "
+            "(0 when the aggregator is caught up).",
+        ).add(None, tier_stats["staleness_seconds"])
+        g_entries = MetricFamily(
+            "repro_global_policy_entries", "gauge",
+            "Folded aggregator state entries per global-async policy.",
+        )
+        for name, entry in sorted(tier_stats["policies"].items()):
+            if entry["entries"] is not None:
+                g_entries.add({"policy": name}, entry["entries"])
+        global_families = [
+            g_checks, g_denials, g_res_total, g_res_active,
+            g_frames, g_folds, g_lag, g_staleness, g_entries,
+        ]
+
     families = [
         epoch, shards_g, admitted, rejected, completed,
         queue_depth, queue_capacity, busy, slow,
@@ -300,4 +364,5 @@ def collect_service(service) -> "list[MetricFamily]":
         families.extend([wal_appends, wal_fsyncs, wal_bytes, wal_seq])
     if any_process:
         families.extend([proc_alive, proc_restarts, proc_inflight])
+    families.extend(global_families)
     return families

@@ -50,6 +50,7 @@ rel="successor-version"`` pointer to its replacement.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Union
 
@@ -379,9 +380,13 @@ def make_handler(service: EnforcerService):
                 status, body = service.submit(payload)
                 headers = None
                 if status == 429:
+                    # Ceil, not round: the integer header must never
+                    # under-wait the precise JSON hint (a 2.5 s hint as
+                    # "Retry-After: 2" sends well-behaved clients back
+                    # into a still-full window).
                     headers = {
                         "Retry-After": str(
-                            max(1, round(body.get("retry_after", 1)))
+                            max(1, math.ceil(body.get("retry_after", 1)))
                         )
                     }
                 self._reply(

@@ -25,9 +25,13 @@ See :mod:`repro.service.placement` for when per-uid sharding is sound.
 
 from .config import ServiceConfig
 from .coordinator import ShardedEnforcerService
+from .global_tier import DeltaTee, GlobalTier
 from .metrics import ShardCounters, percentile
 from .placement import (
+    GLOBAL_SCOPES,
     SCOPE_GLOBAL,
+    SCOPE_GLOBAL_ASYNC,
+    SCOPE_GLOBAL_STRICT,
     SCOPE_LOCAL,
     PolicyPlacement,
     classify_policies,
@@ -50,6 +54,11 @@ __all__ = [
     "classify_policies",
     "SCOPE_LOCAL",
     "SCOPE_GLOBAL",
+    "SCOPE_GLOBAL_ASYNC",
+    "SCOPE_GLOBAL_STRICT",
+    "GLOBAL_SCOPES",
+    "GlobalTier",
+    "DeltaTee",
     "mix64",
     "percentile",
 ]

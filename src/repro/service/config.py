@@ -76,6 +76,17 @@ class ServiceConfig:
       GIL; see :mod:`repro.service.process`). The default can be
       overridden with the ``REPRO_WORKERS_MODE`` environment variable
       (used by CI to re-run the service suites under process shards).
+    - ``global_tier`` — ``"off"`` (default: installing a global policy on
+      a multi-shard service raises
+      :class:`~repro.errors.PolicyPlacementError`), ``"async"`` (admit
+      only ``global-async`` policies: monotone aggregate thresholds
+      answered from streamed aggregator state with a bounded staleness
+      window), or ``"strict"`` (admit every global policy; strict ones
+      go through two-phase reserve → commit/abort admission, bit-identical
+      to a single-shard oracle). See :mod:`repro.service.global_tier`.
+      An enabled tier requires ``workers=1``: coordinator-assigned
+      timestamps must apply on each shard in admission order, which a
+      single worker's FIFO guarantees.
     """
 
     shards: int = 1
@@ -96,6 +107,7 @@ class ServiceConfig:
     tracing: bool = True
     slow_query_seconds: float = 0.0
     workers_mode: str = field(default_factory=_default_workers_mode)
+    global_tier: str = "off"
 
     def __post_init__(self) -> None:
         if self.workers_mode not in ("thread", "process"):
@@ -123,3 +135,13 @@ class ServiceConfig:
             raise ServiceError("checkpoint_every cannot be negative")
         if self.slow_query_seconds < 0:
             raise ServiceError("slow_query_seconds cannot be negative")
+        if self.global_tier not in ("off", "async", "strict"):
+            raise ServiceError(
+                f"unknown global_tier {self.global_tier!r} "
+                "(expected 'off', 'async' or 'strict')"
+            )
+        if self.global_tier != "off" and self.workers != 1:
+            raise ServiceError(
+                "global_tier requires workers=1: coordinator-assigned "
+                "timestamps must apply on each shard in admission order"
+            )

@@ -15,7 +15,14 @@ checks run in parallel; cross-shard operations go through here:
 Installing a policy the placement analysis marks *global* (see
 :mod:`repro.service.placement`) on a multi-shard service raises
 :class:`~repro.errors.PolicyPlacementError` — per-uid routing would
-silently under-enforce it.
+silently under-enforce it — unless the service runs with a **global
+tier** (``ServiceConfig(global_tier="async"|"strict")``, see
+:mod:`repro.service.global_tier`). With the tier active the coordinator
+assigns every query's timestamp from the tier's clock, answers
+``global-async`` policies from cross-shard folded aggregate state
+before admission, and runs ``global-strict`` policies through a
+two-phase reserve → commit/abort admission; shards stream their
+committed log increments back to the tier.
 """
 
 from __future__ import annotations
@@ -45,7 +52,12 @@ from ..storage.wal import (
     recover_enforcer,
 )
 from .config import ServiceConfig
-from .placement import PolicyPlacement, classify_policy
+from .global_tier import DeltaTee, GlobalTier
+from .placement import (
+    SCOPE_GLOBAL_ASYNC,
+    PolicyPlacement,
+    classify_policy,
+)
 from .process import ProcessShard
 from .routing import ShardRouter
 from .shard import Shard, ShardDurability
@@ -74,21 +86,41 @@ class ShardedEnforcerService:
         #: Bootstrap snapshot directory for process workers (cleaned on
         #: drain); None in thread mode.
         self._bootstrap_dir: Optional[Path] = None
+        #: The global policy tier (None when ``global_tier="off"`` or the
+        #: service has a single shard — one shard *is* the global view).
+        self._tier: Optional[GlobalTier] = None
+        self.shards: list = []
 
-        if self.workers_mode == "process":
-            self._init_process_shards(enforcer)
-        else:
-            self._init_thread_shards(enforcer)
+        tier_enabled = (
+            self.config.global_tier != "off" and self.config.shards > 1
+        )
+        if tier_enabled:
+            try:
+                self._init_global_tier(enforcer)
+            except PolicyPlacementError:
+                self._abort_startup()
+                raise
+
+        try:
+            if self.workers_mode == "process":
+                self._init_process_shards(enforcer)
+            else:
+                self._init_thread_shards(enforcer)
+        except ReproError:
+            self._abort_startup()
+            raise
 
         reference = self._reference
         placements = [
-            classify_policy(policy, reference.registry)
+            classify_policy(policy, reference.registry, reference.database)
             for policy in reference.policies
         ]
         try:
             self._check_placements(placements)
-        except PolicyPlacementError:
-            self.drain(timeout=5)
+            if self._tier is not None:
+                self._connect_tier()
+        except ReproError:
+            self._abort_startup()
             raise
         #: Prometheus surface (GET /metrics); collectors snapshot the
         #: shards at scrape time, so building it up front is free.
@@ -96,6 +128,122 @@ class ShardedEnforcerService:
         #: Immutable snapshot read lock-free by GET /policies and /health.
         self._policy_snapshot: tuple = ()
         self._refresh_snapshot(reference.policies, placements)
+
+    def _init_global_tier(self, prototype: Enforcer) -> None:
+        """Build the tier, adopt the global policies, and strip them from
+        the prototype so no shard ever evaluates them locally."""
+        placements = [
+            classify_policy(policy, prototype.registry, prototype.database)
+            for policy in prototype.policies
+        ]
+        self._check_placements(placements)
+        tier_dir = (
+            Path(self.config.data_dir) / "global"
+            if self.config.data_dir
+            else None
+        )
+        tier = GlobalTier(
+            prototype,
+            mode=self.config.global_tier,
+            directory=tier_dir,
+            wal_sync=self.config.wal_sync,
+            max_entries=prototype.options.incremental_max_entries,
+        )
+        checkpointed = tier.checkpointed_policies()
+        if checkpointed:
+            # A previous incarnation's global set is authoritative (the
+            # same rule shard recovery applies to local policies).
+            for policy in checkpointed:
+                placement = classify_policy(
+                    policy, prototype.registry, prototype.database
+                )
+                self._check_placements([placement])
+                tier.install(policy, placement)
+        else:
+            for policy, placement in zip(prototype.policies, placements):
+                if not placement.is_local:
+                    tier.install(policy, placement)
+        # No shard may ever evaluate a global policy locally: strip every
+        # non-local policy from the prototype (when a checkpoint was
+        # authoritative, the checkpointed set wins — the same rule shard
+        # recovery applies to construction-time local policies).
+        for policy, placement in zip(list(prototype.policies), placements):
+            if not placement.is_local:
+                prototype.remove_policy(policy.name)
+        self._tier = tier
+
+    def _connect_tier(self) -> None:
+        """Wire delta streaming from every (possibly recovered) shard and
+        rebuild the tier's aggregate state from their disk images."""
+        tier = self._tier
+        extras = tier.extra_persist_relations()
+        dumps: list = []
+        clocks: list = []
+        for shard in self.shards:
+            if isinstance(shard, ProcessShard):
+                dump = shard.log_dump(sorted(extras))
+                dumps.append(dump.get("rows", {}))
+                clocks.append(int(dump.get("clock", 0)))
+            else:
+                shard_enforcer = shard.enforcer
+                shard_enforcer.extra_persist_relations = set(extras)
+                shard_enforcer.store.attach_observer(
+                    DeltaTee(
+                        shard_enforcer,
+                        self._delta_sink_for(shard.index),
+                    )
+                )
+                disk = shard_enforcer.store._disk  # noqa: SLF001
+                dumps.append(
+                    {
+                        name: [row for _, row in entries]
+                        for name, entries in disk.items()
+                        if name in extras
+                    }
+                )
+                clocks.append(shard_enforcer.clock.now())
+        tier.bootstrap(dumps, clocks)
+
+    def _delta_sink_for(self, index: int):
+        def sink(timestamp: int, rows: dict) -> None:
+            tier = self._tier
+            if tier is not None:
+                tier.enqueue_delta(index, timestamp, rows)
+
+        return sink
+
+    def _on_shard_delta(self, index: int, message: dict) -> None:
+        """Process-mode delta frames land here from the IPC read loop."""
+        tier = self._tier
+        if tier is not None:
+            tier.enqueue_delta(
+                index, int(message.get("ts", 0)), message.get("rows", {})
+            )
+
+    def _abort_startup(self) -> None:
+        """Tear down a half-built service without leaking workers.
+
+        ``drain`` bounds how long it waits for a wedged shard; process
+        workers are then terminated/joined unconditionally so a shard
+        that failed to drain inside the timeout cannot leak a live
+        process (the re-raised startup error already tells the caller
+        nothing is serving).
+        """
+        try:
+            self.drain(timeout=5)
+        except Exception:  # noqa: BLE001 - the startup error must win
+            pass
+        finally:
+            for shard in self.shards:
+                force = getattr(shard, "force_stop", None)
+                if force is not None:
+                    try:
+                        force()
+                    except Exception:  # noqa: BLE001 - already tearing down
+                        pass
+            if self._tier is not None:
+                self._tier.close()
+                self._tier = None
 
     def _init_thread_shards(self, enforcer: Enforcer) -> None:
         # Shard 0 adopts the caller's enforcer (single-shard deployments
@@ -146,7 +294,7 @@ class ShardedEnforcerService:
         # Fail fast (before paying any spawn) when the caller's policy
         # set is un-shardable; recovered sets are re-checked after boot.
         self._check_placements([
-            classify_policy(policy, prototype.registry)
+            classify_policy(policy, prototype.registry, prototype.database)
             for policy in prototype.policies
         ])
 
@@ -177,25 +325,31 @@ class ShardedEnforcerService:
                 "incremental": self.config.incremental,
             },
         }
+        if self._tier is not None:
+            spec["stream_deltas"] = True
+            spec["extra_persist"] = sorted(
+                self._tier.extra_persist_relations()
+            )
         self.shards = []
-        try:
-            for index in range(self.config.shards):
-                shard_spec = dict(spec)
-                shard_spec["index"] = index
-                shard_spec["shard_dir"] = (
-                    str(root / f"shard-{index}") if root else None
+        for index in range(self.config.shards):
+            shard_spec = dict(spec)
+            shard_spec["index"] = index
+            shard_spec["shard_dir"] = (
+                str(root / f"shard-{index}") if root else None
+            )
+            self.shards.append(
+                ProcessShard(
+                    index,
+                    shard_spec,
+                    self.config.queue_depth,
+                    policy_source=self._reference_policies,
+                    delta_sink=(
+                        self._on_shard_delta
+                        if self._tier is not None
+                        else None
+                    ),
                 )
-                self.shards.append(
-                    ProcessShard(
-                        index,
-                        shard_spec,
-                        self.config.queue_depth,
-                        policy_source=self._reference_policies,
-                    )
-                )
-        except ServiceError:
-            self.drain(timeout=5)
-            raise
+            )
 
         self.recovery_reports = [
             RecoveryReport(**shard.hello["recovery"])
@@ -208,7 +362,6 @@ class ShardedEnforcerService:
         for shard in self.shards[1:]:
             shard_names = [p["name"] for p in shard.hello["policies"]]
             if shard_names != names:
-                self.drain(timeout=5)
                 raise ServiceError(
                     f"recovered policy sets diverge: shard 0 has {names}, "
                     f"shard {shard.index} has {shard_names}; re-apply the "
@@ -334,10 +487,64 @@ class ShardedEnforcerService:
         """
         if self._closed:
             raise ServiceClosedError("service is shut down")
+        tier = self._tier
         shard = self.shards[self.shard_for(uid)]
-        future = shard.offer_query(
-            sql, uid=uid, execute=execute, attributes=attributes
-        )
+        if tier is None:
+            future = shard.offer_query(
+                sql, uid=uid, execute=execute, attributes=attributes
+            )
+            return future.result()
+
+        # Global tier: the coordinator owns the clock. Timestamp
+        # assignment, the global checks, and the enqueue all happen under
+        # the admission lock so every shard sees queries in global
+        # timestamp order; the shard's answer is awaited outside the lock
+        # unless a strict reservation is open (strict admissions are
+        # serialized end-to-end — that is what makes them bit-identical
+        # to a single-shard oracle).
+        with tier.admission_lock:
+            if self._closed:
+                raise ServiceClosedError("service is shut down")
+            timestamp = tier.next_timestamp()
+            violations = tier.check_async(timestamp)
+            reservation = None
+            if not violations and tier.has_strict:
+                reservation, violations = tier.reserve(
+                    sql, uid, timestamp, attributes
+                )
+            if violations:
+                tier.note_denial(timestamp)
+                return Decision(
+                    allowed=False,
+                    timestamp=timestamp,
+                    violations=violations,
+                    sql=sql,
+                    uid=uid,
+                )
+            try:
+                future = shard.offer_query(
+                    sql,
+                    uid=uid,
+                    execute=execute,
+                    attributes=attributes,
+                    timestamp=timestamp,
+                )
+            except ReproError:
+                if reservation is not None:
+                    tier.abort_reservation(reservation)
+                tier.note_denial(timestamp)
+                raise
+            if reservation is not None:
+                try:
+                    decision = future.result()
+                except BaseException:
+                    tier.abort_reservation(reservation)
+                    raise
+                if decision.allowed:
+                    tier.commit_reservation(reservation)
+                else:
+                    tier.abort_reservation(reservation)
+                return decision
         return future.result()
 
     # ------------------------------------------------------------------
@@ -355,10 +562,13 @@ class ShardedEnforcerService:
     def placements(self) -> "list[PolicyPlacement]":
         with self._admin_lock:
             reference = self._reference
-            return [
-                classify_policy(policy, reference.registry)
+            local = [
+                classify_policy(policy, reference.registry, reference.database)
                 for policy in reference.policies
             ]
+            if self._tier is not None:
+                local.extend(self._tier.placements())
+            return local
 
     def add_policy(self, policy: Policy) -> int:
         """Install on every shard atomically; returns the new epoch.
@@ -373,10 +583,19 @@ class ShardedEnforcerService:
         """
         with self._admin_lock:
             reference = self._reference
-            if any(p.name == policy.name for p in reference.policies):
+            if any(p.name == policy.name for p in reference.policies) or (
+                self._tier is not None
+                and policy.name in self._tier.policy_names()
+            ):
                 raise PolicyError(f"policy {policy.name!r} already exists")
-            placement = classify_policy(policy, reference.registry)
+            placement = classify_policy(
+                policy, reference.registry, reference.database
+            )
             self._check_placements([placement])
+            if self._tier is not None and not placement.is_local:
+                self._tier.add_policy(policy, placement)
+                self._push_extras()
+                return self._bump_epoch(broadcast=True)
             if self.workers_mode == "process":
                 new_epoch = self._epoch + 1
                 applied = []
@@ -410,6 +629,13 @@ class ShardedEnforcerService:
     def remove_policy(self, name: str) -> int:
         with self._admin_lock:
             reference = self._reference
+            if (
+                self._tier is not None
+                and name in self._tier.policy_names()
+            ):
+                self._tier.remove_policy(name)
+                self._push_extras()
+                return self._bump_epoch(broadcast=True)
             removed = next(
                 (p for p in reference.policies if p.name == name), None
             )
@@ -448,17 +674,39 @@ class ShardedEnforcerService:
     def has_policy(self, name: str) -> bool:
         return any(entry["name"] == name for entry in self._policy_snapshot)
 
-    def _bump_epoch(self) -> int:
+    def _push_extras(self) -> None:
+        """Refresh every shard's extra-persist set after the tier's
+        policy set (and hence its relation needs) changed."""
+        extras = self._tier.extra_persist_relations()
+        for shard in self.shards:
+            if isinstance(shard, ProcessShard):
+                try:
+                    shard.apply_extras(sorted(extras))
+                except ReproError:  # dead shard: re-synced on respawn
+                    pass
+            else:
+                with shard.lock:
+                    shard.enforcer.extra_persist_relations = set(extras)
+
+    def _bump_epoch(self, broadcast: bool = False) -> int:
         """Advance the epoch; caller holds the admin lock (and, in
-        thread mode, all shard locks)."""
+        thread mode, all shard locks). ``broadcast`` pushes the new
+        epoch to process workers too — global-only policy changes never
+        go through a per-shard policy RPC, so the workers would
+        otherwise stay on the old epoch until respawn."""
         self._epoch += 1
         for shard in self.shards:
             shard.epoch = self._epoch
+            if broadcast and isinstance(shard, ProcessShard):
+                try:
+                    shard.set_epoch(self._epoch)
+                except ReproError:  # dead shard: re-synced on respawn
+                    pass
         reference = self._reference
         self._refresh_snapshot(
             reference.policies,
             [
-                classify_policy(policy, reference.registry)
+                classify_policy(policy, reference.registry, reference.database)
                 for policy in reference.policies
             ],
         )
@@ -487,15 +735,30 @@ class ShardedEnforcerService:
     def _check_placements(self, placements: Sequence[PolicyPlacement]) -> None:
         if self.config.shards == 1:
             return
-        offenders = [p for p in placements if not p.is_local]
-        if offenders:
-            details = "; ".join(
-                f"{p.policy_name}: {p.reason}" for p in offenders
-            )
+        mode = self.config.global_tier
+        offenders = []
+        for placement in placements:
+            if placement.is_local:
+                continue
+            if mode == "strict":
+                continue
+            if mode == "async" and placement.scope == SCOPE_GLOBAL_ASYNC:
+                continue
+            offenders.append(placement)
+        if not offenders:
+            return
+        details = "; ".join(
+            f"{p.policy_name}: {p.reason}" for p in offenders
+        )
+        if mode == "off":
             raise PolicyPlacementError(
                 "cannot enforce global policies on a sharded service "
                 f"(use --shards 1 or rewrite them per-uid): {details}"
             )
+        raise PolicyPlacementError(
+            "the async global tier only admits global-async policies; "
+            f"these need --global-tier strict: {details}"
+        )
 
     def _refresh_snapshot(self, policies, placements) -> None:
         # Per-policy incremental classification from the reference
@@ -509,7 +772,7 @@ class ShardedEnforcerService:
             }
             for member in entry["policies"]:
                 classifications[member] = verdict
-        self._policy_snapshot = tuple(
+        entries = [
             {
                 "name": policy.name,
                 "sql": policy.sql,
@@ -522,7 +785,10 @@ class ShardedEnforcerService:
                 ),
             }
             for policy, placement in zip(policies, placements)
-        )
+        ]
+        if self._tier is not None:
+            entries.extend(self._tier.snapshot_entries())
+        self._policy_snapshot = tuple(entries)
 
     # ------------------------------------------------------------------
     # aggregation
@@ -554,7 +820,7 @@ class ShardedEnforcerService:
                 "allowed", "denied", "errors", "slow",
             )
         }
-        return {
+        entry = {
             "epoch": self._epoch,
             "shards": self.config.shards,
             "workers": self.config.workers,
@@ -566,9 +832,25 @@ class ShardedEnforcerService:
             "batch_size": self.config.batch_size,
             "decision_cache": self.config.decision_cache,
             "incremental": self.config.incremental,
+            "global_tier": self.config.global_tier,
             "per_shard": shard_stats,
             "totals": totals,
         }
+        if self._tier is not None:
+            entry["global"] = self._tier.stats()
+        return entry
+
+    @property
+    def global_tier(self) -> Optional[GlobalTier]:
+        """The live tier (None when off or single-shard)."""
+        return self._tier
+
+    def flush_global(self) -> None:
+        """Block until every streamed shard delta has folded into the
+        tier's aggregate state (collapses the async staleness window to
+        the current query; a no-op without a tier)."""
+        if self._tier is not None:
+            self._tier.flush()
 
     def render_metrics(self) -> str:
         """The Prometheus text exposition (GET /metrics)."""
@@ -642,6 +924,8 @@ class ShardedEnforcerService:
         self._closed = True
         for shard in self.shards:
             shard.drain(timeout)
+        if self._tier is not None:
+            self._tier.close()
         if self._bootstrap_dir is not None:
             shutil.rmtree(self._bootstrap_dir, ignore_errors=True)
             self._bootstrap_dir = None

@@ -14,7 +14,10 @@ the response echoes):
 ========================  ============================================
 coordinator → worker
 ========================  ============================================
-``query``                 ``{id, sql, uid, execute, attributes}``
+``query``                 ``{id, sql, uid, execute, attributes,
+                          timestamp}`` — ``timestamp`` is the
+                          coordinator-assigned logical time when a
+                          global tier owns the clock (else ``null``)
 ``policy``                ``{id, action: add|remove, name, sql,
                           description, epoch}`` — applied atomically
                           per shard, checkpointed when durable
@@ -26,6 +29,12 @@ coordinator → worker
 ``explain_analyze``       ``{id, sql}`` → rendered per-operator plan
 ``explain_decision``      ``{id, sql, uid, timestamp, violations}`` →
                           evidence tuples for a rejected decision
+``extras``                ``{id, relations}`` — replace the worker's
+                          extra-persist relation set (log relations
+                          the global tier needs retained + streamed)
+``logdump``               ``{id, relations}`` → ``{rows, clock}``:
+                          committed rows of those relations plus the
+                          shard clock, for aggregator bootstrap
 ``ping``                  liveness probe (responds with the pid)
 ``drain``                 flush the backlog, checkpoint, exit
 ========================  ============================================
@@ -41,6 +50,10 @@ worker → coordinator
                           ``kind`` ∈ overloaded/closed/crash/repro/
                           internal mapped back onto the matching
                           exception coordinator-side
+``delta``                 unsolicited: ``{ts, rows}`` — one committed
+                          usage-log increment streamed to the global
+                          tier (rows keyed by relation, each row
+                          ``[ts, ...]``), in timestamp order
 ========================  ============================================
 """
 

@@ -37,9 +37,22 @@ the aging rows.
 Everything else — the canonical case being a windowed aggregate without
 a uid pin (a global volume quota, a distinct-users-per-window cap) — is
 **global**: its witness mixes rows of different users, which per-uid
-routing spreads over shards. Installing a global policy on a multi-shard
-service raises :class:`~repro.errors.PolicyPlacementError`; deploy with
-``--shards 1`` (or rewrite the policy per-uid) instead.
+routing spreads over shards. Global policies are further split by how
+the coordinator's global tier (:mod:`repro.service.global_tier`) can
+answer them:
+
+- **global-async** — the policy is a monotone aggregate threshold the
+  incremental classifier can plan
+  (:func:`repro.incremental.classify_policy`), so the aggregator can
+  fold streamed shard deltas into running state and answer checks from
+  that state with a bounded staleness window.
+- **global-strict** — anything else; enforcement needs a two-phase
+  reserve → commit/abort admission serialized at the coordinator.
+
+Without a global tier (``ServiceConfig(global_tier="off")``), installing
+any global policy on a multi-shard service raises
+:class:`~repro.errors.PolicyPlacementError`; deploy with ``--shards 1``
+(or rewrite the policy per-uid) instead.
 """
 
 from __future__ import annotations
@@ -50,11 +63,19 @@ from typing import Optional
 from ..analysis import analyze_structure, referenced_log_relations
 from ..analysis.features import PolicyStructure, ts_joined_with_clock
 from ..core.policy import Policy
+from ..incremental import classify_policy as incremental_classify
 from ..log import LogRegistry
 from ..sql import ast
 
 SCOPE_LOCAL = "local"
+#: Umbrella scope: any policy whose witness can span shards.
 SCOPE_GLOBAL = "global"
+#: Global policy answerable from folded aggregator state (staleness-bounded).
+SCOPE_GLOBAL_ASYNC = "global-async"
+#: Global policy needing two-phase reserve/commit admission.
+SCOPE_GLOBAL_STRICT = "global-strict"
+
+GLOBAL_SCOPES = frozenset({SCOPE_GLOBAL, SCOPE_GLOBAL_ASYNC, SCOPE_GLOBAL_STRICT})
 
 
 @dataclass(frozen=True)
@@ -62,7 +83,7 @@ class PolicyPlacement:
     """Where a policy may be evaluated, and why."""
 
     policy_name: str
-    scope: str  # SCOPE_LOCAL | SCOPE_GLOBAL
+    scope: str  # SCOPE_LOCAL | SCOPE_GLOBAL_ASYNC | SCOPE_GLOBAL_STRICT
     reason: str
     #: The pinned uid for uid-pinned policies (routing/diagnostics).
     pinned_uid: Optional[int] = None
@@ -71,9 +92,37 @@ class PolicyPlacement:
     def is_local(self) -> bool:
         return self.scope == SCOPE_LOCAL
 
+    @property
+    def is_global(self) -> bool:
+        return self.scope in GLOBAL_SCOPES
 
-def classify_policy(policy: Policy, registry: LogRegistry) -> PolicyPlacement:
-    """Classify one policy as shard-local or global."""
+
+def _global_scope(policy: Policy, registry: LogRegistry, database, reason: str
+                  ) -> PolicyPlacement:
+    """Refine a global verdict into async (plannable fold) or strict."""
+    classification = incremental_classify(
+        policy.name, policy.select, registry, database
+    )
+    if classification.plan is not None:
+        return PolicyPlacement(
+            policy.name,
+            SCOPE_GLOBAL_ASYNC,
+            f"{reason}; monotone aggregate: answerable from folded "
+            "aggregator state",
+        )
+    return PolicyPlacement(policy.name, SCOPE_GLOBAL_STRICT, reason)
+
+
+def classify_policy(
+    policy: Policy, registry: LogRegistry, database=None
+) -> PolicyPlacement:
+    """Classify one policy as shard-local, global-async or global-strict.
+
+    ``database`` (when provided) lets the incremental classifier resolve
+    base-table references while deciding whether a global policy's
+    aggregate can be folded asynchronously; without it every global
+    policy that references base tables classifies strict.
+    """
     select = policy.select
     structure = analyze_structure(select, registry)
 
@@ -86,8 +135,8 @@ def classify_policy(policy: Policy, registry: LogRegistry) -> PolicyPlacement:
     if referenced != set(
         structure.log_occurrences.values()
     ) or structure.subqueries:
-        return PolicyPlacement(
-            policy.name, SCOPE_GLOBAL, "log atoms inside subqueries"
+        return _global_scope(
+            policy, registry, database, "log atoms inside subqueries"
         )
 
     pins = _uid_pins(structure)
@@ -109,9 +158,10 @@ def classify_policy(policy: Policy, registry: LogRegistry) -> PolicyPlacement:
                 "uid-pinned: all log atoms belong to one user's history",
                 pinned_uid=next(iter(pin_values)),
             )
-        return PolicyPlacement(
-            policy.name,
-            SCOPE_GLOBAL,
+        return _global_scope(
+            policy,
+            registry,
+            database,
             "uid-pinned but the clock bound can expand over time",
         )
 
@@ -138,23 +188,27 @@ def classify_policy(policy: Policy, registry: LogRegistry) -> PolicyPlacement:
                 SCOPE_LOCAL,
                 "per-query groups: aggregation is keyed by a log ts",
             )
-        return PolicyPlacement(
-            policy.name,
-            SCOPE_GLOBAL,
+        return _global_scope(
+            policy,
+            registry,
+            database,
             "cross-user aggregate: HAVING ranges over many queries' rows",
         )
 
-    return PolicyPlacement(
-        policy.name,
-        SCOPE_GLOBAL,
+    return _global_scope(
+        policy,
+        registry,
+        database,
         "witness can combine log rows of different users/queries",
     )
 
 
 def classify_policies(
-    policies, registry: LogRegistry
+    policies, registry: LogRegistry, database=None
 ) -> "list[PolicyPlacement]":
-    return [classify_policy(policy, registry) for policy in policies]
+    return [
+        classify_policy(policy, registry, database) for policy in policies
+    ]
 
 
 # ----------------------------------------------------------------------

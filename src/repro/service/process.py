@@ -91,8 +91,12 @@ class ProcessShard:
         *,
         policy_source=None,
         respawn: bool = True,
+        delta_sink=None,
     ):
         self.index = index
+        #: Callable ``(shard_index, message)`` receiving committed
+        #: usage-log delta frames streamed by the worker (global tier).
+        self._delta_sink = delta_sink
         self.epoch = spec["epoch"]
         #: Worker restarts after a crash (``repro_process_restarts_total``).
         self.restarts = 0
@@ -233,6 +237,31 @@ class ProcessShard:
             except OSError:  # pragma: no cover
                 pass
 
+    def force_stop(self) -> None:
+        """Terminate the worker unconditionally, without draining.
+
+        The startup-abort path: a shard that wedged during ``drain``
+        must not leak a live worker process past the coordinator's
+        constructor re-raise. Idempotent; disables respawn first so the
+        reader thread's crash path cannot race a new worker into life.
+        """
+        with self._state_lock:
+            self._closed = True
+            self._respawn_enabled = False
+        process = self._process
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - unkillable worker
+                process.kill()
+                process.join(timeout=5)
+        conn = self._conn
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -245,6 +274,7 @@ class ProcessShard:
         uid: int = 0,
         execute: Optional[bool] = None,
         attributes: Optional[dict] = None,
+        timestamp: Optional[int] = None,
     ) -> "Future":
         future: Future = Future()
         with self._state_lock:
@@ -275,6 +305,7 @@ class ProcessShard:
                     "uid": uid,
                     "execute": execute,
                     "attributes": attributes,
+                    "timestamp": timestamp,
                 })
             except (BrokenPipeError, OSError):
                 self._pending.pop(request_id, None)
@@ -322,6 +353,13 @@ class ProcessShard:
             if message.get("type") == "hello":
                 if not hello_waiter.done():
                     hello_waiter.set_result(message)
+                continue
+            if message.get("type") == "delta":
+                # Unsolicited frame: a committed usage-log increment
+                # streamed for the coordinator's global tier.
+                sink = self._delta_sink
+                if sink is not None:
+                    sink(self.index, message)
                 continue
             self._complete(message)
         self._on_pipe_closed(generation, hello_waiter)
@@ -446,6 +484,17 @@ class ProcessShard:
     def set_epoch(self, epoch: int) -> None:
         self._request({"type": "set_epoch", "epoch": epoch})
         self.epoch = epoch
+
+    def apply_extras(self, relations: "list[str]") -> None:
+        """Replace the worker's extra-persist relation set (the log
+        relations the global tier needs retained and streamed)."""
+        self._request({"type": "extras", "relations": list(relations)})
+
+    def log_dump(self, relations: "list[str]") -> dict:
+        """The worker's committed rows for ``relations`` plus its clock,
+        for tier bootstrap: ``{"rows": {name: [[ts, ...], ...]}, "clock": N}``.
+        """
+        return self._request({"type": "logdump", "relations": list(relations)})
 
     # -- inspection (uniform shard surface) --------------------------------
 

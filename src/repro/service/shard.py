@@ -150,6 +150,7 @@ class Shard:
         uid: int = 0,
         execute: Optional[bool] = None,
         attributes: Optional[dict] = None,
+        timestamp: Optional[int] = None,
     ) -> "Future":
         """Enqueue one policy check by its wire-shaped arguments.
 
@@ -157,10 +158,17 @@ class Shard:
         :class:`~repro.service.process.ProcessShard`: the coordinator
         calls this instead of building a closure, so the same call works
         whether the shard lives in this process or behind a pipe.
+        ``timestamp`` carries a coordinator-assigned logical time when a
+        global tier owns the clock (see
+        :mod:`repro.service.global_tier`).
         """
         return self.offer(
             lambda enforcer: enforcer.submit(
-                sql, uid=uid, execute=execute, attributes=attributes
+                sql,
+                uid=uid,
+                execute=execute,
+                attributes=attributes,
+                timestamp=timestamp,
             )
         )
 

@@ -36,6 +36,7 @@ from ..errors import (
 from ..log import LogicalClock, SimulatedClock
 from ..storage.snapshot import restore_enforcer
 from ..storage.wal import has_state, initialize_durability, recover_enforcer
+from .global_tier import DeltaTee
 from .ipc import recv_message, send_message
 from .shard import Shard, ShardDurability
 
@@ -223,6 +224,7 @@ def _handle_query(shard: Shard, msg: dict, reply) -> None:
             uid=msg.get("uid", 0),
             execute=msg.get("execute"),
             attributes=msg.get("attributes"),
+            timestamp=msg.get("timestamp"),
         )
     except ServiceOverloadedError as error:
         reply({
@@ -329,6 +331,26 @@ def _handle_control(shard: Shard, spec: dict, msg: dict) -> dict:
                 for explanation in explanations
             ],
         }
+    if mtype == "extras":
+        with shard.lock:
+            enforcer.extra_persist_relations = {
+                name.lower() for name in msg.get("relations", [])
+            }
+        return {"ok": True}
+    if mtype == "logdump":
+        # Committed rows of the tier's relations plus this shard's clock,
+        # for aggregator bootstrap. Rows come from the store's persisted
+        # image (``_disk``), which WAL recovery rebuilds bit-identically.
+        wanted = {name.lower() for name in msg.get("relations", [])}
+        with shard.lock:
+            store = enforcer.store
+            rows = {
+                name: [list(values) for _, values in store._disk[name]]
+                for name in wanted
+                if name in store._disk
+            }
+            now = enforcer.clock.now()
+        return {"ok": True, "rows": rows, "clock": now}
     if mtype == "ping":
         return {"ok": True, "pid": os.getpid()}
     return {"ok": False, "kind": "internal", "error": f"unknown type {mtype!r}"}
@@ -366,6 +388,30 @@ def worker_main(conn, spec: dict) -> None:
                 send_message(conn, payload)
         except (BrokenPipeError, OSError):  # parent gone; nothing to tell
             pass
+
+    extras = spec.get("extra_persist") or []
+    if extras:
+        shard.enforcer.extra_persist_relations = {
+            name.lower() for name in extras
+        }
+    if spec.get("stream_deltas"):
+        # Stream every committed usage-log increment to the coordinator's
+        # global tier as an unsolicited frame on the same crc32-framed
+        # pipe. Emitted inside the shard lock during commit, so frames
+        # arrive in timestamp order (workers=1 under a global tier).
+        def stream_delta(timestamp: int, inserted: dict) -> None:
+            reply({
+                "type": "delta",
+                "ts": timestamp,
+                "rows": {
+                    name: [list(row) for row in rows]
+                    for name, rows in inserted.items()
+                },
+            })
+
+        shard.enforcer.store.attach_observer(
+            DeltaTee(shard.enforcer, stream_delta)
+        )
 
     reply({
         "type": "hello",

@@ -1,0 +1,446 @@
+"""Global policy tier: cross-shard enforcement of cross-user policies.
+
+The tentpole properties:
+
+1. ``classify_policy`` refines "global" into a three-way verdict —
+   ``local`` / ``global-async`` (monotone aggregate, incrementally
+   maintainable) / ``global-strict`` (everything else);
+2. the async tier is *sound up to the documented staleness window*: the
+   one query whose own increment crosses a threshold may be admitted,
+   and every later query is denied once its delta has folded;
+3. the strict tier is bit-identical to a single-shard oracle over
+   interleaved multi-uid streams — including across worker crashes and
+   aggregator restarts;
+4. the tier's state is durable: aggregate state rebuilds exactly from
+   the shards' WAL-recovered disk images, runtime-added policies keep
+   their history floors, and the checkpointed global set is
+   authoritative across restarts.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Enforcer, Policy
+from repro.errors import (
+    PolicyPlacementError,
+    ServiceError,
+    WorkerCrashError,
+)
+from repro.log import SimulatedClock
+from repro.service import (
+    GLOBAL_SCOPES,
+    SCOPE_GLOBAL_ASYNC,
+    SCOPE_GLOBAL_STRICT,
+    SCOPE_LOCAL,
+    ProcessShard,
+    ServiceConfig,
+    ShardedEnforcerService,
+    classify_policy,
+)
+from repro.workloads import (
+    MarketplaceConfig,
+    MimicConfig,
+    build_marketplace_database,
+    build_mimic_database,
+    standard_contract,
+)
+from repro.workloads.policies import (
+    PolicyParams,
+    make_all_policies,
+    make_p1,
+    monthly_quota,
+)
+
+MIMIC_CONFIG = MimicConfig(n_patients=80)
+#: Tight P1 so four distinct group-X users cross the cap quickly; the
+#: huge window keeps every submit inside it.
+MIMIC_PARAMS = PolicyParams.for_config(
+    MIMIC_CONFIG, p1_max_users=3, p1_window=10_000_000
+)
+#: Aggregate shape so no local mimic policy (P4's support floor) fires.
+HR_COUNT = "SELECT COUNT(value1num) FROM chartevents WHERE itemid = 211"
+#: uids 2..5 sit in group X alongside uid 1; uid 1 is the restricted
+#: user P2–P4 target, so streams avoid it unless a test wants P4.
+GROUP_X = [2, 3, 4, 5]
+
+
+def mimic_enforcer():
+    return Enforcer(
+        build_mimic_database(MIMIC_CONFIG),
+        make_all_policies(MIMIC_PARAMS),
+        clock=SimulatedClock(default_step_ms=10),
+    )
+
+
+def marketplace_enforcer(config=None):
+    config = config or MarketplaceConfig(
+        free_tier_tuples=1500, free_tier_window=10_000_000
+    )
+    return Enforcer(
+        build_marketplace_database(config),
+        standard_contract(config),
+        clock=SimulatedClock(default_step_ms=10),
+    )
+
+
+def make_service(enforcer, shards, tier, **overrides):
+    defaults = dict(shards=shards, routing="modulo", global_tier=tier)
+    defaults.update(overrides)
+    return ShardedEnforcerService(enforcer, ServiceConfig(**defaults))
+
+
+def decisions_of(service, stream):
+    out = []
+    for sql, uid in stream:
+        d = service.submit(sql, uid=uid)
+        out.append(
+            (d.allowed, d.timestamp,
+             tuple(sorted(v.policy_name for v in d.violations)))
+        )
+    return out
+
+
+def submit_retrying(service, sql, uid, deadline=30.0):
+    end = time.monotonic() + deadline
+    while True:
+        try:
+            return service.submit(sql, uid=uid)
+        except (ServiceError, WorkerCrashError):
+            if time.monotonic() > end:
+                raise
+            time.sleep(0.05)
+
+
+class TestThreeWayPlacement:
+    def test_monotone_cross_user_aggregate_is_async(self):
+        enforcer = mimic_enforcer()
+        placement = classify_policy(
+            make_p1(MIMIC_PARAMS), enforcer.registry, enforcer.database
+        )
+        assert placement.is_global
+        assert placement.scope == SCOPE_GLOBAL_ASYNC
+
+    def test_verdict_is_always_refined(self):
+        # The umbrella "global" scope never comes back from the
+        # classifier any more — every global verdict is async or strict.
+        enforcer = mimic_enforcer()
+        placement = classify_policy(make_p1(MIMIC_PARAMS), enforcer.registry)
+        assert placement.is_global
+        assert placement.scope in GLOBAL_SCOPES
+
+    def test_non_monotone_global_is_strict(self):
+        # An expanding window can *un*-violate as the clock advances —
+        # not answerable from monotone folded state, so: strict.
+        enforcer = mimic_enforcer()
+        policy = Policy.from_sql(
+            "aging",
+            "SELECT DISTINCT 'stale' FROM users u, clock c "
+            "WHERE u.uid = 3 AND u.ts < c.ts - 1000",
+        )
+        placement = classify_policy(
+            policy, enforcer.registry, enforcer.database
+        )
+        assert placement.scope == SCOPE_GLOBAL_STRICT
+
+    def test_uid_pinned_policies_stay_local(self):
+        enforcer = mimic_enforcer()
+        for policy in enforcer.policies:
+            placement = classify_policy(
+                policy, enforcer.registry, enforcer.database
+            )
+            if policy.name == "P1":
+                assert placement.scope in GLOBAL_SCOPES
+            else:
+                assert placement.scope == SCOPE_LOCAL
+
+    def test_config_rejects_unknown_mode_and_multiworker(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(shards=2, global_tier="sometimes")
+        with pytest.raises(ServiceError):
+            ServiceConfig(shards=2, workers=2, global_tier="async")
+
+    def test_async_tier_refuses_strict_policies(self):
+        # An expanding-window policy cannot be maintained from monotone
+        # state; the async tier must refuse it with a pointer at strict.
+        enforcer = mimic_enforcer()
+        enforcer.add_policy(Policy.from_sql(
+            "aging",
+            "SELECT DISTINCT 'stale' FROM users u, clock c "
+            "WHERE u.uid = 3 AND u.ts < c.ts - 1000",
+        ))
+        with pytest.raises(PolicyPlacementError, match="global-tier strict"):
+            make_service(enforcer, 2, "async")
+
+    def test_off_keeps_the_old_refusal(self):
+        with pytest.raises(PolicyPlacementError, match="--shards 1"):
+            make_service(mimic_enforcer(), 2, "off")
+
+
+@pytest.mark.slow
+class TestAsyncTier:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_p1_cross_user_cap_enforced_at_four_shards(self, mode):
+        service = make_service(
+            mimic_enforcer(), 4, "async", workers_mode=mode
+        )
+        try:
+            results = []
+            for i in range(10):
+                d = service.submit(HR_COUNT, uid=GROUP_X[i % 4])
+                service.flush_global()
+                results.append(d)
+            # Three distinct users fit; the fourth crosses the cap. Its
+            # own increment is invisible to its own check (documented
+            # staleness bound: exactly the submitting query), so the
+            # crossing query is admitted once and everything after —
+            # folded state now proves the violation — is denied.
+            allowed = [d.allowed for d in results]
+            assert allowed == [True] * 4 + [False] * 6
+            assert all(
+                v.policy_name == "P1"
+                for d in results[4:] for v in d.violations
+            )
+            stats = service.stats()["global"]
+            assert stats["policies"]["P1"]["scope"] == SCOPE_GLOBAL_ASYNC
+            assert stats["denials"]["async"] == 6
+            assert stats["delta_frames"] == 4  # denied queries commit no log
+        finally:
+            service.drain()
+
+    def test_local_policies_still_enforced_on_shards(self):
+        service = make_service(mimic_enforcer(), 4, "async")
+        try:
+            # P4 (local, pinned to uid 1) fires on a low-support output.
+            denied = service.submit(
+                "SELECT value1num FROM chartevents WHERE itemid = 211",
+                uid=1,
+            )
+            assert not denied.allowed
+            assert any(v.policy_name == "P4" for v in denied.violations)
+        finally:
+            service.drain()
+
+    def test_metrics_families_render(self):
+        service = make_service(mimic_enforcer(), 2, "async")
+        try:
+            service.submit(HR_COUNT, uid=2)
+            service.flush_global()
+            text = service.render_metrics()
+            for family in (
+                "repro_global_checks_total",
+                "repro_global_denials_total",
+                "repro_global_reservations_total",
+                "repro_global_reservations_active",
+                "repro_global_delta_frames_total",
+                "repro_global_folds_total",
+                "repro_global_delta_lag",
+                "repro_global_staleness_seconds",
+                'repro_global_policy_entries{policy="P1"}',
+            ):
+                assert family in text
+        finally:
+            service.drain()
+
+    def test_policy_snapshot_carries_tier_placement(self):
+        service = make_service(mimic_enforcer(), 2, "async")
+        try:
+            entries = {e["name"]: e for e in service.policies()}
+            assert entries["P1"]["placement"] == SCOPE_GLOBAL_ASYNC
+            assert entries["P1"]["classification"]["incrementalizable"]
+            assert entries["P2"]["placement"] == SCOPE_LOCAL
+        finally:
+            service.drain()
+
+
+@pytest.mark.slow
+class TestStrictOracleEquivalence:
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_interleaved_stream_matches_single_shard(self, mode):
+        stream = [(HR_COUNT, GROUP_X[i % 4]) for i in range(12)]
+        oracle = make_service(mimic_enforcer(), 1, "off")
+        try:
+            want = decisions_of(oracle, stream)
+        finally:
+            oracle.drain()
+        service = make_service(
+            mimic_enforcer(), 4, "strict", workers_mode=mode
+        )
+        try:
+            assert decisions_of(service, stream) == want
+            stats = service.stats()["global"]
+            assert stats["checks"]["strict"] == len(stream)
+            assert stats["checks"]["async"] == 0  # strict mode: no folding
+        finally:
+            service.drain()
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.lists(st.integers(min_value=2, max_value=6),
+                    min_size=1, max_size=16))
+    def test_property_any_uid_stream_matches_oracle(self, uids):
+        stream = [(HR_COUNT, uid) for uid in uids]
+        oracle = make_service(mimic_enforcer(), 1, "off")
+        try:
+            want = decisions_of(oracle, stream)
+        finally:
+            oracle.drain()
+        service = make_service(mimic_enforcer(), 3, "strict")
+        try:
+            assert decisions_of(service, stream) == want
+        finally:
+            service.drain()
+
+    def test_marketplace_quota_matches_oracle(self):
+        # The free-tier volume quota ranges over every user's provenance
+        # — the cross-user aggregate the single-shard oracle enforces.
+        stream = [("SELECT * FROM listings", i % 5 + 1) for i in range(24)]
+        oracle = make_service(marketplace_enforcer(), 1, "off")
+        try:
+            want = decisions_of(oracle, stream)
+        finally:
+            oracle.drain()
+        assert any(not allowed for allowed, _, _ in want)
+        service = make_service(marketplace_enforcer(), 2, "strict")
+        try:
+            assert decisions_of(service, stream) == want
+        finally:
+            service.drain()
+
+    def test_survives_worker_crash(self, tmp_path):
+        """SIGKILL one shard at a quiescent point: the respawned worker
+        recovers by WAL replay and the allow/deny stream stays identical
+        to the oracle's (timestamps may diverge — a crash-window retry
+        legitimately burns tier timestamps)."""
+        stream = [(HR_COUNT, GROUP_X[i % 4]) for i in range(12)]
+        oracle = make_service(mimic_enforcer(), 1, "off")
+        try:
+            want = [d[0] for d in decisions_of(oracle, stream)]
+        finally:
+            oracle.drain()
+
+        service = make_service(
+            mimic_enforcer(), 2, "strict",
+            workers_mode="process", data_dir=str(tmp_path), wal_sync=True,
+        )
+        try:
+            got = []
+            for i, (sql, uid) in enumerate(stream):
+                if i == 5:
+                    shard = service.shards[0]
+                    old_pid = shard.process_state()["pid"]
+                    os.kill(old_pid, signal.SIGKILL)
+                decision = submit_retrying(service, sql, uid)
+                got.append(decision.allowed)
+            assert got == want
+        finally:
+            service.drain()
+
+
+@pytest.mark.slow
+class TestTierDurability:
+    def make(self, tmp_path, tier="async"):
+        return make_service(
+            mimic_enforcer(), 4, tier, data_dir=str(tmp_path), wal_sync=True
+        )
+
+    def test_aggregate_state_rebuilds_exactly(self, tmp_path):
+        service = self.make(tmp_path)
+        try:
+            for uid in GROUP_X[:3]:
+                assert service.submit(HR_COUNT, uid=uid).allowed
+            service.flush_global()
+            entries = service.stats()["global"]["policies"]["P1"]["entries"]
+            last_ts = service.stats()["global"]
+        finally:
+            service.drain()
+
+        service = self.make(tmp_path)
+        try:
+            stats = service.stats()["global"]
+            assert stats["policies"]["P1"]["entries"] == entries
+            # The fourth distinct user crosses the cap; async staleness
+            # admits the crossing query once, then denies.
+            crossing = service.submit(HR_COUNT, uid=GROUP_X[3])
+            service.flush_global()
+            assert crossing.allowed
+            denied = service.submit(HR_COUNT, uid=2)
+            assert not denied.allowed
+            assert [v.policy_name for v in denied.violations] == ["P1"]
+            # Coordinator timestamps resume after the recovered clock.
+            assert crossing.timestamp > 0
+            assert denied.timestamp > crossing.timestamp
+        finally:
+            service.drain()
+        del last_ts
+
+    def test_runtime_added_policy_history_starts_now(self, tmp_path):
+        service = self.make(tmp_path)
+        try:
+            for _ in range(3):
+                assert service.submit(HR_COUNT, uid=2).allowed
+            service.flush_global()
+            # Allow two more chartevents queries *from now on*; the
+            # three already logged must not count against the floor.
+            service.add_policy(monthly_quota("chartevents", 1, 10_000_000))
+            first = service.submit(HR_COUNT, uid=3)
+            service.flush_global()
+            assert first.allowed
+            second = service.submit(HR_COUNT, uid=4)
+            service.flush_global()
+            assert second.allowed  # crossing query: staleness bound
+            third = service.submit(HR_COUNT, uid=5)
+            assert not third.allowed
+            assert any(
+                v.policy_name == "quota-chartevents"
+                for v in third.violations
+            )
+        finally:
+            service.drain()
+
+        # The checkpointed global set (P1 + the runtime add, with its
+        # floor) is authoritative for the next incarnation.
+        service = self.make(tmp_path)
+        try:
+            stats = service.stats()["global"]["policies"]
+            assert set(stats) == {"P1", "quota-chartevents"}
+            still = service.submit(HR_COUNT, uid=6)
+            assert not still.allowed
+        finally:
+            service.drain()
+
+
+@pytest.mark.slow
+class TestStartupAbort:
+    def test_placement_failure_leaves_no_live_workers(self):
+        with pytest.raises(PolicyPlacementError, match="--shards 1"):
+            make_service(
+                mimic_enforcer(), 2, "off", workers_mode="process"
+            )
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_wedged_drain_still_terminates_workers(self, monkeypatch):
+        """A shard that ignores drain (wedged worker) must still be
+        terminated before the startup error propagates."""
+        monkeypatch.setattr(
+            ProcessShard, "drain", lambda self, timeout=None: None
+        )
+        with pytest.raises(PolicyPlacementError, match="--shards 1"):
+            make_service(
+                mimic_enforcer(), 2, "off", workers_mode="process"
+            )
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()

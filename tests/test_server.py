@@ -350,3 +350,32 @@ class TestOverloadedGateway:
         assert all(
             header is not None and int(header) >= 1 for header in retry_hints
         )
+
+    def test_retry_after_header_ceils_fractional_hints(self):
+        """The integer Retry-After header must never under-wait the
+        precise JSON hint: 2.5 s must become "3", not banker's-round
+        to "2" (regression: round() sent clients back too early)."""
+        from repro.errors import ServiceOverloadedError
+
+        httpd, thread = make_sharded_server(ServiceConfig(shards=1))
+        try:
+            def overloaded(sql, uid=0, **kwargs):
+                raise ServiceOverloadedError(shard=0, retry_after=2.5)
+
+            httpd.service.submit = overloaded
+            connection = HTTPConnection(*httpd.server_address)
+            connection.request(
+                "POST", "/query",
+                body=json.dumps({"sql": "SELECT id FROM navteq"}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = json.loads(response.read().decode())
+            connection.close()
+            assert response.status == 429
+            assert response.getheader("Retry-After") == "3"
+            assert body["retry_after"] == 2.5  # JSON keeps the precise hint
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)

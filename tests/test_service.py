@@ -15,7 +15,9 @@ from repro.errors import (
 )
 from repro.log import SimulatedClock
 from repro.service import (
-    SCOPE_GLOBAL,
+    GLOBAL_SCOPES,
+    SCOPE_GLOBAL_ASYNC,
+    SCOPE_GLOBAL_STRICT,
     SCOPE_LOCAL,
     ServiceConfig,
     ShardedEnforcerService,
@@ -141,8 +143,10 @@ class TestPlacement:
             registry, "group-access-window",
             relation="items", group="analysts", max_users=2, window=1000,
         )
-        assert quota.scope == SCOPE_GLOBAL
-        assert group.scope == SCOPE_GLOBAL
+        assert quota.is_global
+        assert group.is_global
+        assert quota.scope in GLOBAL_SCOPES
+        assert group.scope in GLOBAL_SCOPES
 
     def test_expanding_window_is_global(self, registry):
         policy = Policy.from_sql(
@@ -151,7 +155,10 @@ class TestPlacement:
             "WHERE u.uid = 3 AND u.ts < c.ts - 1000",
         )
         placement = classify_policy(policy, registry)
-        assert placement.scope == SCOPE_GLOBAL
+        assert placement.is_global
+        # No database handed over: nothing is incrementalizable, so the
+        # refined verdict is strict.
+        assert placement.scope == SCOPE_GLOBAL_STRICT
 
     def test_subquery_log_atoms_stay_conservative(self, registry):
         policy = Policy.from_sql(
@@ -159,7 +166,7 @@ class TestPlacement:
             "SELECT DISTINCT 'hidden' FROM "
             "(SELECT uid FROM users) q WHERE q.uid = 1",
         )
-        assert classify_policy(policy, registry).scope == SCOPE_GLOBAL
+        assert classify_policy(policy, registry).is_global
 
 
 class TestEnforcerClone:

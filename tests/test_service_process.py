@@ -264,3 +264,89 @@ class TestProcessDrain:
             assert not revived.submit(COUNTED, uid=1).allowed
         finally:
             revived.drain()
+
+@pytest.mark.slow
+class TestBroadcastRollback:
+    """The policy-broadcast rollback paths: a shard that refuses (or
+    dies during) a broadcast must not leave the applied prefix
+    enforcing a policy the service does not report."""
+
+    def test_dead_shard_mid_broadcast_rolls_back_applied_prefix(self):
+        from repro.core import BUILTIN_TEMPLATES
+        from repro.errors import ReproError
+
+        service = make_service(make_config())
+        try:
+            shard_zero, shard_one = service.shards
+            epoch_before = service.epoch
+            old_pid = shard_one.process_state()["pid"]
+            os.kill(old_pid, signal.SIGKILL)
+
+            fence = BUILTIN_TEMPLATES.instantiate(
+                "no-joins", policy_name="fence", relation="items"
+            )
+            with pytest.raises(ReproError):
+                service.add_policy(fence)
+
+            # Shard 0 applied and was rolled back; the epoch never moved.
+            assert not service.has_policy("fence")
+            assert service.epoch == epoch_before
+            assert "fence" not in shard_zero.policy_names()
+
+            # The respawned worker re-syncs (policies + epoch) and the
+            # same broadcast then lands everywhere.
+            wait_for_respawn(shard_one, old_pid)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                try:
+                    service.add_policy(fence)
+                    break
+                except ReproError:
+                    time.sleep(0.1)
+            assert service.has_policy("fence")
+            assert "fence" in shard_zero.policy_names()
+            assert "fence" in shard_one.policy_names()
+            assert shard_zero.epoch == shard_one.epoch == service.epoch
+        finally:
+            service.drain()
+
+    def test_rollback_tolerates_a_dead_applied_shard(self):
+        """The rollback RPC itself may land on a corpse (shard 0 dies
+        between applying the add and the rollback): the coordinator must
+        swallow that and still re-raise the original broadcast error —
+        the respawned worker re-bootstraps without the policy anyway."""
+        from repro.core import BUILTIN_TEMPLATES
+        from repro.errors import ReproError, WorkerCrashError
+
+        service = make_service(make_config())
+        try:
+            shard_zero, shard_one = service.shards
+            old_pid = shard_zero.process_state()["pid"]
+
+            def crash_after_killing_prefix(action, name, **kwargs):
+                os.kill(old_pid, signal.SIGKILL)
+                raise WorkerCrashError(
+                    "shard 1 worker died mid-request; outcome indeterminate"
+                )
+
+            shard_one.apply_policy_change = crash_after_killing_prefix
+            fence = BUILTIN_TEMPLATES.instantiate(
+                "no-joins", policy_name="fence", relation="items"
+            )
+            with pytest.raises(ReproError):
+                service.add_policy(fence)
+            assert not service.has_policy("fence")
+
+            # Shard 0 re-bootstraps from the reference set — no fence.
+            wait_for_respawn(shard_zero, old_pid)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if shard_zero.epoch == service.epoch and (
+                    "fence" not in shard_zero.policy_names()
+                ):
+                    break
+                time.sleep(0.1)
+            assert "fence" not in shard_zero.policy_names()
+            assert shard_zero.epoch == service.epoch
+        finally:
+            service.drain()

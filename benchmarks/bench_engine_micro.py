@@ -5,9 +5,11 @@ reproduction's shapes depend on: index probe ≪ scan, hash join ≪ nested
 loop, lineage tracking ≈ small multiple of plain execution (the paper's
 "provenance costs about a query").
 
-The ``TestRowVsVectorized`` class times identical queries on the row
-and batch engines, asserts the vectorized speedup floor, and publishes
-``results/BENCH_engine.json`` for the CI smoke lane.
+The ``TestRowVsVectorized`` class times identical queries on all three
+execution disciplines (``engine="row"``, ``"vectorized"``,
+``"columnar"``), asserts the speedup floors — columnar join/group must
+beat the row engine ≥10× and the vectorized engine ≥2× at full scale —
+and publishes ``results/BENCH_engine.json`` for the CI smoke lane.
 """
 
 from __future__ import annotations
@@ -104,27 +106,47 @@ def test_parse_and_plan(benchmark, engine):
     benchmark(plan_fresh)
 
 
-# -- row vs. vectorized ------------------------------------------------------
+# -- row vs. vectorized vs. columnar -----------------------------------------
 
-#: (name, SQL) pairs timed on both disciplines. Scan/filter/join are the
-#: tentpole shapes; the speedup floor below is asserted on them.
+#: (name, SQL) pairs timed on every discipline. ``join`` and ``group``
+#: are the headline lanes (probe and group-loop throughput, free of
+#: result-materialization cost); ``join_rows``/``group_sum`` keep the
+#: materializing variants honest, and ``prune`` isolates zone-map chunk
+#: skipping (its predicate covers two ~CHUNK_SIZE id ranges out of the
+#: whole table).
 COMPARISON_QUERIES = [
     ("scan", "SELECT id, grp, val FROM big"),
     ("filter", "SELECT id FROM big WHERE grp < 50 AND val > 2"),
+    ("join", "SELECT COUNT(*) FROM big b, dims d WHERE b.grp = d.grp"),
     (
-        "join",
+        "join_rows",
         "SELECT b.id, d.name FROM big b, dims d WHERE b.grp = d.grp",
     ),
-    ("group", "SELECT grp, COUNT(*), SUM(val) FROM big GROUP BY grp"),
+    ("group", "SELECT grp, COUNT(*) FROM big GROUP BY grp"),
+    ("group_sum", "SELECT grp, COUNT(*), SUM(val) FROM big GROUP BY grp"),
+    ("prune", "SELECT COUNT(*) FROM big WHERE id >= 500 AND id < 1500"),
 ]
 
-#: Non-lineage scan/filter/join must be at least this much faster
-#: vectorized (ISSUE acceptance criterion). The interpreter's constant
-#: factors vary across machines; 2.0 holds comfortably at full scale,
-#: and the quick smoke lane only checks the path works and still wins.
-SPEEDUP_FLOOR = 2.0
-QUICK_SPEEDUP_FLOOR = 1.05
-FLOOR_QUERIES = ("scan", "filter", "join")
+#: Vectorized-over-row floors (the PR-8 acceptance criterion, kept):
+#: scan/filter/join_rows must hold 2x at full scale; every other lane
+#: must at least break even. The quick smoke lane only checks the path
+#: works and still wins.
+VEC_SPEEDUP_FLOOR = 2.0
+VEC_QUICK_SPEEDUP_FLOOR = 1.05
+VEC_FLOOR_QUERIES = ("scan", "filter", "join_rows")
+
+#: Columnar floors (this PR's acceptance criterion): join and group must
+#: beat the row engine >=10x and the vectorized engine >=2x at full
+#: scale; the 2x-over-vectorized floor is asserted in --quick too.
+#: Non-headline lanes must not fall behind the vectorized engine.
+COLUMNAR_FLOOR_QUERIES = ("join", "group")
+COLUMNAR_ROW_FLOOR = 10.0
+COLUMNAR_ROW_QUICK_FLOOR = 2.0
+COLUMNAR_VEC_FLOOR = 2.0
+COLUMNAR_BREAKEVEN = 0.9
+COLUMNAR_QUICK_BREAKEVEN = 0.75
+
+ENGINE_LABELS = ("row", "vectorized", "columnar")
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -139,20 +161,19 @@ def _best_of(fn, repeats: int = 3) -> float:
 class TestRowVsVectorized:
     @pytest.fixture(scope="class")
     def comparison(self, request):
-        """Seconds per (query, discipline), best of three, warm plans
-        and warm join-build caches on both sides."""
+        """Seconds per (query, engine), best of three, warm plans and
+        warm join-build caches on every side."""
         db = build_database()
-        vec = Engine(db, vectorized=True)
-        row = Engine(db, vectorized=False)
+        engines = [(label, Engine(db, label)) for label in ENGINE_LABELS]
         results = {}
         for name, sql in COMPARISON_QUERIES:
             reference = None
-            for label, engine in (("vectorized", vec), ("row", row)):
-                rows = engine.execute(sql).rows  # warm plan + caches
+            for label, engine in engines:
+                rows = sorted(engine.execute(sql).rows)  # warm plan + caches
                 if reference is None:
                     reference = rows
                 else:
-                    assert rows == reference, f"{name}: paths disagree"
+                    assert rows == reference, f"{name}: {label} disagrees"
                 results[(name, label)] = _best_of(
                     lambda engine=engine: engine.execute(sql)
                 )
@@ -165,13 +186,37 @@ class TestRowVsVectorized:
         results, quick = comparison
         speedup = results[(name, "row")] / results[(name, "vectorized")]
         floor = (
-            (QUICK_SPEEDUP_FLOOR if quick else SPEEDUP_FLOOR)
-            if name in FLOOR_QUERIES
-            else 0.9  # aggregation: batch path must at least break even
+            (VEC_QUICK_SPEEDUP_FLOOR if quick else VEC_SPEEDUP_FLOOR)
+            if name in VEC_FLOOR_QUERIES
+            else 0.9  # the batch path must at least break even
         )
         assert speedup >= floor, (
             f"{name}: vectorized speedup {speedup:.2f}x under floor {floor}x"
         )
+
+    @pytest.mark.parametrize("name", [n for n, _ in COMPARISON_QUERIES])
+    def test_columnar_floors(self, comparison, name):
+        results, quick = comparison
+        vs_row = results[(name, "row")] / results[(name, "columnar")]
+        vs_vec = results[(name, "vectorized")] / results[(name, "columnar")]
+        if name in COLUMNAR_FLOOR_QUERIES:
+            row_floor = (
+                COLUMNAR_ROW_QUICK_FLOOR if quick else COLUMNAR_ROW_FLOOR
+            )
+            assert vs_row >= row_floor, (
+                f"{name}: columnar {vs_row:.2f}x over row, "
+                f"floor {row_floor}x"
+            )
+            assert vs_vec >= COLUMNAR_VEC_FLOOR, (
+                f"{name}: columnar {vs_vec:.2f}x over vectorized, "
+                f"floor {COLUMNAR_VEC_FLOOR}x"
+            )
+        else:
+            floor = COLUMNAR_QUICK_BREAKEVEN if quick else COLUMNAR_BREAKEVEN
+            assert vs_vec >= floor, (
+                f"{name}: columnar {vs_vec:.2f}x over vectorized, "
+                f"floor {floor}x"
+            )
 
 
 def _publish_comparison(results, quick: bool) -> None:
@@ -181,14 +226,24 @@ def _publish_comparison(results, quick: bool) -> None:
     for name in names:
         row_s = results[(name, "row")]
         vec_s = results[(name, "vectorized")]
-        speedup = row_s / vec_s
+        col_s = results[(name, "columnar")]
         table_rows.append(
-            [name, row_s * 1000, vec_s * 1000, f"{speedup:.2f}x"]
+            [
+                name,
+                row_s * 1000,
+                vec_s * 1000,
+                col_s * 1000,
+                f"{row_s / col_s:.1f}x",
+                f"{vec_s / col_s:.1f}x",
+            ]
         )
         payload["queries"][name] = {
             "row_ms": row_s * 1000,
             "vectorized_ms": vec_s * 1000,
-            "speedup": speedup,
+            "columnar_ms": col_s * 1000,
+            "speedup": row_s / vec_s,
+            "columnar_over_row": row_s / col_s,
+            "columnar_over_vectorized": vec_s / col_s,
         }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_engine.json").write_text(
@@ -198,8 +253,15 @@ def _publish_comparison(results, quick: bool) -> None:
         None,
         "BENCH_engine",
         format_table(
-            f"Row vs. vectorized execution ({ROWS} rows)",
-            ["query", "row ms", "vectorized ms", "speedup"],
+            f"Row vs. vectorized vs. columnar execution ({ROWS} rows)",
+            [
+                "query",
+                "row ms",
+                "vectorized ms",
+                "columnar ms",
+                "col/row",
+                "col/vec",
+            ],
             table_rows,
             note="Identical results asserted per query; JSON artifact in "
             "results/BENCH_engine.json.",

@@ -101,7 +101,13 @@ def connect(
             policies=[quota],
             profile="datalawyer",
             decision_cache=True,
+            engine="columnar",
         )
+
+    ``engine`` picks the execution discipline (``"row"``,
+    ``"vectorized"``, or ``"columnar"`` — the default); the legacy
+    ``vectorized=`` boolean still works but raises
+    :class:`DeprecationWarning`.
     """
     return Enforcer(
         database,
@@ -158,7 +164,11 @@ class EnforcerBuilder:
         return self
 
     def options(self, **overrides) -> "EnforcerBuilder":
-        """Layer :class:`EnforcerOptions` fields over the profile."""
+        """Layer :class:`EnforcerOptions` fields over the profile.
+
+        ``options(engine="columnar")`` selects the execution engine;
+        see :data:`repro.engine.ENGINES` for the accepted names.
+        """
         self._options.update(overrides)
         return self
 

@@ -29,11 +29,12 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+import warnings
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .core import Enforcer, EnforcerOptions, Policy, explain_decision
-from .engine import Database, SqlValue
+from .engine import ENGINES, Database, SqlValue
 from .errors import ReproError
 from .log import SimulatedClock
 
@@ -77,7 +78,7 @@ def load_policy_file(path: Path) -> Policy:
 def build_enforcer(
     data_paths: Sequence[str],
     policy_paths: Sequence[str],
-    vectorized: bool = True,
+    engine: Optional[str] = None,
 ) -> Enforcer:
     database = Database()
     for spec in data_paths:
@@ -87,8 +88,22 @@ def build_enforcer(
         database,
         policies,
         clock=SimulatedClock(default_step_ms=10),
-        options=EnforcerOptions.datalawyer(vectorized=vectorized),
+        options=EnforcerOptions.datalawyer(engine=engine),
     )
+
+
+def _engine_from_args(args) -> Optional[str]:
+    """The ``--engine`` selection, honoring deprecated ``--no-vectorized``."""
+    engine = getattr(args, "engine", None)
+    if getattr(args, "no_vectorized", False):
+        warnings.warn(
+            "--no-vectorized is deprecated; use --engine row",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if engine is None:
+            engine = "row"
+    return engine
 
 
 def _print_decision(decision, out) -> None:
@@ -109,7 +124,7 @@ def _print_decision(decision, out) -> None:
 
 def cmd_check(args, out=sys.stdout) -> int:
     enforcer = build_enforcer(
-        args.data, args.policy, vectorized=not args.no_vectorized
+        args.data, args.policy, engine=_engine_from_args(args)
     )
     if args.query:
         queries = [args.query]
@@ -285,7 +300,7 @@ def cmd_explain(args, out=sys.stdout) -> int:
         database = Database()
         for spec in args.data:
             load_csv_table(database, Path(spec))
-    engine = Engine(database, vectorized=not args.no_vectorized)
+    engine = Engine(database, _engine_from_args(args))
     try:
         print(engine.explain(args.query, analyze=args.analyze), file=out)
     except ReproError as error:
@@ -325,13 +340,11 @@ def build_server(args):
             build_marketplace_database(config),
             contract,
             clock=SimulatedClock(default_step_ms=10),
-            options=EnforcerOptions.datalawyer(
-                vectorized=not args.no_vectorized
-            ),
+            options=EnforcerOptions.datalawyer(engine=_engine_from_args(args)),
         )
     else:
         enforcer = build_enforcer(
-            args.data, args.policy, vectorized=not args.no_vectorized
+            args.data, args.policy, engine=_engine_from_args(args)
         )
     return serve(
         enforcer,
@@ -351,6 +364,7 @@ def build_server(args):
             tracing=not args.no_tracing,
             slow_query_seconds=args.slow_query_ms / 1000.0,
             global_tier=args.global_tier,
+            engine=_engine_from_args(args),
         ),
     )
 
@@ -484,9 +498,13 @@ def make_parser() -> argparse.ArgumentParser:
     check.add_argument("--uid", type=int, default=1, help="submitting user id")
     check.add_argument("--explain", action="store_true", help="explain rejections")
     check.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine (default: columnar; results are identical "
+        "under every engine)",
+    )
+    check.add_argument(
         "--no-vectorized", action="store_true",
-        help="run the row-at-a-time engine path (results are identical; "
-        "for debugging and A/B timing)",
+        help="deprecated alias for --engine row",
     )
     group = check.add_mutually_exclusive_group(required=True)
     group.add_argument("--query", help="one SQL query")
@@ -522,8 +540,12 @@ def make_parser() -> argparse.ArgumentParser:
         help="execute the plan and annotate operators with rows and time",
     )
     explain.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine to plan/ANALYZE under (default: columnar)",
+    )
+    explain.add_argument(
         "--no-vectorized", action="store_true",
-        help="EXPLAIN ANALYZE through the row-at-a-time path",
+        help="deprecated alias for --engine row",
     )
     explain.set_defaults(func=cmd_explain)
 
@@ -601,8 +623,12 @@ def make_parser() -> argparse.ArgumentParser:
         "explain=analyze surfaces)",
     )
     serve.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine for shard enforcers (default: columnar)",
+    )
+    serve.add_argument(
         "--no-vectorized", action="store_true",
-        help="run shard engines on the row-at-a-time path",
+        help="deprecated alias for --engine row",
     )
     serve.add_argument(
         "--slow-query-ms", type=float, default=0.0,

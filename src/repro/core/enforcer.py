@@ -16,6 +16,7 @@ toggles each optimization independently so the benchmarks can ablate them:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
@@ -33,7 +34,7 @@ from ..analysis import (
     unify_policies,
     witness_queries,
 )
-from ..engine import Database, Engine, Result
+from ..engine import DEFAULT_ENGINE, ENGINES, Database, Engine, Result
 from ..errors import ReproError
 from ..incremental import (
     IncrementalMaintainer,
@@ -92,11 +93,17 @@ class EnforcerOptions:
     #: Orthogonal to the paper's ablations; off it reverts ``timed()`` to
     #: bare perf counters.
     tracing: bool = True
-    #: Run policy checks and user queries through the engine's batch
-    #: (vectorized) path when lineage is off. Pure execution strategy —
-    #: decisions and results are bit-identical either way — but exposed
-    #: as a toggle so the equivalence suite can hold it as an ablation.
-    vectorized: bool = True
+    #: Execution engine for policy checks and user queries when lineage
+    #: is off: ``"row"``, ``"vectorized"``, or ``"columnar"``; ``None``
+    #: selects the engine default (columnar). Pure execution strategy —
+    #: decisions and results are bit-identical under every engine — but
+    #: exposed so the equivalence suite can hold it as an ablation.
+    engine: Optional[str] = None
+    #: Deprecated pre-columnar spelling (``True`` → the vectorized
+    #: engine, ``False`` → the row engine). Normalized into ``engine``
+    #: (which wins when both are given) with a :class:`DeprecationWarning`
+    #: at construction; reads back as ``None`` afterwards.
+    vectorized: Optional[bool] = None
     #: Memoize whole-check verdicts across queries (see
     #: :mod:`repro.core.decision_cache`). Off by default at this layer so
     #: the paper's ablation benchmarks measure what they claim to; the
@@ -114,6 +121,30 @@ class EnforcerOptions:
     #: when its exact state outgrows this many entries — the bounded-sketch
     #: escape hatch for unbounded distinct-key domains.
     incremental_max_entries: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.vectorized is not None:
+            warnings.warn(
+                "EnforcerOptions.vectorized is deprecated; use "
+                "engine='vectorized' or engine='row'",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.engine is None:
+                object.__setattr__(
+                    self, "engine", "vectorized" if self.vectorized else "row"
+                )
+            object.__setattr__(self, "vectorized", None)
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {', '.join(ENGINES)}"
+            )
+
+    @property
+    def engine_name(self) -> str:
+        """The effective engine (defaults applied)."""
+        return self.engine or DEFAULT_ENGINE
 
     @classmethod
     def datalawyer(cls, **overrides) -> "EnforcerOptions":
@@ -178,7 +209,7 @@ class Enforcer:
         self.registry = registry or standard_registry()
         self.clock = clock or LogicalClock()
         self.options = options or EnforcerOptions.datalawyer()
-        self.engine = Engine(database, vectorized=self.options.vectorized)
+        self.engine = Engine(database, self.options.engine)
         self.store = LogStore(database, self.registry)
         self.metrics_log = MetricsLog()
         self.policies: list[Policy] = list(policies)
@@ -557,7 +588,7 @@ class Enforcer:
             self.registry,
             self.store,
             plans,
-            vectorized=self.options.vectorized,
+            engine=self.options.engine,
             max_entries=self.options.incremental_max_entries,
         )
 

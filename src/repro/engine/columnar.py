@@ -1,0 +1,809 @@
+"""Columnar storage and execution primitives.
+
+The third execution discipline (``engine="columnar"``) moves data between
+operators as :class:`ColumnBatch` objects — one Python list per column —
+instead of lists of row tuples. Three things make that faster than the
+batch path:
+
+- **No per-row tuple construction.** Scans hand out the table's own
+  column lists (zero copy); projections of plain columns are list
+  reference picks; only the final result materializes tuples, in one
+  C-level ``zip``.
+- **Kernels over columns.** Filters compile to one selection
+  comprehension over ``enumerate``/``zip`` of just the referenced
+  columns; join probes are ``map(buckets.get, key_column)``; group-by
+  reduces gathered value lists with C built-ins where value semantics
+  allow.
+- **Chunk skipping.** Tables keep per-chunk *zone maps* (min/max/null
+  count per :data:`CHUNK_SIZE` rows) and sorted range indexes, so a
+  pushed-down conjunct like ``ts > ?`` skips whole chunks instead of
+  filtering every row (see :class:`ZoneEntry` and :func:`chunk_can_skip`).
+
+Semantics are bit-identical to the row engine by construction: emitted
+kernels call the same helpers from :mod:`repro.engine.types`, and the
+aggregate reducers replicate the exact accumulation order (and error
+text) of :mod:`repro.engine.aggregates`. Zone-map pruning is only applied
+where the pruning decision provably matches the comparison helpers'
+family rules — cross-family *ordering* comparisons raise, so those chunks
+are always scanned to let the error surface.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..sql import ast
+from . import vector
+
+#: Rows per zone-map chunk. Matches the batch size so the two disciplines
+#: amortize per-chunk overhead identically.
+CHUNK_SIZE = 1024
+
+#: Minimum table size before a filter consults a sorted range index
+#: (building one is O(n log n); below this a zone-mapped scan wins).
+RANGE_INDEX_MIN_ROWS = 1024
+
+#: Comparison operators zone maps understand.
+PRUNABLE_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+
+#: A selection kernel: ``(columns, length) -> kept positions``.
+SelectionKernel = Callable[[List[list], int], Sequence[int]]
+#: A value kernel: ``(columns, length) -> list of computed values``.
+ValueKernel = Callable[[List[list], int], list]
+#: A projection/key slot: ``("col", position)`` for a plain column pick
+#: (zero copy) or ``("expr", kernel)`` for a computed column.
+Slot = Tuple[str, object]
+
+#: Resolves a column ref to its absolute position in the operator's
+#: input row, or ``None`` when it cannot be resolved positionally.
+PositionResolver = Callable[[ast.ColumnRef], Optional[int]]
+
+
+# ---------------------------------------------------------------------------
+# Column vectors: the typed per-column store behind Table
+# ---------------------------------------------------------------------------
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+
+class ColumnVector:
+    """One table column: a typed array when the values allow, a list
+    otherwise, plus a null bitmap.
+
+    Storage modes (``kind``):
+
+    - ``"i64"`` — every non-null value is exactly ``int`` (never ``bool``)
+      within 64-bit range; backed by ``array('q')`` with a ``bytearray``
+      null bitmap.
+    - ``"f64"`` — every non-null value is exactly ``float``; ``array('d')``
+      plus bitmap.
+    - ``"obj"`` — anything else (mixed families, strings, big ints);
+      backed by a plain list holding ``None`` for NULL.
+
+    A vector *promotes* from empty-``obj`` to a typed mode on its first
+    bulk load and *demotes* to ``obj`` the moment a non-conforming value
+    arrives — value identity is never coerced (``1`` never becomes
+    ``1.0``), which is what keeps the engines bit-identical.
+
+    ``values()`` returns the decoded Python-object view used by kernels;
+    for ``obj`` mode it is the backing list itself, for typed modes a
+    cached ``array.tolist()`` with NULLs patched in, maintained
+    incrementally across appends.
+
+    Clones share backing storage copy-on-write: both sides are marked
+    shared and the first to mutate copies its arrays first.
+    """
+
+    __slots__ = ("kind", "_data", "_nulls", "_null_count", "_decoded", "_shared")
+
+    def __init__(self) -> None:
+        self.kind = "obj"
+        self._data: list = []
+        self._nulls: Optional[bytearray] = None
+        self._null_count = 0
+        self._decoded: Optional[list] = None
+        self._shared = False
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Iterable) -> "ColumnVector":
+        vec = cls()
+        vec.extend(values)
+        return vec
+
+    # -- basic accessors -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, position: int):
+        if self.kind == "obj":
+            return self._data[position]
+        if self._null_count and _bit_get(self._nulls, position):
+            return None
+        return self._data[position]
+
+    @property
+    def null_count(self) -> int:
+        return self._null_count
+
+    def is_clean_numeric(self) -> bool:
+        """Typed numeric storage with no NULLs: aggregate fast paths apply."""
+        return self._null_count == 0 and self.kind != "obj"
+
+    def values(self) -> list:
+        """The decoded column as a plain list (NULL as ``None``).
+
+        Callers must not mutate the returned list: in ``obj`` mode it *is*
+        the backing store, in typed modes it is a cache kept in sync with
+        appends.
+        """
+        if self.kind == "obj":
+            return self._data
+        decoded = self._decoded
+        if decoded is None:
+            decoded = self._data.tolist()
+            if self._null_count:
+                nulls = self._nulls
+                for position in _bit_positions(nulls, len(decoded)):
+                    decoded[position] = None
+            self._decoded = decoded
+        return decoded
+
+    def null_bitmap(self) -> bytes:
+        """The null bitmap as bytes (bit ``i`` set ⇔ position ``i`` is NULL)."""
+        size = (len(self._data) + 7) >> 3
+        if self.kind != "obj":
+            bitmap = self._nulls
+            if bitmap is None:
+                return bytes(size)
+            return bytes(bitmap[:size]) + bytes(size - len(bitmap[:size]))
+        bitmap = bytearray(size)
+        for position, value in enumerate(self._data):
+            if value is None:
+                bitmap[position >> 3] |= 1 << (position & 7)
+        return bytes(bitmap)
+
+    # -- mutation ------------------------------------------------------------
+
+    def _ensure_owned(self) -> None:
+        if self._shared:
+            if self.kind == "obj":
+                self._data = list(self._data)
+            else:
+                self._data = array(self._data.typecode, self._data)
+                if self._nulls is not None:
+                    self._nulls = bytearray(self._nulls)
+            self._decoded = None
+            self._shared = False
+
+    def _demote(self) -> None:
+        """Fall back to object storage, preserving value identity."""
+        decoded = self.values()
+        if decoded is self._decoded:
+            # values() returned the typed-mode cache; adopt it as the store.
+            self._data = decoded
+        else:
+            self._data = list(decoded)
+        self.kind = "obj"
+        self._nulls = None
+        self._decoded = None
+
+    def append(self, value) -> None:
+        self._ensure_owned()
+        kind = self.kind
+        if kind == "obj":
+            self._data.append(value)
+            if value is None:
+                self._null_count += 1
+            return
+        if value is None:
+            position = len(self._data)
+            self._data.append(0 if kind == "i64" else 0.0)
+            self._nulls = _bit_set(self._nulls, position)
+            self._null_count += 1
+            if self._decoded is not None:
+                self._decoded.append(None)
+            return
+        if kind == "i64" and value.__class__ is int and _I64_MIN <= value <= _I64_MAX:
+            self._data.append(value)
+        elif kind == "f64" and value.__class__ is float:
+            self._data.append(value)
+        else:
+            self._demote()
+            self._data.append(value)
+            return
+        if self._decoded is not None:
+            self._decoded.append(value)
+
+    def extend(self, values: Iterable) -> None:
+        values = list(values)
+        if not values:
+            return
+        self._ensure_owned()
+        if self.kind == "obj" and not self._data:
+            self._adopt(values)
+            return
+        for value in values:
+            self.append(value)
+
+    def _adopt(self, values: list) -> None:
+        """Bulk-load into an empty vector, sniffing the storage mode."""
+        kinds = set(map(type, values))
+        nullable = type(None) in kinds
+        kinds.discard(type(None))
+        if kinds == {int} and all(
+            _I64_MIN <= v <= _I64_MAX for v in values if v is not None
+        ):
+            self.kind = "i64"
+            typecode = "q"
+        elif kinds == {float}:
+            self.kind = "f64"
+            typecode = "d"
+        else:
+            self.kind = "obj"
+            self._data = values
+            self._null_count = values.count(None) if nullable else 0
+            return
+        zero = 0 if self.kind == "i64" else 0.0
+        if nullable:
+            self._data = array(
+                typecode, (zero if v is None else v for v in values)
+            )
+            bitmap = bytearray((len(values) + 7) >> 3)
+            count = 0
+            for position, value in enumerate(values):
+                if value is None:
+                    bitmap[position >> 3] |= 1 << (position & 7)
+                    count += 1
+            self._nulls = bitmap
+            self._null_count = count
+        else:
+            self._data = array(typecode, values)
+        self._decoded = values
+
+    def take(self, positions: Sequence[int]) -> "ColumnVector":
+        """A new vector holding the values at ``positions`` (in order)."""
+        decoded = self.values()
+        return ColumnVector.from_values([decoded[p] for p in positions])
+
+    def clone(self) -> "ColumnVector":
+        """Copy-on-write clone: storage is shared until either side mutates."""
+        copy = ColumnVector()
+        copy.kind = self.kind
+        copy._data = self._data
+        copy._nulls = self._nulls
+        copy._null_count = self._null_count
+        copy._decoded = self._decoded
+        copy._shared = True
+        self._shared = True
+        return copy
+
+
+def _bit_set(bitmap: Optional[bytearray], position: int) -> bytearray:
+    if bitmap is None:
+        bitmap = bytearray()
+    index = position >> 3
+    if index >= len(bitmap):
+        bitmap.extend(b"\x00" * (index + 1 - len(bitmap)))
+    bitmap[index] |= 1 << (position & 7)
+    return bitmap
+
+
+def _bit_get(bitmap: Optional[bytearray], position: int) -> int:
+    if bitmap is None:
+        return 0
+    index = position >> 3
+    if index >= len(bitmap):
+        return 0
+    return (bitmap[index] >> (position & 7)) & 1
+
+
+def _bit_positions(bitmap: Optional[bytearray], length: int):
+    if bitmap is None:
+        return
+    for index, byte in enumerate(bitmap):
+        if not byte:
+            continue
+        base = index << 3
+        for offset in range(8):
+            if byte & (1 << offset):
+                position = base + offset
+                if position < length:
+                    yield position
+
+
+# ---------------------------------------------------------------------------
+# Column batches: the unit of exchange between columnar operators
+# ---------------------------------------------------------------------------
+
+
+class _OmittedColumn(tuple):
+    """Placeholder for a column the narrowing pass proved no ancestor
+    reads (see ``planner.narrow_plan``). It stands in the column list so
+    positions stay stable, but holds no values — indexing one raises
+    tuple's ``IndexError``, keeping an incorrect narrowing loud instead
+    of silently wrong.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<omitted column>"
+
+
+#: The shared placeholder instance (always compared by identity).
+OMITTED = _OmittedColumn()
+
+
+class ColumnBatch:
+    """A chunk of rows stored column-wise.
+
+    ``columns`` holds one plain list per column; ``length`` is the row
+    count (kept explicitly so zero-arity relations work). ``clean`` marks
+    columns known to be NULL-free exact numerics (propagated from table
+    vectors through pass-through operators), unlocking C-built-in
+    aggregate reductions.
+
+    Columns may alias a table's decoded caches — consumers must never
+    mutate them in place.
+    """
+
+    __slots__ = ("columns", "length", "clean")
+
+    def __init__(
+        self,
+        columns: List[list],
+        length: int,
+        clean: Optional[List[bool]] = None,
+    ):
+        self.columns = columns
+        self.length = length
+        self.clean = clean if clean is not None else [False] * len(columns)
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple]) -> "ColumnBatch":
+        """Transpose a non-empty list of row tuples."""
+        return cls([list(col) for col in zip(*rows)], len(rows))
+
+    def to_rows(self) -> list:
+        if not self.columns:
+            return [()] * self.length
+        return list(zip(*self.columns))
+
+    def take(
+        self, positions: Sequence[int], needed: Optional[frozenset] = None
+    ) -> "ColumnBatch":
+        """Gather a subset of rows (cleanliness survives: subsets of
+        clean columns are clean).
+
+        ``needed`` — when the narrowing pass proved only some columns are
+        read downstream — limits the gather to those columns; the rest
+        become :data:`OMITTED` placeholders.
+        """
+        return ColumnBatch(
+            [
+                [col[p] for p in positions]
+                if (needed is None or index in needed) and col is not OMITTED
+                else OMITTED
+                for index, col in enumerate(self.columns)
+            ],
+            len(positions),
+            clean=list(self.clean),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Zone maps and pruning
+# ---------------------------------------------------------------------------
+
+#: Type → comparison family, mirroring ``types._comparable``: bool is its
+#: own family, int/float share one, str is the third. Anything else (or a
+#: mix) makes a chunk unprunable.
+_FAMILY = {bool: "bool", int: "num", float: "num", str: "str"}
+
+
+class ZoneEntry:
+    """Per-chunk summary of one column: value family, min/max, null count.
+
+    ``family`` is ``None`` when the chunk holds mixed families, non-SQL
+    types, or a NaN — such chunks are never skipped. An all-NULL chunk has
+    ``family == "null"`` and no bounds.
+    """
+
+    __slots__ = ("family", "lo", "hi", "null_count", "length")
+
+    def __init__(self, family, lo, hi, null_count: int, length: int):
+        self.family = family
+        self.lo = lo
+        self.hi = hi
+        self.null_count = null_count
+        self.length = length
+
+
+def build_zone_entry(values: list) -> ZoneEntry:
+    """Summarize one chunk of decoded values."""
+    length = len(values)
+    null_count = values.count(None)
+    if null_count == length:
+        return ZoneEntry("null", None, None, null_count, length)
+    nonnull = [v for v in values if v is not None] if null_count else values
+    kinds = set(map(type, nonnull))
+    if kinds <= {int, float}:
+        family = "num"
+        if float in kinds and any(v != v for v in nonnull):
+            return ZoneEntry(None, None, None, null_count, length)
+    elif kinds == {str}:
+        family = "str"
+    elif kinds == {bool}:
+        family = "bool"
+    else:
+        return ZoneEntry(None, None, None, null_count, length)
+    return ZoneEntry(family, min(nonnull), max(nonnull), null_count, length)
+
+
+def value_family(value) -> Optional[str]:
+    """The comparison family of a constant (None for NULL/exotic types)."""
+    if value is None:
+        return None
+    family = _FAMILY.get(type(value))
+    if family == "num" and value != value:  # NaN never prunes
+        return None
+    return family
+
+
+def chunk_can_skip(entry: ZoneEntry, op: str, const, const_family) -> bool:
+    """True when no row of the chunk can satisfy ``column <op> const``.
+
+    Mirrors the comparison helpers exactly:
+
+    - NULL constants and all-NULL chunks never produce ``True`` → skip.
+    - Cross-family ``=`` is always ``False`` → skip; cross-family ``<>``
+      is always ``True`` → scan; cross-family *ordering* raises — the
+      chunk is scanned so the error surfaces identically.
+    - Within a family, min/max bounds decide.
+    """
+    if const is None:
+        return True  # comparison with NULL is never True
+    if entry.family == "null":
+        return True  # every value NULL → every comparison unknown
+    if entry.family is None or const_family is None:
+        return False
+    if entry.family != const_family:
+        return op == "="  # cross-family equality is False; others scan
+    lo, hi = entry.lo, entry.hi
+    if op == "=":
+        return const < lo or const > hi
+    if op == "<>":
+        return lo == hi == const
+    if op == "<":
+        return lo >= const
+    if op == "<=":
+        return lo > const
+    if op == ">":
+        return hi <= const
+    if op == ">=":
+        return hi < const
+    return False
+
+
+#: Operator mirror for flipping ``const <op> col`` into ``col <op'> const``.
+FLIPPED_OPS = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+# ---------------------------------------------------------------------------
+# Kernel emission over columns
+# ---------------------------------------------------------------------------
+
+
+def _emit_over_columns(
+    expr: ast.Expr, resolve_position: PositionResolver
+) -> Optional[Tuple[str, List[int]]]:
+    """Emit ``expr`` as a source fragment over per-column loop variables.
+
+    Returns ``(source, used_positions)`` where each referenced column
+    position appears as the variable ``_v{position}``; ``None`` when any
+    sub-expression has no source form (callers fall back to row-wise
+    evaluation).
+    """
+    used: dict = {}
+
+    def resolve(ref: ast.ColumnRef) -> Optional[str]:
+        position = resolve_position(ref)
+        if position is None:
+            return None
+        name = used.setdefault(position, f"_v{position}")
+        return name
+
+    source = vector.emit(expr, resolve)
+    if source is None:
+        return None
+    return source, sorted(used)
+
+
+def _loop_head(positions: List[int]) -> Tuple[str, str]:
+    """The ``for``-clause pieces iterating the referenced columns.
+
+    Returns ``(target, iterable)``: e.g. ``("_v3", "_cols[3]")`` for one
+    column, ``("(_v1, _v4)", "zip(_cols[1], _cols[4])")`` for several.
+    """
+    if len(positions) == 1:
+        p = positions[0]
+        return f"_v{p}", f"_cols[{p}]"
+    target = "(" + ", ".join(f"_v{p}" for p in positions) + ")"
+    iterable = "zip(" + ", ".join(f"_cols[{p}]" for p in positions) + ")"
+    return target, iterable
+
+
+def _compile(source: str):
+    namespace = dict(vector._HELPERS)
+    return eval(compile(source, "<columnar-kernel>", "eval"), namespace)
+
+
+def selection_kernel(
+    expr: ast.Expr, resolve_position: PositionResolver
+) -> Optional[SelectionKernel]:
+    """Compile a predicate into ``(columns, n) -> kept positions``.
+
+    The returned kernel carries a ``positions`` attribute — the input
+    column positions it reads — consumed by the plan narrowing pass.
+    """
+    emitted = _emit_over_columns(expr, resolve_position)
+    if emitted is None:
+        return None
+    source, positions = emitted
+    if not positions:
+        # Constant predicate: all rows or none. Guarded by n so empty
+        # input never evaluates (matching per-row semantics, which never
+        # run the predicate when there are no rows).
+        kernel = _compile(
+            f"lambda _cols, _n: (range(_n) if _n and ({source}) is True else ())"
+        )
+        kernel.positions = positions
+        return kernel
+    target, iterable = _loop_head(positions)
+    kernel = _compile(
+        f"lambda _cols, _n: [_i for _i, {target} in "
+        f"enumerate({iterable}) if ({source}) is True]"
+    )
+    kernel.positions = positions
+    return kernel
+
+
+def value_kernel(
+    expr: ast.Expr, resolve_position: PositionResolver
+) -> Optional[ValueKernel]:
+    """Compile an expression into ``(columns, n) -> list of values``.
+
+    Like :func:`selection_kernel`, the kernel carries the ``positions``
+    it reads for the plan narrowing pass.
+    """
+    emitted = _emit_over_columns(expr, resolve_position)
+    if emitted is None:
+        return None
+    source, positions = emitted
+    if not positions:
+        # Evaluated once per row (matching per-row error semantics for
+        # constant expressions that raise).
+        kernel = _compile(f"lambda _cols, _n: [{source} for _ in range(_n)]")
+        kernel.positions = positions
+        return kernel
+    target, iterable = _loop_head(positions)
+    kernel = _compile(
+        f"lambda _cols, _n: [{source} for {target} in {iterable}]"
+    )
+    kernel.positions = positions
+    return kernel
+
+
+def value_slot(
+    expr: ast.Expr, resolve_position: PositionResolver
+) -> Optional[Slot]:
+    """A projection/key slot: plain refs become zero-copy column picks."""
+    if isinstance(expr, ast.ColumnRef):
+        position = resolve_position(expr)
+        if position is not None:
+            return ("col", position)
+    kernel = value_kernel(expr, resolve_position)
+    if kernel is None:
+        return None
+    return ("expr", kernel)
+
+
+def slot_values(slot: Slot, columns: List[list], length: int) -> list:
+    """Evaluate one slot over a batch."""
+    if length == 0:
+        return []  # zero-batch inputs may not even carry column lists
+    tag, payload = slot
+    if tag == "col":
+        return columns[payload]
+    return payload(columns, length)
+
+
+def slot_is_clean(slot: Slot, clean: List[bool]) -> bool:
+    tag, payload = slot
+    return tag == "col" and bool(clean[payload])
+
+
+def slot_positions(slot: Slot) -> Optional[List[int]]:
+    """The input column positions a slot reads, or ``None`` when unknown
+    (a kernel without position metadata — the narrowing pass then keeps
+    every column)."""
+    tag, payload = slot
+    if tag == "col":
+        return [payload]
+    positions = getattr(payload, "positions", None)
+    if positions is None:
+        return None
+    return list(positions)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate reducers (exact replicas of repro.engine.aggregates semantics)
+# ---------------------------------------------------------------------------
+
+
+def reduce_count_star(values: list, clean: bool):
+    return len(values)
+
+
+def reduce_count(values: list, clean: bool):
+    if clean:
+        return len(values)
+    return len(values) - values.count(None)
+
+
+def reduce_sum(values: list, clean: bool):
+    if clean:
+        # Left-to-right addition from int 0: identical results to the
+        # accumulator's pairwise addition for exact numerics (adding an
+        # int 0 start is a no-op up to the sign of -0.0, which compares
+        # equal).
+        return sum(values) if values else None
+    total = None
+    for value in values:
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"sum() over non-numeric value {value!r}")
+        total = value if total is None else total + value
+    return total
+
+
+def reduce_avg(values: list, clean: bool):
+    # The accumulator sums into a float starting at 0.0; replicate that
+    # exact accumulation order (an integer sum then one division would
+    # round differently for large ints).
+    total = 0.0
+    if clean:
+        for value in values:
+            total += value
+        return total / len(values) if values else None
+    count = 0
+    for value in values:
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ExecutionError(f"avg() over non-numeric value {value!r}")
+        total += value
+        count += 1
+    if count == 0:
+        return None
+    return total / count
+
+
+def _reduce_minmax(values: list, clean: bool, keep_smaller: bool):
+    if clean:
+        if not values:
+            return None
+        # min()/max() return the first extremal value, matching the
+        # accumulator's replace-only-on-strict-improvement rule.
+        return min(values) if keep_smaller else max(values)
+    best = None
+    for value in values:
+        if value is None:
+            continue
+        if best is None:
+            best = value
+            continue
+        try:
+            replace = value < best if keep_smaller else value > best
+        except TypeError:
+            raise ExecutionError(
+                f"min/max over incomparable values {value!r} and {best!r}"
+            ) from None
+        if replace:
+            best = value
+    return best
+
+
+def reduce_min(values: list, clean: bool):
+    return _reduce_minmax(values, clean, keep_smaller=True)
+
+
+def reduce_max(values: list, clean: bool):
+    return _reduce_minmax(values, clean, keep_smaller=False)
+
+
+def distinct_values(values: list) -> list:
+    """First occurrence of each distinct non-NULL value, in input order.
+
+    The distinctness marker matches ``_DistinctWrapper`` exactly: bools
+    are tagged with their type name so ``True`` and ``1`` stay distinct,
+    while ``1`` and ``1.0`` (which compare equal) deduplicate.
+    """
+    seen: set = set()
+    out: list = []
+    add = seen.add
+    append = out.append
+    for value in values:
+        if value is None:
+            continue
+        marker = (
+            (type(value).__name__, value) if value.__class__ is bool else value
+        )
+        if marker in seen:
+            continue
+        add(marker)
+        append(value)
+    return out
+
+
+_REDUCERS = {
+    "count": reduce_count,
+    "sum": reduce_sum,
+    "avg": reduce_avg,
+    "min": reduce_min,
+    "max": reduce_max,
+}
+
+
+class AggSpec:
+    """One aggregate call compiled for columnar evaluation."""
+
+    __slots__ = ("arg_slot", "reducer", "distinct", "count_star")
+
+    def __init__(
+        self,
+        arg_slot: Optional[Slot],
+        reducer,
+        distinct: bool,
+        count_star: bool = False,
+    ):
+        self.arg_slot = arg_slot
+        self.reducer = reducer
+        self.distinct = distinct
+        self.count_star = count_star
+
+    def reduce(self, values: list, clean: bool):
+        if self.distinct:
+            values = distinct_values(values)
+        return self.reducer(values, clean)
+
+
+def agg_spec(
+    call: ast.FuncCall, resolve_position: PositionResolver
+) -> Optional[AggSpec]:
+    """Compile one aggregate call, or ``None`` when unsupported."""
+    name = call.name
+    if name == "count" and (not call.args or isinstance(call.args[0], ast.Star)):
+        if call.distinct:
+            return None  # invalid SQL; let the factory raise its BindError
+        return AggSpec(None, reduce_count_star, False, count_star=True)
+    if len(call.args) != 1:
+        return None
+    reducer = _REDUCERS.get(name)
+    if reducer is None:
+        return None
+    slot = value_slot(call.args[0], resolve_position)
+    if slot is None:
+        return None
+    return AggSpec(slot, reducer, bool(call.distinct))

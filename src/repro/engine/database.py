@@ -26,6 +26,12 @@ class Database:
         #: cache validity is a property of this catalog's tables.
         self.join_build_hits = 0
         self.join_build_misses = 0
+        #: Columnar-scan pruning tallies, incremented by
+        #: :class:`~repro.engine.operators.FilterOp` when a pushed-down
+        #: predicate consults zone maps / range indexes over a base table.
+        self.zone_chunks_scanned = 0
+        self.zone_chunks_skipped = 0
+        self.range_probes = 0
 
     @staticmethod
     def _key(name: str) -> str:

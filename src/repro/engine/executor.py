@@ -16,6 +16,7 @@ per-node ``rows=… time=…`` annotations.
 from __future__ import annotations
 
 import copy
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -114,19 +115,70 @@ def _wrap(op: Operator, trace: TraceContext, parent) -> Operator:
     return TracedOp(clone, span)
 
 
+#: The selectable execution disciplines, slowest (reference) first.
+ENGINES = ("row", "vectorized", "columnar")
+
+#: The engine used when nothing selects one explicitly.
+DEFAULT_ENGINE = "columnar"
+
+
+def resolve_engine(
+    engine: Optional[str],
+    vectorized: Optional[bool] = None,
+    *,
+    owner: str = "Engine",
+) -> str:
+    """Normalize the engine selection, honoring the deprecated boolean.
+
+    ``vectorized`` is the pre-columnar spelling (``True`` → the batch
+    engine, ``False`` → the row engine); passing it warns. An explicit
+    ``engine`` always wins over the legacy knob.
+    """
+    if vectorized is not None:
+        warnings.warn(
+            f"{owner}(vectorized=...) is deprecated; use "
+            f"engine='vectorized' or engine='row'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if engine is None:
+            engine = "vectorized" if vectorized else "row"
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+    return engine
+
+
 class Engine:
     """Plans and executes queries against one database.
 
-    With ``vectorized`` (the default), non-lineage executions run the
-    plan's batch path — operators exchange chunks of rows and evaluate
-    compiled kernels (see :mod:`repro.engine.vector`) — while lineage
-    executions always take the row path, which is the only one that
-    threads provenance. Both paths produce bit-identical results.
+    ``engine`` selects the execution discipline for non-lineage queries:
+
+    - ``"row"`` — tuple-at-a-time interpretation; the semantic reference.
+    - ``"vectorized"`` — batch-at-a-time over row chunks with compiled
+      kernels (see :mod:`repro.engine.vector`).
+    - ``"columnar"`` (default) — column-at-a-time over
+      :class:`~repro.engine.columnar.ColumnBatch` with zone-map chunk
+      pruning (see :mod:`repro.engine.columnar`).
+
+    Lineage executions always take the row path, which is the only one
+    that threads provenance. All disciplines produce bit-identical
+    results. The pre-columnar ``vectorized=True/False`` boolean is still
+    accepted but deprecated.
     """
 
-    def __init__(self, database: Database, vectorized: bool = True):
+    def __init__(
+        self,
+        database: Database,
+        engine: Optional[str] = None,
+        *,
+        vectorized: Optional[bool] = None,
+    ):
         self.database = database
-        self.vectorized = vectorized
+        self.engine_name = resolve_engine(engine, vectorized)
         #: Canonical text → plan. Keying on the canonical form (not the
         #: raw string) lets ``select * from t`` and ``SELECT * FROM t``
         #: share one slot instead of planning twice.
@@ -144,6 +196,14 @@ class Engine:
         #: Batch-path volume counters (``/metrics``).
         self.vector_batches = 0
         self.vector_rows = 0
+        #: Columnar-path volume counters (``/metrics``).
+        self.columnar_batches = 0
+        self.columnar_rows = 0
+
+    @property
+    def vectorized(self) -> bool:
+        """Deprecated alias: True for any batched engine (not ``"row"``)."""
+        return self.engine_name != "row"
 
     def _canonical_key(self, text: str) -> str:
         """The cache key for a textual query; raw text when unlexable
@@ -198,7 +258,14 @@ class Engine:
         op = plan.op
         if trace is not None:
             op = instrument_plan(op, trace)
-        if not lineage and self.vectorized:
+        if not lineage and self.engine_name == "columnar":
+            rows = []
+            for cbatch in op.execute_columnar(self.database):
+                self.columnar_batches += 1
+                self.columnar_rows += cbatch.length
+                rows.extend(cbatch.to_rows())
+            return Result(columns=list(plan.columns), rows=rows)
+        if not lineage and self.engine_name == "vectorized":
             rows = []
             for batch in op.execute_batch(self.database):
                 self.vector_batches += 1
@@ -217,7 +284,13 @@ class Engine:
     def is_empty(self, query: Union[str, ast.Query]) -> bool:
         """True if the query returns no rows (stops at the first chunk)."""
         plan = self.plan(query)
-        if self.vectorized:
+        if self.engine_name == "columnar":
+            for cbatch in plan.op.execute_columnar(self.database):
+                self.columnar_batches += 1
+                self.columnar_rows += cbatch.length
+                return False
+            return True
+        if self.engine_name == "vectorized":
             for batch in plan.op.execute_batch(self.database):
                 self.vector_batches += 1
                 self.vector_rows += len(batch)
@@ -243,7 +316,10 @@ class Engine:
             "explain", max_depth=64, max_children=512, max_spans=4096
         )
         traced = instrument_plan(plan.op, trace, parent=trace.root)
-        if self.vectorized:
+        if self.engine_name == "columnar":
+            for _ in traced.execute_columnar(self.database):
+                pass
+        elif self.engine_name == "vectorized":
             for _ in traced.execute_batch(self.database):
                 pass
         else:

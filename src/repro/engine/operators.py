@@ -1,6 +1,6 @@
 """Physical operators.
 
-Every operator supports two execution disciplines:
+Every operator supports three execution disciplines:
 
 - **Row-at-a-time** (:meth:`Operator.execute`): an iterator of
   ``(row, lineage)`` pairs. ``row`` is a tuple of SQL values; ``lineage``
@@ -17,6 +17,17 @@ Every operator supports two execution disciplines:
   the per-row generator hops — and must emit rows in exactly the order the
   row path would (the sqlite-differential and equivalence suites hold the
   two paths bit-identical).
+
+- **Column-at-a-time** (:meth:`Operator.execute_columnar`): an iterator
+  of :class:`~repro.engine.columnar.ColumnBatch` chunks (never empty),
+  used by ``engine="columnar"``. Scans hand out the table's own column
+  lists (zero copy), filters run selection kernels with zone-map chunk
+  pruning, joins probe with ``map(buckets.get, key_column)`` and gather
+  per column, and group-by reduces gathered value lists. Operators
+  without a columnar specialization fall back to an adapter over the
+  batch path, so every plan runs under every discipline; rows must again
+  come out in exactly the row-path order (the four-way equivalence suite
+  holds all disciplines bit-identical).
 
 Lineage combination rules:
 
@@ -37,9 +48,22 @@ keeps alive across evaluations; hit/miss tallies accumulate on the
 from __future__ import annotations
 
 import time
+from collections import Counter
 from typing import Callable, Iterator, Optional, Sequence
 
 from .aggregates import AccumulatorFactory
+from .columnar import (
+    OMITTED,
+    RANGE_INDEX_MIN_ROWS,
+    AggSpec,
+    ColumnBatch,
+    SelectionKernel,
+    Slot,
+    chunk_can_skip,
+    slot_is_clean,
+    slot_values,
+    value_family,
+)
 from .database import Database
 from .expressions import RowFn
 from .table import Table
@@ -50,7 +74,13 @@ Lineage = Optional[frozenset]
 Stream = Iterator[tuple[tuple, Lineage]]
 #: A batch stream: non-empty lists of plain row tuples.
 BatchStream = Iterator[list]
+#: A columnar stream: non-empty column batches.
+ColumnStream = Iterator[ColumnBatch]
 PredFn = Callable[[tuple], bool]
+
+#: SQL comparison → Python operator, for the inline prune kernel (exact
+#: on clean numeric operands; see FilterOp._prepare_inline).
+_PY_COMPARE = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
 
 class Operator:
@@ -74,6 +104,25 @@ class Operator:
         if batch:
             yield batch
 
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        """Generic adapter: transpose the batch path into column batches.
+
+        Specialized operators override this to keep data columnar end to
+        end; the adapter guarantees every operator works under the
+        columnar discipline (its whole subtree then runs batch-wise).
+        """
+        for batch in self.execute_batch(database):
+            yield ColumnBatch.from_rows(batch)
+
+    def _columnar_rows(self, database: Database) -> Iterator[tuple]:
+        """Row tuples drained from the child-facing columnar stream.
+
+        Row-wise fallbacks inside specialized operators use this instead
+        of ``execute_batch`` so the subtree *below* stays columnar.
+        """
+        for cbatch in self.execute_columnar(database):
+            yield from cbatch.to_rows()
+
 
 class ScanOp(Operator):
     """Full scan of a base table."""
@@ -93,6 +142,15 @@ class ScanOp(Operator):
 
     def execute_batch(self, database: Database) -> BatchStream:
         yield from chunked(database.table(self.table_name).rows())
+
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        # One whole-table batch sharing the table's decoded column lists:
+        # zero copies, zero tuple construction.
+        table = database.table(self.table_name)
+        if len(table):
+            yield ColumnBatch(
+                table.columns_decoded(), len(table), clean=table.clean_flags()
+            )
 
 
 class IndexScanOp(Operator):
@@ -126,6 +184,13 @@ class IndexScanOp(Operator):
         if matches:
             yield from chunked([row for _, row in matches])
 
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        table = database.table(self.table_name)
+        value = self.value_fn(())
+        matches = table.index_probe(self.column, value)
+        if matches:
+            yield ColumnBatch.from_rows([row for _, row in matches])
+
 
 class MaterializedScanOp(Operator):
     """Scan over an externally supplied table object (temp/increment data).
@@ -151,6 +216,13 @@ class MaterializedScanOp(Operator):
     def execute_batch(self, database: Database) -> BatchStream:
         yield from chunked(self.table.rows())
 
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        table = self.table
+        if len(table):
+            yield ColumnBatch(
+                table.columns_decoded(), len(table), clean=table.clean_flags()
+            )
+
 
 class FilterOp(Operator):
     """Keeps rows satisfying a compiled predicate.
@@ -159,6 +231,27 @@ class FilterOp(Operator):
     :func:`repro.engine.vector.filter_kernel`); ``pushed`` counts WHERE
     conjuncts the planner pushed beneath a join to get here (0 for
     filters that sit where the SQL put them).
+
+    On the columnar path, ``selection`` is the column-form kernel
+    (``(columns, n) → kept positions``). When the filter sits directly on
+    a base-table scan, the planner additionally supplies ``prune_table``
+    plus ``prune_spec`` — ``(column, op, constant)`` triples for the
+    simple comparison conjuncts — and the filter consults the table's
+    zone maps to *skip* chunks no row of which can qualify (tallied on
+    ``database.zone_chunks_skipped``/``scanned``). A lone range conjunct
+    (``range_probe``) may instead be answered by the table's sorted range
+    index in O(log n + matches). ``prune_complete`` marks specs that
+    cover *every* conjunct of the predicate: when the pruned columns are
+    additionally clean numerics, scanned chunks run an inline
+    raw-comparison kernel instead of re-applying the full selection
+    (exact, because the comparison helpers reduce to Python's operators
+    on NULL-free numeric operands).
+
+    ``out_needed`` is set by the plan narrowing pass
+    (:func:`repro.engine.planner.narrow_plan`): the output column
+    positions some ancestor actually reads, or ``None`` for all. Columns
+    outside it are emitted as :data:`~repro.engine.columnar.OMITTED`
+    placeholders instead of being gathered.
     """
 
     def __init__(
@@ -167,11 +260,24 @@ class FilterOp(Operator):
         predicate: PredFn,
         kernel: Optional[BatchFn] = None,
         pushed: int = 0,
+        selection: Optional[SelectionKernel] = None,
+        prune_table: Optional[str] = None,
+        prune_spec: Optional[list] = None,
+        range_probe: Optional[tuple] = None,
+        prune_complete: bool = False,
     ):
         self.child = child
         self.predicate = predicate
         self.kernel = kernel
         self.pushed = pushed
+        self.selection = selection
+        self.prune_table = prune_table
+        self.prune_spec = prune_spec or []
+        self.range_probe = range_probe
+        self.prune_complete = prune_complete
+        self.out_needed: Optional[frozenset] = None
+        #: Compiled inline prune kernel (False = statically ineligible).
+        self._inline_kernel = None
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         predicate = self.predicate
@@ -193,12 +299,161 @@ class FilterOp(Operator):
                 if kept:
                     yield kept
 
+    def _select_batch(self, cbatch: ColumnBatch) -> Optional[ColumnBatch]:
+        """Apply the filter to one column batch (None when nothing passes)."""
+        selection = self.selection
+        if selection is None:
+            predicate = self.predicate
+            kept = [row for row in cbatch.to_rows() if predicate(row)]
+            if not kept:
+                return None
+            return ColumnBatch.from_rows(kept)
+        positions = selection(cbatch.columns, cbatch.length)
+        if not positions:
+            return None
+        if len(positions) == cbatch.length:
+            return cbatch
+        return cbatch.take(positions, self.out_needed)
+
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        if self.prune_table is not None and (self.prune_spec or self.range_probe):
+            yield from self._pruned_scan(database)
+            return
+        for cbatch in self.child.execute_columnar(database):
+            kept = self._select_batch(cbatch)
+            if kept is not None:
+                yield kept
+
+    def _pruned_scan(self, database: Database) -> ColumnStream:
+        """Scan the base table chunk-wise, skipping chunks via zone maps."""
+        table = database.table(self.prune_table)
+        if not len(table):
+            return
+        probe = self.range_probe
+        if probe is not None and (
+            table.has_fresh_range_index(probe[0])
+            or len(table) >= RANGE_INDEX_MIN_ROWS
+        ):
+            positions = table.range_positions(*probe)
+            if positions is not None:
+                # The probe conjunct *is* the whole predicate here (the
+                # planner only sets range_probe for single-conjunct
+                # filters), so the matched rows need no re-filtering.
+                database.range_probes += 1
+                if positions:
+                    whole = ColumnBatch(
+                        table.columns_decoded(),
+                        len(table),
+                        clean=table.clean_flags(),
+                    )
+                    yield whole.take(positions, self.out_needed)
+                return
+        spec = [
+            (position, op, const, value_family(const))
+            for position, op, const in self.prune_spec
+        ]
+        zones = {position: table.zone_map(position) for position, _, _, _ in spec}
+        decoded = table.columns_decoded()
+        clean = table.clean_flags()
+        inline = self._prepare_inline(table, spec)
+        matched: Optional[list] = [] if inline is not None else None
+        for chunk_index, (start, end) in enumerate(table.chunk_spans()):
+            skip = False
+            for position, op, const, const_fam in spec:
+                if chunk_can_skip(
+                    zones[position][chunk_index], op, const, const_fam
+                ):
+                    skip = True
+                    break
+            if skip:
+                database.zone_chunks_skipped += 1
+                continue
+            database.zone_chunks_scanned += 1
+            if inline is not None:
+                kernel, key_positions, consts = inline
+                matched += kernel(
+                    start,
+                    *(decoded[p][start:end] for p in key_positions),
+                    *consts,
+                )
+                continue
+            cbatch = ColumnBatch(
+                [col[start:end] for col in decoded],
+                end - start,
+                clean=list(clean),
+            )
+            kept = self._select_batch(cbatch)
+            if kept is not None:
+                yield kept
+        if matched:
+            # Inline path: one gather over the whole table (or the table
+            # itself, zero-copy, when every row qualified).
+            whole = ColumnBatch(decoded, len(table), clean=list(clean))
+            if len(matched) == len(table):
+                yield whole
+            else:
+                yield whole.take(matched, self.out_needed)
+
+    def _prepare_inline(self, table: Table, spec: list) -> Optional[tuple]:
+        """``(kernel, column positions, constants)`` for the inline prune
+        kernel, or ``None`` when the fast path does not apply.
+
+        Applies only when the spec covers the *whole* predicate
+        (``prune_complete``), every constant is an exact numeric
+        (non-bool, non-NaN — ``value_family`` already filtered those to
+        ``"num"``), and every referenced column is currently a clean
+        numeric vector. On such operands the comparison helpers are
+        exactly Python's comparison operators, so the compiled
+        raw-operator loop keeps the identical row set.
+        """
+        if not self.prune_complete or not spec:
+            return None
+        if self._inline_kernel is False:
+            return None
+        if any(fam != "num" for _, _, _, fam in spec):
+            self._inline_kernel = False
+            return None
+        if not all(
+            table.column_vector(position).is_clean_numeric()
+            for position, _, _, _ in spec
+        ):
+            return None  # table state may change; re-check next execution
+        key_positions = sorted({position for position, _, _, _ in spec})
+        consts = [const for _, _, const, _ in spec]
+        kernel = self._inline_kernel
+        if kernel is None:
+            if len(key_positions) == 1:
+                target = f"_v{key_positions[0]}"
+                iterable = f"_c{key_positions[0]}"
+            else:
+                target = "(" + ", ".join(f"_v{p}" for p in key_positions) + ")"
+                iterable = (
+                    "zip(" + ", ".join(f"_c{p}" for p in key_positions) + ")"
+                )
+            condition = " and ".join(
+                f"_v{position} {_PY_COMPARE[op]} _x{index}"
+                for index, (position, op, _, _) in enumerate(spec)
+            )
+            params = ", ".join(
+                [f"_c{p}" for p in key_positions]
+                + [f"_x{index}" for index in range(len(spec))]
+            )
+            source = (
+                f"lambda _base, {params}: [_base + _i for _i, {target} "
+                f"in enumerate({iterable}) if {condition}]"
+            )
+            kernel = eval(compile(source, "<inline-prune-kernel>", "eval"), {})
+            self._inline_kernel = kernel
+        return kernel, key_positions, consts
+
 
 class ProjectOp(Operator):
     """Row-wise projection through compiled expressions.
 
     ``kernel`` is the optional batch form (rows → projected rows, see
-    :func:`repro.engine.vector.project_kernel`).
+    :func:`repro.engine.vector.project_kernel`); ``slots`` the optional
+    columnar form — per output column either a zero-copy input-column
+    pick or a compiled value kernel.
     """
 
     def __init__(
@@ -206,10 +461,12 @@ class ProjectOp(Operator):
         child: Operator,
         exprs: Sequence[RowFn],
         kernel: Optional[BatchFn] = None,
+        slots: Optional[Sequence[Slot]] = None,
     ):
         self.child = child
         self.exprs = list(exprs)
         self.kernel = kernel
+        self.slots = list(slots) if slots is not None else None
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         exprs = self.exprs
@@ -225,6 +482,27 @@ class ProjectOp(Operator):
         else:
             for batch in self.child.execute_batch(database):
                 yield kernel(batch)
+
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        slots = self.slots
+        if slots is None:
+            # Row-wise fallback (group-context projections and exotic
+            # expressions); the child subtree stays columnar.
+            exprs = self.exprs
+            for cbatch in self.child.execute_columnar(database):
+                yield ColumnBatch.from_rows(
+                    [tuple(fn(row) for fn in exprs) for row in cbatch.to_rows()]
+                )
+            return
+        for cbatch in self.child.execute_columnar(database):
+            columns = cbatch.columns
+            length = cbatch.length
+            clean = cbatch.clean
+            yield ColumnBatch(
+                [slot_values(slot, columns, length) for slot in slots],
+                length,
+                clean=[slot_is_clean(slot, clean) for slot in slots],
+            )
 
 
 class HashJoinOp(Operator):
@@ -252,6 +530,7 @@ class HashJoinOp(Operator):
         left_tuple_fn: Optional[RowFn] = None,
         right_tuple_fn: Optional[RowFn] = None,
         left_positions: Optional[Sequence[int]] = None,
+        right_positions: Optional[Sequence[int]] = None,
     ):
         self.left = left
         self.right = right
@@ -259,11 +538,21 @@ class HashJoinOp(Operator):
         self.right_keys = list(right_keys)
         self.left_tuple_fn = left_tuple_fn
         self.right_tuple_fn = right_tuple_fn
+        self.left_positions = list(left_positions) if left_positions else None
+        self.right_positions = (
+            list(right_positions) if right_positions else None
+        )
         self._probe_kernel = (
             join_probe_kernel(left_positions) if left_positions else None
         )
+        #: Output columns some ancestor reads (None = all); set by the
+        #: plan narrowing pass. Unread columns are emitted as OMITTED
+        #: placeholders instead of being gathered.
+        self.out_needed: Optional[frozenset] = None
         #: lineage flag → (build table, version built at, buckets).
         self._build_cache: dict[bool, tuple] = {}
+        #: (build table, version, (right columns, buckets, unique map)).
+        self._columnar_cache: Optional[tuple] = None
 
     # -- build side ---------------------------------------------------------
 
@@ -285,6 +574,9 @@ class HashJoinOp(Operator):
             entry = self._build_cache.get(flag)
             if entry is not None and entry[0].version == entry[1]:
                 return "hit"
+        entry = self._columnar_cache
+        if entry is not None and entry[0].version == entry[1]:
+            return "hit"
         return "miss"
 
     def _key_fn(self, tuple_fn: Optional[RowFn], fns: "list[RowFn]") -> RowFn:
@@ -388,6 +680,176 @@ class HashJoinOp(Operator):
                     out = []
         if out:
             yield out
+
+    # -- columnar path ------------------------------------------------------
+
+    @staticmethod
+    def _key_column(columns: list, positions: "list[int]") -> list:
+        if len(positions) == 1:
+            return columns[positions[0]]
+        return list(zip(*(columns[p] for p in positions)))
+
+    def _columnar_build(self, database: Database) -> tuple:
+        """``(right columns, buckets, unique map)`` for the build side.
+
+        Buckets map key → right-row *positions* (the gather indexes);
+        when every key is unique, ``unique map`` (key → single position)
+        enables the ``map(get, key_column)`` probe with no per-row Python
+        dispatch at all.
+        """
+        table = self._build_table(database)
+        if table is not None:
+            entry = self._columnar_cache
+            if (
+                entry is not None
+                and entry[0] is table
+                and entry[1] == table.version
+            ):
+                database.join_build_hits += 1
+                return entry[2]
+            database.join_build_misses += 1
+
+        # Concatenate the build input's column batches. The single-batch
+        # case (a base-table scan) stays zero-copy; with several batches
+        # the first is copied before extending (batch columns may alias
+        # table caches and must never be mutated).
+        right_columns: list = []
+        length = 0
+        owned = False
+        for cbatch in self.right.execute_columnar(database):
+            if length == 0:
+                right_columns = cbatch.columns
+            else:
+                if not owned:
+                    right_columns = [list(col) for col in right_columns]
+                    owned = True
+                for index, col in enumerate(cbatch.columns):
+                    right_columns[index].extend(col)
+            length += cbatch.length
+
+        positions = self.right_positions
+        single = len(positions) == 1
+        keys = self._key_column(right_columns, positions) if length else []
+        buckets: dict = {}
+        unique = True
+        if single:
+            for position, key in enumerate(keys):
+                if key is None:
+                    continue
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [position]
+                else:
+                    bucket.append(position)
+                    unique = False
+        else:
+            for position, key in enumerate(keys):
+                if None in key:
+                    continue
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [position]
+                else:
+                    bucket.append(position)
+                    unique = False
+        unique_map = (
+            {key: bucket[0] for key, bucket in buckets.items()}
+            if unique and buckets
+            else None
+        )
+        built = (right_columns, buckets, unique_map)
+        if table is not None:
+            self._columnar_cache = (table, table.version, built)
+        return built
+
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        if self.left_positions is None or self.right_positions is None:
+            yield from Operator.execute_columnar(self, database)
+            return
+        right_columns, buckets, unique_map = self._columnar_build(database)
+        if not buckets:
+            return
+        left_positions = self.left_positions
+        for cbatch in self.left.execute_columnar(database):
+            columns = cbatch.columns
+            keys = self._key_column(columns, left_positions)
+            if unique_map is not None:
+                matches = list(map(unique_map.get, keys))
+                if None not in matches:
+                    # Every probe key matched a unique build row: the
+                    # match list *is* the right gather index and the left
+                    # side passes through zero-copy.
+                    yield self._emit_batch(
+                        cbatch, None, matches, right_columns
+                    )
+                    continue
+                left_index = [
+                    i for i, match in enumerate(matches) if match is not None
+                ]
+                if not left_index:
+                    continue
+                right_index = [m for m in matches if m is not None]
+            else:
+                get = buckets.get
+                left_index = []
+                right_index = []
+                for i, key in enumerate(keys):
+                    bucket = get(key)
+                    if bucket is None:
+                        continue
+                    if len(bucket) == 1:
+                        left_index.append(i)
+                        right_index.append(bucket[0])
+                    else:
+                        left_index.extend([i] * len(bucket))
+                        right_index.extend(bucket)
+                if not left_index:
+                    continue
+            yield self._emit_batch(
+                cbatch, left_index, right_index, right_columns
+            )
+
+    def _emit_batch(
+        self,
+        cbatch: ColumnBatch,
+        left_index: Optional[list],
+        right_index: list,
+        right_columns: list,
+    ) -> ColumnBatch:
+        """Assemble one join output batch.
+
+        ``left_index`` is ``None`` when every left row matched exactly
+        once (the left columns pass through zero-copy). Columns outside
+        ``out_needed`` become OMITTED placeholders — no gather at all.
+        """
+        needed = self.out_needed
+        left_width = len(cbatch.columns)
+        out_columns: list = []
+        out_clean: list = []
+        for position, col in enumerate(cbatch.columns):
+            if (needed is not None and position not in needed) or (
+                col is OMITTED
+            ):
+                out_columns.append(OMITTED)
+                out_clean.append(False)
+            elif left_index is None:
+                out_columns.append(col)
+                out_clean.append(cbatch.clean[position])
+            else:
+                out_columns.append([col[i] for i in left_index])
+                out_clean.append(cbatch.clean[position])
+        for offset, col in enumerate(right_columns):
+            if needed is not None and left_width + offset not in needed:
+                out_columns.append(OMITTED)
+                out_clean.append(False)
+            else:
+                out_columns.append([col[j] for j in right_index])
+                out_clean.append(False)
+        return ColumnBatch(
+            out_columns,
+            len(right_index) if left_index is None else len(left_index),
+            clean=out_clean,
+        )
 
 
 class NestedLoopOp(Operator):
@@ -515,11 +977,18 @@ class GroupOp(Operator):
         key_fns: Sequence[RowFn],
         agg_factories: Sequence[AccumulatorFactory],
         key_tuple_fn: Optional[RowFn] = None,
+        key_slots: Optional[Sequence[Slot]] = None,
+        agg_specs: Optional[Sequence[AggSpec]] = None,
     ):
         self.child = child
         self.key_fns = list(key_fns)
         self.agg_factories = list(agg_factories)
         self.key_tuple_fn = key_tuple_fn
+        #: Columnar forms: one slot per grouping key, one compiled spec
+        #: per aggregate. ``None`` (any key/aggregate unsupported) falls
+        #: back to the batch discipline for the whole subtree.
+        self.key_slots = list(key_slots) if key_slots is not None else None
+        self.agg_specs = list(agg_specs) if agg_specs is not None else None
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         groups: dict[tuple, list] = {}
@@ -580,6 +1049,98 @@ class GroupOp(Operator):
         ]
         yield from chunked(out)
 
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        key_slots = self.key_slots
+        agg_specs = self.agg_specs
+        if key_slots is None or agg_specs is None:
+            yield from Operator.execute_columnar(self, database)
+            return
+
+        # Materialize the input columns (group-by is a pipeline breaker
+        # anyway); single-batch inputs — whole-table scans — stay
+        # zero-copy.
+        columns: list = []
+        clean: list = []
+        length = 0
+        owned = False
+        for cbatch in self.child.execute_columnar(database):
+            if length == 0:
+                columns = cbatch.columns
+                clean = list(cbatch.clean)
+            else:
+                if not owned:
+                    columns = [list(col) for col in columns]
+                    owned = True
+                for index, col in enumerate(cbatch.columns):
+                    columns[index].extend(col)
+                clean = [a and b for a, b in zip(clean, cbatch.clean)]
+            length += cbatch.length
+
+        # Argument values per aggregate, evaluated over the whole input.
+        arg_values: list = []
+        arg_clean: list = []
+        for spec in agg_specs:
+            if spec.arg_slot is None:
+                arg_values.append(None)
+                arg_clean.append(True)
+            else:
+                arg_values.append(slot_values(spec.arg_slot, columns, length))
+                # Zero-row inputs carry no clean flags; every reducer
+                # treats an empty values list the same either way.
+                arg_clean.append(
+                    slot_is_clean(spec.arg_slot, clean) if length else True
+                )
+
+        if not key_slots:
+            # Scalar aggregation: one output row even for empty input.
+            results = tuple(
+                length if spec.count_star else spec.reduce(values, ok)
+                for spec, values, ok in zip(agg_specs, arg_values, arg_clean)
+            )
+            yield ColumnBatch.from_rows([results])
+            return
+
+        if length == 0:
+            return
+        key_columns = [slot_values(slot, columns, length) for slot in key_slots]
+        multi = len(key_columns) > 1
+        if not multi and all(spec.count_star for spec in agg_specs):
+            # COUNT(*)-only grouping over one key: Counter runs the whole
+            # group loop in C. Iteration order is first-appearance order
+            # (dict insertion), exactly the row path's emission order,
+            # and 1/True key collapsing matches dict-key semantics there.
+            counts = Counter(key_columns[0])
+            width = len(agg_specs)
+            yield ColumnBatch.from_rows(
+                [(key,) + (count,) * width for key, count in counts.items()]
+            )
+            return
+        keys = list(zip(*key_columns)) if multi else key_columns[0]
+        groups: dict = {}
+        order: list = []
+        for position, key in enumerate(keys):
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [position]
+                order.append(key)
+            else:
+                bucket.append(position)
+
+        out = []
+        for key in order:
+            bucket = groups[key]
+            results = []
+            for spec, values, ok in zip(agg_specs, arg_values, arg_clean):
+                if spec.count_star:
+                    results.append(len(bucket))
+                else:
+                    results.append(
+                        spec.reduce([values[p] for p in bucket], ok)
+                    )
+            prefix = key if multi else (key,)
+            out.append(prefix + tuple(results))
+        yield ColumnBatch.from_rows(out)
+
 
 class DistinctOp(Operator):
     """Set semantics: one output per distinct row, lineages unioned."""
@@ -620,6 +1181,17 @@ class DistinctOp(Operator):
                 out = []
         if out:
             yield out
+
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        seen: set = set()
+        add = seen.add
+        out: list = []
+        for row in self.child._columnar_rows(database):
+            if row not in seen:
+                add(row)
+                out.append(row)
+        if out:
+            yield ColumnBatch.from_rows(out)
 
 
 class DistinctOnOp(Operator):
@@ -702,6 +1274,21 @@ class UnionOp(Operator):
                     out = []
         if out:
             yield out
+
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        if self.all_rows:
+            yield from self.left.execute_columnar(database)
+            yield from self.right.execute_columnar(database)
+            return
+        seen: set = set()
+        out: list = []
+        for source in (self.left, self.right):
+            for row in source._columnar_rows(database):
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+        if out:
+            yield ColumnBatch.from_rows(out)
 
 
 class ExceptOp(Operator):
@@ -801,6 +1388,13 @@ class OrderOp(Operator):
             rows.sort(key=lambda row: sort_key(fn(row)), reverse=desc)
         yield from chunked(rows)
 
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        rows = list(self.child._columnar_rows(database))
+        for fn, desc in reversed(list(zip(self.key_fns, self.descending))):
+            rows.sort(key=lambda row: sort_key(fn(row)), reverse=desc)
+        if rows:
+            yield ColumnBatch.from_rows(rows)
+
 
 class LimitOp(Operator):
     """Emit at most ``limit`` rows."""
@@ -831,6 +1425,22 @@ class LimitOp(Operator):
                 yield batch[:remaining]
                 return
 
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for cbatch in self.child.execute_columnar(database):
+            if cbatch.length < remaining:
+                remaining -= cbatch.length
+                yield cbatch
+            else:
+                yield ColumnBatch(
+                    [col[:remaining] for col in cbatch.columns],
+                    remaining,
+                    clean=list(cbatch.clean),
+                )
+                return
+
 
 class ValuesOp(Operator):
     """A constant relation (used for the one-row Clock and for tests)."""
@@ -844,6 +1454,10 @@ class ValuesOp(Operator):
 
     def execute_batch(self, database: Database) -> BatchStream:
         yield from chunked(self.rows)
+
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        if self.rows:
+            yield ColumnBatch.from_rows(self.rows)
 
 
 class _Wrapped(Operator):
@@ -908,5 +1522,24 @@ class TracedOp(Operator):
                 span.seconds += counter() - started
                 rows += len(batch)
                 yield batch
+        finally:
+            span.counters["rows"] = span.counters.get("rows", 0) + rows
+
+    def execute_columnar(self, database: Database) -> ColumnStream:
+        span = self.span
+        counter = time.perf_counter
+        stream = self.inner.execute_columnar(database)
+        rows = 0
+        try:
+            while True:
+                started = counter()
+                try:
+                    cbatch = next(stream)
+                except StopIteration:
+                    span.seconds += counter() - started
+                    return
+                span.seconds += counter() - started
+                rows += cbatch.length
+                yield cbatch
         finally:
             span.counters["rows"] = span.counters.get("rows", 0) + rows

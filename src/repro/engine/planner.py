@@ -21,7 +21,13 @@ Planning decisions, in order:
 
 Alongside each compiled closure the planner emits batch *kernels* (see
 :mod:`repro.engine.vector`) for filters, projections, and join/group key
-extraction; the row path never touches them.
+extraction, and columnar forms (see :mod:`repro.engine.columnar`) —
+selection kernels, projection/key slots, aggregate specs — wherever the
+expression shapes allow; the row path never touches either. Filters that
+sit directly on a base-table scan additionally carry a *prune spec*: the
+``column <op> constant`` conjuncts with plan-time-evaluable constants,
+against which the columnar scan consults the table's zone maps (and, for
+a lone range conjunct, its sorted range index) to skip chunks outright.
 """
 
 from __future__ import annotations
@@ -31,7 +37,9 @@ from typing import Callable, Optional
 
 from ..errors import BindError
 from ..sql import ast
+from . import columnar
 from .aggregates import make_accumulator_factory
+from .columnar import FLIPPED_OPS, PRUNABLE_OPS
 from .database import Database
 from .expressions import (
     RowFn,
@@ -139,6 +147,17 @@ class Layout:
         def resolve(ref: ast.ColumnRef) -> Optional[str]:
             try:
                 return f"row[{self.resolve_position(ref) - base}]"
+            except BindError:
+                return None
+
+        return resolve
+
+    def position_resolver(self, base: int = 0) -> columnar.PositionResolver:
+        """Columnar-kernel resolver: ref → column position, or None."""
+
+        def resolve(ref: ast.ColumnRef) -> Optional[int]:
+            try:
+                return self.resolve_position(ref) - base
             except BindError:
                 return None
 
@@ -338,6 +357,7 @@ class Planner:
                     left_tuple_fn=vector.tuple_fn(left_positions),
                     right_tuple_fn=vector.tuple_fn(right_positions),
                     left_positions=left_positions,
+                    right_positions=right_positions,
                 )
             else:
                 acc_op = NestedLoopOp(acc_op, op)
@@ -373,8 +393,12 @@ class Planner:
         layout: Layout,
         base: int = 0,
         pushed: int = 0,
+        prune: Optional[tuple] = None,
     ) -> FilterOp:
-        """A FilterOp with both the closure predicate and a batch kernel."""
+        """A FilterOp with the closure predicate, a batch kernel, and a
+        columnar selection kernel; ``prune`` optionally carries
+        ``(table_name, spec, range_probe)`` for zone-map chunk skipping
+        over a base-table scan."""
 
         def column_fn(ref: ast.ColumnRef) -> RowFn:
             index = layout.resolve_position(ref) - base
@@ -384,7 +408,26 @@ class Planner:
         kernel = vector.filter_kernel(
             predicate, expr, layout.source_resolver(base)
         )
-        return FilterOp(child, predicate, kernel=kernel, pushed=pushed)
+        selection = columnar.selection_kernel(
+            expr, layout.position_resolver(base)
+        )
+        prune_table, prune_spec, range_probe, prune_complete = prune or (
+            None,
+            None,
+            None,
+            False,
+        )
+        return FilterOp(
+            child,
+            predicate,
+            kernel=kernel,
+            pushed=pushed,
+            selection=selection,
+            prune_table=prune_table,
+            prune_spec=prune_spec,
+            range_probe=range_probe,
+            prune_complete=prune_complete,
+        )
 
     def _attach_unit_filters(
         self,
@@ -424,6 +467,7 @@ class Planner:
                 return op
 
         local = [conjunct for conjunct, _ in items]
+        prune: Optional[tuple] = None
         if isinstance(op, ScanOp):
             binding = next(
                 (b for b in layout.bindings if b.offset == base), None
@@ -432,10 +476,17 @@ class Planner:
                 index_scan, local = self._try_index_scan(op, binding, local)
                 if index_scan is not None:
                     op = index_scan
+                elif local:
+                    prune = self._prune_plan(op, binding, local)
         if not local:
             return op
         return self._make_filter(
-            op, ast.conjoin(local), layout, base=base, pushed=len(local)
+            op,
+            ast.conjoin(local),
+            layout,
+            base=base,
+            pushed=len(local),
+            prune=prune,
         )
 
     def _plan_source_item(
@@ -518,6 +569,67 @@ class Planner:
         return None, local
 
     @staticmethod
+    def _prune_plan(
+        scan: ScanOp, binding: Binding, local: list
+    ) -> Optional[tuple]:
+        """``(table_name, prune spec, range probe, complete)`` for a
+        pushed filter sitting directly on a base-table scan.
+
+        The spec keeps only ``column <op> constant`` conjuncts whose
+        constant side evaluates at plan time — anything else (or a
+        constant that raises) is simply left out, which forfeits pruning
+        for that conjunct but never changes semantics: the filter still
+        applies its full predicate to every scanned chunk. The range
+        probe is set only when the *single* conjunct of the filter is a
+        range comparison, so index-matched rows need no re-filtering.
+        ``complete`` marks specs where *every* conjunct became a triple
+        (the spec conjunction is the whole predicate), enabling the
+        filter's inline prune kernel.
+        """
+        triples = []
+        for conjunct in local:
+            triple = Planner._prune_triple(conjunct, binding)
+            if triple is not None:
+                triples.append(triple)
+        if not triples:
+            return None
+        range_probe = None
+        if len(local) == 1 and triples[0][1] in ("<", "<=", ">", ">="):
+            range_probe = triples[0]
+        return scan.table_name, triples, range_probe, len(triples) == len(local)
+
+    @staticmethod
+    def _prune_triple(
+        conjunct: ast.Expr, binding: Binding
+    ) -> Optional[tuple]:
+        """``(column position, op, constant)`` for a simple comparison."""
+        if not (
+            isinstance(conjunct, ast.BinaryOp) and conjunct.op in PRUNABLE_OPS
+        ):
+            return None
+        for column_side, value_side, op in (
+            (conjunct.left, conjunct.right, conjunct.op),
+            (conjunct.right, conjunct.left, FLIPPED_OPS[conjunct.op]),
+        ):
+            if not isinstance(column_side, ast.ColumnRef):
+                continue
+            if (
+                column_side.table is not None
+                and column_side.table.lower() != binding.name
+            ):
+                continue
+            if binding.columns.count(column_side.name) != 1:
+                continue
+            if ast.column_refs(value_side):
+                continue  # not a constant expression
+            try:
+                const = compile_expr(value_side, _no_columns)(())
+            except Exception:
+                return None  # leave evaluation (and its error) to the kernel
+            return binding.columns.index(column_side.name), op, const
+        return None
+
+    @staticmethod
     def _equi_join_keys(
         conjunct: ast.Expr,
         layout: Layout,
@@ -546,7 +658,7 @@ class Planner:
     def _plan_plain(
         self, select: ast.Select, layout: Layout, child: Operator
     ) -> Plan:
-        out_fns, out_names, out_sources = self._output_exprs(
+        out_fns, out_names, out_sources, out_slots = self._output_exprs(
             select, layout, grouped=False
         )
 
@@ -568,6 +680,7 @@ class Planner:
                 child,
                 out_fns,
                 kernel=vector.project_kernel(out_fns, sources=out_sources),
+                slots=out_slots,
             )
             if select.distinct:
                 op = DistinctOp(op)
@@ -628,17 +741,23 @@ class Planner:
 
     def _output_exprs(
         self, select: ast.Select, layout: Layout, grouped: bool
-    ) -> tuple[list[RowFn], list[str], list[Optional[str]]]:
+    ) -> tuple[
+        list[RowFn], list[str], list[Optional[str]], Optional[list]
+    ]:
         """Compile the select list (non-grouped path) and name the output.
 
         The third return is per-slot kernel source (``row[i]`` / emitted
         expression / None for closure-only slots), feeding the projection
-        kernel.
+        kernel; the fourth is the columnar slot list (None when any slot
+        has no columnar form, sending the projection down its row-wise
+        fallback).
         """
         fns: list[RowFn] = []
         names: list[str] = []
         sources: list[Optional[str]] = []
+        slots: list = []
         emit_source = layout.source_resolver()
+        resolve_position = layout.position_resolver()
         for position, item in enumerate(select.items):
             if isinstance(item.expr, ast.Star):
                 if grouped:
@@ -654,11 +773,14 @@ class Planner:
                         fns.append(lambda row, i=index: row[i])
                         names.append(column)
                         sources.append(f"row[{index}]")
+                        slots.append(("col", index))
                 continue
             fns.append(compile_expr(item.expr, layout.column_fn))
             names.append(self._output_name(item, position))
             sources.append(vector.emit(item.expr, emit_source))
-        return fns, names, sources
+            slots.append(columnar.value_slot(item.expr, resolve_position))
+        usable = None if any(slot is None for slot in slots) else slots
+        return fns, names, sources, usable
 
     @staticmethod
     def _output_name(item: ast.SelectItem, position: int) -> str:
@@ -716,6 +838,17 @@ class Planner:
             make_accumulator_factory(call, compile_agg_arg)
             for call in agg_order
         ]
+        resolve_position = layout.position_resolver()
+        key_slots: Optional[list] = [
+            columnar.value_slot(e, resolve_position) for e in key_exprs
+        ]
+        if any(slot is None for slot in key_slots):
+            key_slots = None
+        agg_specs: Optional[list] = [
+            columnar.agg_spec(call, resolve_position) for call in agg_order
+        ]
+        if any(spec is None for spec in agg_specs):
+            agg_specs = None
         group_width = len(key_exprs)
 
         def resolve_special(expr: ast.Expr) -> Optional[RowFn]:
@@ -742,7 +875,14 @@ class Planner:
         def compile_grouped(expr: ast.Expr) -> RowFn:
             return compile_expr(expr, grouped_column, resolve_special)
 
-        op: Operator = GroupOp(child, key_fns, factories, key_tuple_fn=key_tuple)
+        op: Operator = GroupOp(
+            child,
+            key_fns,
+            factories,
+            key_tuple_fn=key_tuple,
+            key_slots=key_slots,
+            agg_specs=agg_specs,
+        )
         if select.having is not None:
             having_fn = compile_grouped(select.having)
             op = FilterOp(op, lambda row: having_fn(row) is True)
@@ -776,6 +916,77 @@ def _no_columns(ref: ast.ColumnRef) -> RowFn:
     raise BindError(f"unexpected column reference {ref} in constant expression")
 
 
+def _slots_needed(slots) -> Optional[frozenset]:
+    """Union of input positions the slots read (None = unknown → keep all)."""
+    if slots is None:
+        return None
+    out: set = set()
+    for slot in slots:
+        positions = columnar.slot_positions(slot)
+        if positions is None:
+            return None
+        out.update(positions)
+    return frozenset(out)
+
+
+def narrow_plan(op: Operator, needed: Optional[frozenset] = None) -> None:
+    """Annotate joins and filters with the output columns actually read.
+
+    Walks the plan top-down carrying ``needed`` — the output column
+    positions some ancestor reads, or ``None`` for "all of them".
+    Operators whose columnar form provably reads fixed positions
+    (projection slots, selection kernels, group keys and aggregate
+    arguments) shrink the set on the way down; anything else resets it
+    to ``None``. :class:`HashJoinOp` and :class:`FilterOp` record the
+    set as ``out_needed`` and emit OMITTED placeholders for the rest, so
+    a join under a two-column projection gathers two output columns
+    instead of the full concatenated row.
+
+    The annotation only affects the columnar discipline; the row and
+    batch paths never consult it.
+    """
+    if isinstance(op, ProjectOp):
+        narrow_plan(op.child, _slots_needed(op.slots))
+        return
+    if isinstance(op, FilterOp):
+        op.out_needed = needed
+        read = (
+            columnar.slot_positions(("expr", op.selection))
+            if op.selection is not None
+            else None
+        )
+        if needed is None or read is None:
+            narrow_plan(op.child, None)
+        else:
+            narrow_plan(op.child, needed | frozenset(read))
+        return
+    if isinstance(op, HashJoinOp):
+        op.out_needed = needed
+        narrow_plan(op.left, None)
+        narrow_plan(op.right, None)
+        return
+    if isinstance(op, GroupOp):
+        if op.key_slots is None or op.agg_specs is None:
+            narrow_plan(op.child, None)
+            return
+        slots = list(op.key_slots) + [
+            spec.arg_slot for spec in op.agg_specs if spec.arg_slot is not None
+        ]
+        narrow_plan(op.child, _slots_needed(slots))
+        return
+    if isinstance(op, LimitOp):
+        narrow_plan(op.child, needed)
+        return
+    # Everything else (sorts, set ops, distinct, outer joins, scans)
+    # either reads whole rows or has no children: reset to "all".
+    for attr in ("child", "left", "right"):
+        inner = getattr(op, attr, None)
+        if isinstance(inner, Operator):
+            narrow_plan(inner, None)
+
+
 def plan_query(query: ast.Query, database: Database) -> Plan:
-    """Convenience wrapper around :class:`Planner`."""
-    return Planner(database).plan(query)
+    """Convenience wrapper around :class:`Planner`, narrowing included."""
+    plan = Planner(database).plan(query)
+    narrow_plan(plan.op)
+    return plan

@@ -1,21 +1,44 @@
-"""In-memory tables with stable tuple identifiers.
+"""In-memory tables with stable tuple identifiers, stored column-wise.
 
 Each row receives a monotonically increasing tuple id (tid) when inserted.
 Tids are the currency of lineage tracking (:mod:`repro.engine.lineage`) and
 of log compaction, whose *mark* phase collects the tids to retain and whose
 *delete* phase removes the rest.
 
+Storage is columnar: one :class:`~repro.engine.columnar.ColumnVector` per
+column (typed ``array`` storage with null bitmaps where the values allow,
+plain lists otherwise). The row-tuple view (:meth:`rows`) is a derived
+cache — built lazily, maintained incrementally across appends — kept for
+the row/batch execution paths, WAL/snapshot serialization and compaction;
+engine operators on the columnar path read columns directly via
+:meth:`column_values` / :meth:`chunks` and never materialize tuples.
+
 Tables also carry a monotone **mutation version**: every change to the row
 set bumps it. Derived structures built from a snapshot of the rows (hash
-indexes, the tid→position map, and the executor's cached hash-join build
-sides) are valid exactly as long as the version they were built at.
+indexes, zone maps, range indexes, the tid→position map, and the
+executor's cached hash-join build sides) are valid exactly as long as the
+version they were built at.
+
+Per-chunk **zone maps** (:meth:`zone_map`) summarize min/max/null-count
+per :data:`~repro.engine.columnar.CHUNK_SIZE` rows so pushed-down
+predicates can skip chunks, and sorted **range indexes**
+(:meth:`range_positions`) answer single-conjunct range predicates by
+bisection; both are lazy, per-column, and version-checked.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import EngineError
+from .columnar import (
+    CHUNK_SIZE,
+    ColumnBatch,
+    ColumnVector,
+    build_zone_entry,
+    value_family,
+)
 from .schema import TableSchema, make_schema
 from .types import SqlValue
 
@@ -23,11 +46,16 @@ Row = tuple  # tuple[SqlValue, ...], kept short for signature readability
 
 
 class Table:
-    """A bag of rows plus per-row tuple ids."""
+    """A bag of rows plus per-row tuple ids, stored as column vectors."""
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
-        self._rows: list[Row] = []
+        #: One typed vector per column; the authoritative store.
+        self._columns: list[ColumnVector] = [
+            ColumnVector() for _ in range(schema.arity)
+        ]
+        #: Row count, tracked explicitly (zero-arity tables have no vectors).
+        self._length = 0
         self._tids: list[int] = []
         self._next_tid = 0
         #: Lazily built hash indexes: column position → value → row indexes.
@@ -37,6 +65,13 @@ class Table:
         self._tid_pos: Optional[dict[int, int]] = None
         #: Monotone mutation counter; see the module docstring.
         self._version = 0
+        #: Derived row-tuple view; appended to in step with inserts while
+        #: warm, dropped entirely by deletes (see :meth:`rows`).
+        self._rows_cache: Optional[list[Row]] = None
+        #: position → (version built at, per-chunk zone entries).
+        self._zone_maps: dict[int, tuple] = {}
+        #: position → (version built at, sorted index or None if unusable).
+        self._range_indexes: dict[int, tuple] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -60,15 +95,35 @@ class Table:
         return self._version
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._length
 
     def rows(self) -> list[Row]:
-        """The current rows (do not mutate the returned list)."""
-        return self._rows
+        """The current rows as tuples (do not mutate the returned list).
+
+        This is the *derived* view now — one ``zip`` over the decoded
+        columns, cached until a structural mutation and extended in place
+        by appends.
+
+        .. deprecated:: hot paths
+           New engine operators must not materialize rows; use
+           :meth:`column`, :meth:`column_values`, :meth:`chunks`, and
+           :meth:`null_mask` instead. ``rows()`` remains supported for
+           the row/batch execution disciplines and bulk persistence
+           (snapshot/WAL serialization), where whole-tuple access is
+           the point.
+        """
+        cache = self._rows_cache
+        if cache is None:
+            if self._columns:
+                cache = list(zip(*(vec.values() for vec in self._columns)))
+            else:
+                cache = [()] * self._length
+            self._rows_cache = cache
+        return cache
 
     def scan(self) -> Iterator[tuple[int, Row]]:
         """Yield ``(tid, row)`` pairs in insertion order."""
-        return zip(self._tids, self._rows)
+        return zip(self._tids, self.rows())
 
     def tids(self) -> list[int]:
         return self._tids
@@ -89,11 +144,138 @@ class Table:
     def row_for_tid(self, tid: int) -> Row:
         """Fetch a row by tuple id through the lazy tid→position map."""
         try:
-            return self._rows[self.tid_positions()[tid]]
+            return self.rows()[self.tid_positions()[tid]]
         except KeyError:
             raise EngineError(
                 f"table {self.name!r} has no tuple with tid {tid}"
             ) from None
+
+    # -- columnar accessors --------------------------------------------------
+
+    def column(self, name: str) -> ColumnVector:
+        """The typed column vector for ``name`` (read-only for callers)."""
+        return self._columns[self.schema.position(name)]
+
+    def column_vector(self, position: int) -> ColumnVector:
+        return self._columns[position]
+
+    def column_values(self, position: int) -> list:
+        """One column decoded as a plain list (NULL as ``None``).
+
+        Returns the vector's cached decode — callers must not mutate it.
+        """
+        return self._columns[position].values()
+
+    def columns_decoded(self) -> list:
+        """Every column decoded (the whole-table scan batch)."""
+        return [vec.values() for vec in self._columns]
+
+    def clean_flags(self) -> list:
+        """Per column: NULL-free exact-numeric storage (aggregate fast paths)."""
+        return [vec.is_clean_numeric() for vec in self._columns]
+
+    def null_mask(self, name: str) -> bytes:
+        """The null bitmap of one column (bit ``i`` set ⇔ row ``i`` NULL)."""
+        return self.column(name).null_bitmap()
+
+    def chunk_spans(self) -> list:
+        """``(start, end)`` spans of :data:`CHUNK_SIZE`-row chunks."""
+        length = self._length
+        return [
+            (start, min(start + CHUNK_SIZE, length))
+            for start in range(0, length, CHUNK_SIZE)
+        ]
+
+    def chunks(self) -> Iterator[ColumnBatch]:
+        """The table as column batches of at most :data:`CHUNK_SIZE` rows."""
+        decoded = self.columns_decoded()
+        clean = self.clean_flags()
+        for start, end in self.chunk_spans():
+            yield ColumnBatch(
+                [col[start:end] for col in decoded], end - start, clean=list(clean)
+            )
+
+    # -- zone maps and range indexes ----------------------------------------
+
+    def zone_map(self, position: int) -> list:
+        """Per-chunk :class:`~repro.engine.columnar.ZoneEntry` summaries.
+
+        Built lazily per column and kept until the next mutation; an O(n)
+        build that costs about one scan, so consulting it is never worse
+        than the scan it replaces.
+        """
+        cached = self._zone_maps.get(position)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        values = self.column_values(position)
+        entries = [
+            build_zone_entry(values[start:end])
+            for start, end in self.chunk_spans()
+        ]
+        self._zone_maps[position] = (self._version, entries)
+        return entries
+
+    def has_fresh_range_index(self, position: int) -> bool:
+        entry = self._range_indexes.get(position)
+        return (
+            entry is not None and entry[0] == self._version and entry[1] is not None
+        )
+
+    def _build_range_index(self, position: int):
+        values = self.column_values(position)
+        pairs = [(v, i) for i, v in enumerate(values) if v is not None]
+        if not pairs:
+            return ([], [], None)
+        kinds = set(map(type, (v for v, _ in pairs)))
+        if kinds <= {int, float}:
+            family = "num"
+            if float in kinds and any(v != v for v, _ in pairs):
+                return None  # NaN breaks the sort order; index unusable
+        elif kinds == {str}:
+            family = "str"
+        elif kinds == {bool}:
+            family = "bool"
+        else:
+            return None
+        pairs.sort()
+        return ([v for v, _ in pairs], [i for _, i in pairs], family)
+
+    def range_positions(
+        self, position: int, op: str, const: SqlValue
+    ) -> Optional[list]:
+        """Row positions satisfying ``column <op> const`` via the sorted
+        range index, in insertion order; ``None`` when the index cannot
+        answer (mixed families — the caller scans so comparison errors
+        surface exactly as they would row-wise).
+        """
+        entry = self._range_indexes.get(position)
+        if entry is None or entry[0] != self._version:
+            entry = (self._version, self._build_range_index(position))
+            self._range_indexes[position] = entry
+        index = entry[1]
+        if index is None:
+            return None
+        sorted_values, sorted_positions, family = index
+        if const is None:
+            return []  # comparison with NULL is never True
+        const_fam = value_family(const)
+        if const_fam is None or (family is not None and const_fam != family):
+            return None  # cross-family ordering raises; scan instead
+        if op == "<":
+            selected = sorted_positions[: bisect_left(sorted_values, const)]
+        elif op == "<=":
+            selected = sorted_positions[: bisect_right(sorted_values, const)]
+        elif op == ">":
+            selected = sorted_positions[bisect_right(sorted_values, const) :]
+        elif op == ">=":
+            selected = sorted_positions[bisect_left(sorted_values, const) :]
+        elif op == "=":
+            lo = bisect_left(sorted_values, const)
+            hi = bisect_right(sorted_values, const)
+            selected = sorted_positions[lo:hi]
+        else:
+            return None
+        return sorted(selected)
 
     # -- hash indexes -----------------------------------------------------------
 
@@ -106,8 +288,7 @@ class Table:
         index = self._indexes.get(column)
         if index is None:
             index = {}
-            for position, row in enumerate(self._rows):
-                key = row[column]
+            for position, key in enumerate(self.column_values(column)):
                 if key is not None:
                     index.setdefault(key, []).append(position)
             self._indexes[column] = index
@@ -117,7 +298,11 @@ class Table:
             positions = index.get(value, ())
         except TypeError:  # unhashable probe value
             return []
-        return [(self._tids[p], self._rows[p]) for p in positions]
+        if not positions:
+            return []
+        rows = self.rows()
+        tids = self._tids
+        return [(tids[p], rows[p]) for p in positions]
 
     def _invalidate_indexes(self) -> None:
         self._version += 1
@@ -126,6 +311,14 @@ class Table:
             self._indexes = {}
 
     # -- mutation --------------------------------------------------------------
+
+    def _append_rows(self, added: list) -> None:
+        """Append pre-validated row tuples to the column store."""
+        for position, vec in enumerate(self._columns):
+            vec.extend([row[position] for row in added])
+        self._length += len(added)
+        if self._rows_cache is not None:
+            self._rows_cache.extend(added)
 
     def insert(self, row: Sequence[SqlValue]) -> int:
         """Insert one row; returns its tid."""
@@ -136,7 +329,7 @@ class Table:
             )
         tid = self._next_tid
         self._next_tid += 1
-        self._rows.append(tuple(row))
+        self._append_rows([tuple(row)])
         self._tids.append(tid)
         self._invalidate_indexes()
         return tid
@@ -157,7 +350,7 @@ class Table:
         first = self._next_tid
         tids = list(range(first, first + len(added)))
         self._next_tid = first + len(added)
-        self._rows.extend(added)
+        self._append_rows(added)
         self._tids.extend(tids)
         self._invalidate_indexes()
         return tids
@@ -176,14 +369,16 @@ class Table:
                 f"insert_with_tids into {self.name!r}: "
                 f"{len(rows)} rows vs {len(tids)} tids"
             )
-        for row, tid in zip(rows, tids):
+        added: list[Row] = []
+        for row in rows:
             if len(row) != self.schema.arity:
                 raise EngineError(
                     f"arity mismatch inserting into {self.name!r}: "
                     f"expected {self.schema.arity} values, got {len(row)}"
                 )
-            self._rows.append(tuple(row))
-            self._tids.append(tid)
+            added.append(tuple(row))
+        self._append_rows(added)
+        self._tids.extend(tids)
         if tids:
             self._next_tid = max(self._next_tid, max(tids) + 1)
         self._invalidate_indexes()
@@ -207,17 +402,18 @@ class Table:
         """Remove all rows whose tid is in ``doomed``; returns removal count."""
         if not doomed:
             return 0
-        kept_rows: list[Row] = []
-        kept_tids: list[int] = []
-        removed = 0
-        for tid, row in self.scan():
-            if tid in doomed:
-                removed += 1
-            else:
-                kept_rows.append(row)
-                kept_tids.append(tid)
-        self._rows = kept_rows
-        self._tids = kept_tids
+        kept_positions = [
+            position
+            for position, tid in enumerate(self._tids)
+            if tid not in doomed
+        ]
+        removed = self._length - len(kept_positions)
+        if removed == 0:
+            return 0
+        self._columns = [vec.take(kept_positions) for vec in self._columns]
+        self._tids = [self._tids[p] for p in kept_positions]
+        self._length = len(kept_positions)
+        self._rows_cache = None
         self._invalidate_indexes()
         return removed
 
@@ -228,24 +424,66 @@ class Table:
 
     def clear(self) -> None:
         """Remove all rows (tids keep increasing; they are never reused)."""
-        self._rows = []
+        self._columns = [ColumnVector() for _ in range(self.schema.arity)]
+        self._length = 0
         self._tids = []
+        self._rows_cache = None
+        self._invalidate_indexes()
+
+    def replace_contents(
+        self,
+        rows: Sequence[Sequence[SqlValue]],
+        tids: Sequence[int],
+        next_tid: int,
+    ) -> None:
+        """Swap in a full row set under caller-assigned tids.
+
+        The snapshot/WAL restore path uses this instead of poking at
+        storage internals: it rebuilds the column vectors, adopts the
+        stored tids verbatim, and bumps the version so every derived
+        structure rebuilds.
+        """
+        if len(rows) != len(tids):
+            raise EngineError(
+                f"replace_contents on {self.name!r}: "
+                f"{len(rows)} rows vs {len(tids)} tids"
+            )
+        self._columns = [ColumnVector() for _ in range(self.schema.arity)]
+        self._length = 0
+        self._tids = list(tids)
+        self._rows_cache = None
+        added = [tuple(row) for row in rows]
+        for row in added:
+            if len(row) != self.schema.arity:
+                raise EngineError(
+                    f"arity mismatch inserting into {self.name!r}: "
+                    f"expected {self.schema.arity} values, got {len(row)}"
+                )
+        if added:
+            for position, vec in enumerate(self._columns):
+                vec.extend([row[position] for row in added])
+            self._length = len(added)
+        self._next_tid = next_tid
         self._invalidate_indexes()
 
     def clone(self) -> "Table":
-        """Deep-enough copy: rows are immutable tuples, so sharing is safe.
+        """Cheap copy: column vectors are shared copy-on-write.
 
         Derived structures ride along: the hash indexes, tid map and
         version carry over, so per-shard clones of a static catalog don't
         re-pay index builds. Inner index dicts are built-then-assigned and
-        never mutated in place, and mutation on either side *reassigns*
-        its own containers, so sharing them is safe.
+        never mutated in place, so sharing them is safe; the row-tuple
+        cache is *not* shared (appends extend it in place) and rebuilds
+        lazily on the clone.
         """
         copy = Table(self.schema)
-        copy._rows = list(self._rows)
+        copy._columns = [vec.clone() for vec in self._columns]
+        copy._length = self._length
         copy._tids = list(self._tids)
         copy._next_tid = self._next_tid
         copy._indexes = dict(self._indexes)
         copy._tid_pos = self._tid_pos
         copy._version = self._version
+        copy._zone_maps = dict(self._zone_maps)
+        copy._range_indexes = dict(self._range_indexes)
         return copy

@@ -88,7 +88,7 @@ class IncrementalMaintainer:
         registry: LogRegistry,
         store: LogStore,
         plans: "dict[str, IncrementalPlan]",
-        vectorized: bool = True,
+        engine: "Optional[str]" = None,
         max_entries: int = 100_000,
     ) -> None:
         self.database = database
@@ -113,7 +113,7 @@ class IncrementalMaintainer:
                     name
                 ):
                     self._scratch.attach(database.table(name))
-        self.engine = Engine(self._scratch, vectorized=vectorized)
+        self.engine = Engine(self._scratch, engine)
         self.states = {
             name: PolicyState(plan, max_entries)
             for name, plan in plans.items()

@@ -185,6 +185,31 @@ def collect_service(service) -> "list[MetricFamily]":
         "repro_vector_rows_total", "counter",
         "Rows delivered through the vectorized path.",
     )
+    engine_info = MetricFamily(
+        "repro_engine_info", "gauge",
+        "Execution engine per shard (value is always 1; the engine "
+        "name is the label).",
+    )
+    columnar_batches = MetricFamily(
+        "repro_columnar_batches_total", "counter",
+        "Column batches produced by columnar plan roots.",
+    )
+    columnar_rows = MetricFamily(
+        "repro_columnar_rows_total", "counter",
+        "Rows delivered through the columnar path.",
+    )
+    chunks_scanned = MetricFamily(
+        "repro_engine_chunks_scanned_total", "counter",
+        "Table chunks scanned by pushed-down columnar filters.",
+    )
+    chunks_skipped = MetricFamily(
+        "repro_engine_chunks_skipped_total", "counter",
+        "Table chunks skipped via zone maps (min/max/null pruning).",
+    )
+    range_probes = MetricFamily(
+        "repro_engine_range_probes_total", "counter",
+        "Pushed-down range predicates answered from a sorted index.",
+    )
     policy_hist = MetricFamily(
         "repro_policy_eval_seconds", "histogram",
         "Per-policy evaluation time within one check.",
@@ -271,6 +296,15 @@ def collect_service(service) -> "list[MetricFamily]":
         build_misses.add(label, engine["build_misses"])
         vector_batches.add(label, engine["vector_batches"])
         vector_rows.add(label, engine["vector_rows"])
+        engine_info.add(
+            {"shard": str(shard.index), "engine": engine.get("name", "")},
+            1,
+        )
+        columnar_batches.add(label, engine.get("columnar_batches", 0))
+        columnar_rows.add(label, engine.get("columnar_rows", 0))
+        chunks_scanned.add(label, engine.get("chunks_scanned", 0))
+        chunks_skipped.add(label, engine.get("chunks_skipped", 0))
+        range_probes.add(label, engine.get("range_probes", 0))
         for policy, hist_snap in sorted(snap["policy_eval"].items()):
             policy_hist.add_histogram(
                 {"shard": str(shard.index), "policy": policy},
@@ -359,6 +393,8 @@ def collect_service(service) -> "list[MetricFamily]":
         inc_hits, inc_fallbacks, inc_folds, inc_entries,
         plan_hits, plan_misses,
         build_hits, build_misses, vector_batches, vector_rows,
+        engine_info, columnar_batches, columnar_rows,
+        chunks_scanned, chunks_skipped, range_probes,
     ]
     if durable:
         families.extend([wal_appends, wal_fsyncs, wal_bytes, wal_seq])

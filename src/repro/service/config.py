@@ -6,6 +6,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..engine import ENGINES
 from ..errors import ServiceError
 
 
@@ -87,6 +88,10 @@ class ServiceConfig:
       An enabled tier requires ``workers=1``: coordinator-assigned
       timestamps must apply on each shard in admission order, which a
       single worker's FIFO guarantees.
+    - ``engine`` — execution engine for every shard enforcer (``"row"``,
+      ``"vectorized"``, or ``"columnar"``); ``None`` (default) inherits
+      the seed enforcer's :attr:`~repro.core.EnforcerOptions.engine`.
+      Decisions are bit-identical under every engine.
     """
 
     shards: int = 1
@@ -108,8 +113,14 @@ class ServiceConfig:
     slow_query_seconds: float = 0.0
     workers_mode: str = field(default_factory=_default_workers_mode)
     global_tier: str = "off"
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ServiceError(
+                f"unknown engine {self.engine!r} "
+                f"(expected one of {', '.join(ENGINES)})"
+            )
         if self.workers_mode not in ("thread", "process"):
             raise ServiceError(
                 f"unknown workers_mode {self.workers_mode!r} "

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from ..core import Decision, Enforcer, Policy, explain_decision
+from ..engine import Engine
 from ..obs import build_service_registry
 from ..errors import (
     PolicyError,
@@ -323,6 +324,7 @@ class ShardedEnforcerService:
                 "decision_cache": self.config.decision_cache,
                 "decision_cache_size": self.config.decision_cache_size,
                 "incremental": self.config.incremental,
+                "engine": self.config.engine,
             },
         }
         if self._tier is not None:
@@ -384,11 +386,17 @@ class ShardedEnforcerService:
 
     def _apply_option_overrides(self, shard_enforcer: Enforcer) -> None:
         options = shard_enforcer.options
+        engine = (
+            self.config.engine
+            if self.config.engine is not None
+            else options.engine
+        )
         if (
             options.tracing != self.config.tracing
             or options.decision_cache != self.config.decision_cache
             or options.decision_cache_size != self.config.decision_cache_size
             or options.incremental != self.config.incremental
+            or options.engine != engine
         ):
             shard_enforcer.options = replace(
                 options,
@@ -396,6 +404,17 @@ class ShardedEnforcerService:
                 decision_cache=self.config.decision_cache,
                 decision_cache_size=self.config.decision_cache_size,
                 incremental=self.config.incremental,
+                engine=engine,
+            )
+        # Decision cache and incremental maintainer read ``options``
+        # lazily, but the execution engine is built in ``__init__`` —
+        # rebuild it when the service config picked a different one.
+        if (
+            shard_enforcer.engine.engine_name
+            != shard_enforcer.options.engine_name
+        ):
+            shard_enforcer.engine = Engine(
+                shard_enforcer.database, shard_enforcer.options.engine
             )
 
     def _reference_policies(self) -> "tuple[int, list[dict]]":

@@ -222,7 +222,7 @@ class GlobalTier:
         # pattern (tiny log tables refilled per delta, base tables
         # attached by reference) and a folder thread off a queue.
         self._scratch = Database()
-        self._scratch_engine = Engine(self._scratch, vectorized=True)
+        self._scratch_engine = Engine(self._scratch)
         self._queue: "queue.Queue" = queue.Queue()
         self._last_fold = time.monotonic()
         self._folder: Optional[threading.Thread] = None
@@ -232,7 +232,7 @@ class GlobalTier:
         # policies read, plus the clock relation and base tables.
         self._mirror = Database()
         self._mirror.create_table(CLOCK_TABLE, ["ts"])
-        self._mirror_engine = Engine(self._mirror, vectorized=True)
+        self._mirror_engine = Engine(self._mirror)
 
         # Counters for /metrics.
         self.checks_async = 0

@@ -239,6 +239,7 @@ class Shard:
         snapshot["epoch"] = self.epoch
         snapshot["queue_depth"] = self.queue_depth()
         snapshot["queue_capacity"] = queue_capacity
+        snapshot["engine"] = self.enforcer.engine.engine_name
         cache = self.enforcer.decision_cache
         if cache is not None:
             snapshot["decision_cache"] = cache.stats.as_dict()
@@ -292,12 +293,18 @@ class Shard:
             }
         engine = self.enforcer.engine
         state["engine"] = {
+            "name": engine.engine_name,
             "plan_hits": engine.plan_cache_hits,
             "plan_misses": engine.plan_cache_misses,
             "build_hits": engine.database.join_build_hits,
             "build_misses": engine.database.join_build_misses,
             "vector_batches": engine.vector_batches,
             "vector_rows": engine.vector_rows,
+            "columnar_batches": engine.columnar_batches,
+            "columnar_rows": engine.columnar_rows,
+            "chunks_scanned": engine.database.zone_chunks_scanned,
+            "chunks_skipped": engine.database.zone_chunks_skipped,
+            "range_probes": engine.database.range_probes,
         }
         durability = self.durability
         if durability is not None:

@@ -27,7 +27,7 @@ from dataclasses import replace
 from typing import Optional
 
 from ..core import Decision, Enforcer, Policy, Violation, explain_decision
-from ..engine import Result
+from ..engine import Engine, Result
 from ..errors import (
     ReproError,
     ServiceClosedError,
@@ -174,11 +174,17 @@ def _build_shard(spec: dict) -> "tuple[Shard, Optional[dict]]":
 
     options = enforcer.options
     overrides = spec["options"]
+    engine = (
+        overrides.get("engine")
+        if overrides.get("engine") is not None
+        else options.engine
+    )
     if (
         options.tracing != overrides["tracing"]
         or options.decision_cache != overrides["decision_cache"]
         or options.decision_cache_size != overrides["decision_cache_size"]
         or options.incremental != overrides["incremental"]
+        or options.engine != engine
     ):
         enforcer.options = replace(
             options,
@@ -186,6 +192,13 @@ def _build_shard(spec: dict) -> "tuple[Shard, Optional[dict]]":
             decision_cache=overrides["decision_cache"],
             decision_cache_size=overrides["decision_cache_size"],
             incremental=overrides["incremental"],
+            engine=engine,
+        )
+    # The execution engine is built in ``Enforcer.__init__``; rebuild it
+    # when the service config picked a different one than the snapshot.
+    if enforcer.engine.engine_name != enforcer.options.engine_name:
+        enforcer.engine = Engine(
+            enforcer.database, enforcer.options.engine
         )
 
     durability = None

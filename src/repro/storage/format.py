@@ -78,10 +78,10 @@ def read_table(path: Path) -> Table:
     if tids is not None:
         if len(tids) != len(rows):
             raise StorageError(f"{path}: tids/rows length mismatch")
-        table._rows = rows  # noqa: SLF001 - same package
-        table._tids = list(tids)  # noqa: SLF001
-        table._next_tid = int(  # noqa: SLF001
-            header.get("next_tid", (max(tids) + 1) if tids else 0)
+        table.replace_contents(
+            rows,
+            tids,
+            int(header.get("next_tid", (max(tids) + 1) if tids else 0)),
         )
     else:
         table.insert_many(rows)

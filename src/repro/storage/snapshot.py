@@ -177,10 +177,7 @@ def restore_enforcer(
     for name in sorted(stored_logs):
         stored = read_table(directory / f"__log_{name}.jsonl")
         live = enforcer.database.table(name)
-        live._rows = list(stored.rows())  # noqa: SLF001 - controlled swap
-        live._tids = list(stored.tids())  # noqa: SLF001
-        live._next_tid = stored._next_tid  # noqa: SLF001
-        live._invalidate_indexes()  # noqa: SLF001
+        live.replace_contents(stored.rows(), stored.tids(), stored.next_tid)
         by_tid = dict(zip(live.tids(), live.rows()))
         enforcer.store._disk[name] = [  # noqa: SLF001
             (tid, by_tid[tid])

@@ -1,0 +1,521 @@
+"""Columnar engine: typed column vectors, zone-map pruning, range
+indexes, the four-way referee (columnar ≡ vectorized ≡ row ≡ SQLite),
+WAL recovery rebuilding identical column state, and regression coverage
+for every deprecated engine spelling.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.engine import DEFAULT_ENGINE, ENGINES, Database, Engine
+from repro.engine.columnar import (
+    CHUNK_SIZE,
+    ColumnVector,
+    build_zone_entry,
+    chunk_can_skip,
+    value_family,
+)
+from repro.log import SimulatedClock, standard_registry
+from repro.service import ServiceConfig, ShardedEnforcerService
+from repro.storage.wal import initialize_durability, recover_enforcer
+
+int_or_null = st.one_of(st.integers(min_value=-4, max_value=4), st.none())
+rows_r = st.lists(st.tuples(int_or_null, int_or_null), max_size=8)
+rows_s = st.lists(st.tuples(int_or_null, int_or_null), max_size=8)
+
+
+def build_db(r_rows, s_rows) -> Database:
+    db = Database()
+    db.load_table("r", ["a", "b"], r_rows)
+    db.load_table("s", ["a", "c"], s_rows)
+    return db
+
+
+def build_engines(r_rows, s_rows):
+    """One engine per discipline over one shared catalog."""
+    db = build_db(r_rows, s_rows)
+    return [Engine(db, name) for name in ENGINES]
+
+
+def to_sqlite(db: Database) -> sqlite3.Connection:
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE r (a INTEGER, b INTEGER)")
+    connection.execute("CREATE TABLE s (a INTEGER, c INTEGER)")
+    connection.executemany("INSERT INTO r VALUES (?, ?)", db.table("r").rows())
+    connection.executemany("INSERT INTO s VALUES (?, ?)", db.table("s").rows())
+    return connection
+
+
+QUERY_FORMS = [
+    "SELECT r.a, r.b FROM r WHERE r.a = 1",
+    "SELECT r.a FROM r WHERE r.a > 0 AND r.b < 3",
+    "SELECT r.a FROM r WHERE r.a >= 2",
+    "SELECT r.a, s.c FROM r, s WHERE r.a = s.a",
+    "SELECT r.a, s.c FROM r, s WHERE r.a = s.a AND r.b = 2",
+    "SELECT r.a, s.c FROM r, s WHERE r.a = s.a AND r.b < s.c",
+    "SELECT r.a, s.c FROM r LEFT JOIN s ON r.a = s.a WHERE r.b = 1",
+    "SELECT r.a FROM r, s WHERE r.b > s.c",
+    "SELECT r.a, COUNT(*) FROM r GROUP BY r.a",
+    "SELECT r.a, SUM(r.b) FROM r GROUP BY r.a HAVING COUNT(*) > 1",
+    "SELECT COUNT(*), SUM(r.a), MIN(r.b), MAX(r.b), AVG(r.a) FROM r",
+    "SELECT COUNT(*) FROM r WHERE r.a IS NOT NULL",
+    "SELECT COUNT(DISTINCT r.a) FROM r",
+    "SELECT DISTINCT r.a FROM r",
+    "SELECT r.a FROM r UNION SELECT s.a FROM s",
+    "SELECT r.a FROM r EXCEPT SELECT s.a FROM s",
+    "SELECT r.a FROM r ORDER BY r.a LIMIT 3",
+    "SELECT r.a + r.b FROM r WHERE NOT (r.a = 2)",
+]
+
+
+class TestFourWayAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(rows_r, rows_s, st.integers(0, len(QUERY_FORMS) - 1))
+    def test_columnar_vectorized_row_sqlite(self, r_rows, s_rows, query_index):
+        sql = QUERY_FORMS[query_index]
+        engines = build_engines(r_rows, s_rows)
+        results = [engine.execute(sql) for engine in engines]
+        reference = results[0]
+        for engine, got in zip(engines[1:], results[1:]):
+            assert got.rows == reference.rows, engine.engine_name
+            assert got.columns == reference.columns, engine.engine_name
+        if "ORDER BY" not in sql:  # multiset compare against the oracle
+            theirs = to_sqlite(engines[0].database).execute(sql).fetchall()
+            assert sorted(reference.rows, key=repr) == sorted(
+                [tuple(r) for r in theirs], key=repr
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows_r, rows_s, st.integers(0, len(QUERY_FORMS) - 1))
+    def test_lineage_mode_identical(self, r_rows, s_rows, query_index):
+        """lineage=True forces the row path on every engine — rows *and*
+        provenance must agree with the row-engine reference."""
+        sql = QUERY_FORMS[query_index]
+        engines = build_engines(r_rows, s_rows)
+        results = [engine.execute(sql, lineage=True) for engine in engines]
+        for engine, got in zip(engines[1:], results[1:]):
+            assert got.rows == results[0].rows, engine.engine_name
+            assert got.lineages == results[0].lineages, engine.engine_name
+
+    @settings(max_examples=15, deadline=None)
+    @given(rows_r, rows_s)
+    def test_mutation_under_cached_plan(self, r_rows, s_rows):
+        """Inserts and deletes bump table versions: cached plans, zone
+        maps, and range indexes must all see the current state."""
+        sql = "SELECT r.a, s.c FROM r, s WHERE r.a = s.a"
+        range_sql = "SELECT s.c FROM s WHERE s.a >= 1"
+        engines = build_engines(r_rows, s_rows)
+
+        def agree(query):
+            results = [engine.execute(query).rows for engine in engines]
+            assert results[1] == results[0]
+            assert results[2] == results[0]
+
+        agree(sql)
+        agree(range_sql)
+        s = engines[0].database.table("s")
+        s.insert_many([(1, 99), (2, 98)])
+        agree(sql)
+        agree(range_sql)
+        s.delete_tids({s.tids()[0]} if s.tids() else set())
+        agree(sql)
+        agree(range_sql)
+
+
+class TestColumnVector:
+    def test_promotes_to_int_mode(self):
+        vec = ColumnVector.from_values([1, 2, 3])
+        assert vec.kind == "i64"
+        assert vec.values() == [1, 2, 3]
+        assert vec.null_count == 0
+        assert vec.is_clean_numeric()
+
+    def test_promotes_to_float_mode(self):
+        vec = ColumnVector.from_values([1.5, 2.5])
+        assert vec.kind == "f64"
+        assert vec.values() == [1.5, 2.5]
+
+    def test_nulls_tracked_in_bitmap(self):
+        vec = ColumnVector.from_values([1, None, 3, None])
+        assert vec.null_count == 2
+        assert vec.values() == [1, None, 3, None]
+        assert not vec.is_clean_numeric()
+        bitmap = vec.null_bitmap()
+        assert (bitmap[0] >> 1) & 1 and (bitmap[0] >> 3) & 1
+        assert not (bitmap[0] & 1)
+
+    def test_demotes_on_nonconforming_append(self):
+        vec = ColumnVector.from_values([1, 2, 3])
+        assert vec.kind == "i64"
+        vec.append("x")
+        assert vec.kind == "obj"
+        assert vec.values() == [1, 2, 3, "x"]
+
+    def test_bools_never_enter_typed_mode(self):
+        # bool is an int subclass; a typed store would erase the
+        # distinction and break the engine's bool-is-not-int semantics.
+        vec = ColumnVector.from_values([True, False])
+        assert vec.values() == [True, False]
+        assert vec.values()[0] is True
+
+    def test_clone_is_copy_on_write(self):
+        vec = ColumnVector.from_values([1, 2, 3])
+        twin = vec.clone()
+        twin.append(4)
+        assert vec.values() == [1, 2, 3]
+        assert twin.values() == [1, 2, 3, 4]
+        vec.append(9)
+        assert twin.values() == [1, 2, 3, 4]
+        assert vec.values() == [1, 2, 3, 9]
+
+    def test_take_preserves_values_and_nulls(self):
+        vec = ColumnVector.from_values([10, None, 30, 40])
+        taken = vec.take([3, 0, 1])
+        assert taken.values() == [40, 10, None]
+        assert taken.null_count == 1
+
+
+class TestTableAccessors:
+    def make_table(self, n=10):
+        db = Database()
+        db.load_table(
+            "t", ["a", "b"], [(i, None if i % 3 == 0 else i * 2) for i in range(n)]
+        )
+        return db.table("t")
+
+    def test_column_by_name(self):
+        table = self.make_table()
+        vec = table.column("a")
+        assert isinstance(vec, ColumnVector)
+        assert vec.values() == [row[0] for row in table.rows()]
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            table.column("nope")
+
+    def test_null_mask(self):
+        table = self.make_table(4)
+        mask = table.null_mask("b")
+        assert (mask[0] >> 0) & 1 and (mask[0] >> 3) & 1
+        assert not ((mask[0] >> 1) & 1 or (mask[0] >> 2) & 1)
+
+    def test_chunks_cover_all_rows_in_order(self):
+        db = Database()
+        n = CHUNK_SIZE * 2 + 17
+        db.load_table("big", ["x"], [(i,) for i in range(n)])
+        table = db.table("big")
+        spans = table.chunk_spans()
+        assert spans[0] == (0, CHUNK_SIZE)
+        assert spans[-1][1] == n
+        rebuilt = [row for batch in table.chunks() for row in batch.to_rows()]
+        assert rebuilt == table.rows()
+
+    def test_zone_map_tracks_min_max_nulls(self):
+        table = self.make_table(6)
+        [entry] = table.zone_map(1)
+        assert entry.family == "num"
+        assert entry.lo == 2 and entry.hi == 10
+        assert entry.null_count == 2
+        table.insert((99, 198))
+        [entry] = table.zone_map(1)
+        assert entry.hi == 198
+
+
+class TestZonePruning:
+    def make_sorted_db(self, n=10 * CHUNK_SIZE):
+        db = Database()
+        db.load_table("big", ["id", "v"], [(i, i % 7) for i in range(n)])
+        return db
+
+    def test_range_predicate_skips_cold_chunks(self):
+        db = self.make_sorted_db()
+        engine = Engine(db, "columnar")
+        low, high = CHUNK_SIZE // 2, CHUNK_SIZE + CHUNK_SIZE // 2
+        result = engine.execute(
+            f"SELECT COUNT(*) FROM big WHERE big.id >= {low} "
+            f"AND big.id < {high}"
+        )
+        assert result.rows == [(high - low,)]
+        assert db.zone_chunks_skipped >= 8
+        assert db.zone_chunks_scanned <= 2
+        assert db.zone_chunks_scanned + db.zone_chunks_skipped == 10
+
+    def test_unselective_predicate_scans_everything(self):
+        db = self.make_sorted_db(2 * CHUNK_SIZE)
+        engine = Engine(db, "columnar")
+        result = engine.execute(
+            "SELECT COUNT(*) FROM big WHERE big.id >= 0 AND big.v < 7"
+        )
+        assert result.rows == [(2 * CHUNK_SIZE,)]
+        assert db.zone_chunks_skipped == 0
+
+    def test_row_and_vectorized_engines_never_prune(self):
+        db = self.make_sorted_db(2 * CHUNK_SIZE)
+        for name in ("row", "vectorized"):
+            engine = Engine(db, name)
+            engine.execute(
+                "SELECT COUNT(*) FROM big WHERE big.id >= 0 AND big.id < 10"
+            )
+        assert db.zone_chunks_scanned == 0
+        assert db.zone_chunks_skipped == 0
+
+    def test_single_range_conjunct_uses_range_index(self):
+        db = self.make_sorted_db(2 * CHUNK_SIZE)
+        engine = Engine(db, "columnar")
+        result = engine.execute("SELECT COUNT(*) FROM big WHERE big.id < 100")
+        assert result.rows == [(100,)]
+        assert db.range_probes >= 1
+
+    def test_chunk_can_skip_matrix(self):
+        entry = build_zone_entry([1, 5, 9])
+        assert chunk_can_skip(entry, "<", 1, value_family(1))
+        assert not chunk_can_skip(entry, "<=", 1, value_family(1))
+        assert chunk_can_skip(entry, ">", 9, value_family(9))
+        assert chunk_can_skip(entry, "=", 10, value_family(10))
+        assert not chunk_can_skip(entry, "=", 5, value_family(5))
+        # NULL comparisons are never True; cross-family '=' can't match,
+        # but cross-family ordering must scan so the error surfaces.
+        assert chunk_can_skip(entry, "=", None, None)
+        assert chunk_can_skip(entry, "=", "x", value_family("x"))
+        assert not chunk_can_skip(entry, "<", "x", value_family("x"))
+        # All-NULL chunks never satisfy any comparison.
+        assert chunk_can_skip(build_zone_entry([None, None]), "=", 1, "num")
+        # Mixed-family chunks are unprunable.
+        assert not chunk_can_skip(build_zone_entry([1, "x"]), "=", 1, "num")
+
+
+class TestRangeIndex:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(st.integers(min_value=-5, max_value=5), st.none()),
+            max_size=40,
+        ),
+        st.sampled_from(["<", "<=", ">", ">=", "="]),
+        st.integers(min_value=-5, max_value=5),
+    )
+    def test_matches_brute_force(self, values, op, const):
+        from repro.engine import types
+
+        db = Database()
+        db.load_table("t", ["x"], [(v,) for v in values])
+        table = db.table("t")
+        got = table.range_positions(0, op, const)
+        expected = [
+            i
+            for i, v in enumerate(values)
+            if v is not None and types.compare(op, v, const)
+        ]
+        assert got == expected
+
+    def test_null_const_matches_nothing(self):
+        db = Database()
+        db.load_table("t", ["x"], [(1,), (2,)])
+        assert db.table("t").range_positions(0, "<", None) == []
+
+    def test_cross_family_refuses(self):
+        db = Database()
+        db.load_table("t", ["x"], [(1,), (2,)])
+        assert db.table("t").range_positions(0, "<", "a") is None
+
+    def test_mixed_column_refuses(self):
+        db = Database()
+        db.load_table("t", ["x"], [(1,), ("a",)])
+        assert db.table("t").range_positions(0, "<", 3) is None
+
+    def test_index_tracks_mutations(self):
+        db = Database()
+        db.load_table("t", ["x"], [(i,) for i in range(10)])
+        table = db.table("t")
+        assert table.range_positions(0, ">=", 8) == [8, 9]
+        table.insert((100,))
+        assert table.range_positions(0, ">=", 8) == [8, 9, 10]
+
+
+RATE_POLICY = (
+    "SELECT DISTINCT 'too fast' FROM users u, groups g, clock c "
+    "WHERE u.uid = g.uid AND g.gid = 'x' AND u.ts > c.ts - 100 "
+    "HAVING COUNT(DISTINCT u.ts) > 3"
+)
+
+
+def make_enforcer(**overrides) -> Enforcer:
+    db = Database()
+    db.load_table(
+        "items",
+        ["iid", "owner"],
+        [(f"i{i}", f"u{i % 2}") for i in range(4)],
+    )
+    db.load_table("groups", ["uid", "gid"], [("alice", "x"), ("bob", "x")])
+    policy = Policy.from_sql("rate", RATE_POLICY, "rate limit")
+    return Enforcer(
+        db,
+        [policy],
+        registry=standard_registry(),
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions(**overrides),
+    )
+
+
+class TestRecoveryRebuildsColumnState:
+    def test_recovered_columns_match_uncrashed_twin(self, tmp_path):
+        queries = [("SELECT iid FROM items", "alice")] * 5 + [
+            ("SELECT owner FROM items WHERE owner = 'u0'", "bob")
+        ]
+        enforcer = make_enforcer(engine="columnar")
+        wal = initialize_durability(enforcer, tmp_path)
+        for sql, uid in queries:
+            enforcer.submit(sql, uid=uid)
+        wal.close()  # abandon in-memory state: simulated crash
+
+        twin = make_enforcer(engine="columnar")
+        for sql, uid in queries:
+            twin.submit(sql, uid=uid)
+
+        recovered, rwal, _ = recover_enforcer(
+            tmp_path, clock=SimulatedClock(default_step_ms=10)
+        )
+        try:
+            for name in ("users", "schema", "provenance"):
+                ours = recovered.database.table(name)
+                theirs = twin.database.table(name)
+                assert ours.rows() == theirs.rows()
+                assert ours.tids() == theirs.tids()
+                width = len(ours.rows()[0]) if ours.rows() else 0
+                for position in range(width):
+                    assert (
+                        ours.column_values(position)
+                        == theirs.column_values(position)
+                    )
+                    assert [
+                        (e.family, e.lo, e.hi, e.null_count)
+                        for e in ours.zone_map(position)
+                    ] == [
+                        (e.family, e.lo, e.hi, e.null_count)
+                        for e in theirs.zone_map(position)
+                    ]
+            # And the recovered enforcer keeps deciding identically.
+            for sql, uid in queries:
+                assert (
+                    recovered.submit(sql, uid=uid).allowed
+                    == twin.submit(sql, uid=uid).allowed
+                )
+        finally:
+            rwal.close()
+
+
+class TestDeprecatedSpellings:
+    def test_engine_vectorized_kwarg_warns_and_maps(self):
+        db = Database()
+        db.load_table("t", ["x"], [(1,)])
+        with pytest.warns(DeprecationWarning, match="vectorized"):
+            engine = Engine(db, vectorized=False)
+        assert engine.engine_name == "row"
+        assert engine.vectorized is False
+        with pytest.warns(DeprecationWarning, match="vectorized"):
+            engine = Engine(db, vectorized=True)
+        assert engine.engine_name == "vectorized"
+        assert engine.execute("SELECT t.x FROM t").rows == [(1,)]
+
+    def test_enforcer_options_vectorized_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="vectorized"):
+            options = EnforcerOptions(vectorized=False)
+        assert options.engine == "row"
+        assert options.vectorized is None  # normalized away
+        with pytest.warns(DeprecationWarning, match="vectorized"):
+            options = EnforcerOptions.datalawyer(vectorized=True)
+        assert options.engine == "vectorized"
+
+    def test_explicit_engine_wins_over_legacy_boolean(self):
+        with pytest.warns(DeprecationWarning, match="vectorized"):
+            options = EnforcerOptions(engine="columnar", vectorized=False)
+        assert options.engine == "columnar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            EnforcerOptions(engine="turbo")
+        db = Database()
+        with pytest.raises(ValueError, match="unknown engine"):
+            Engine(db, "turbo")
+
+    def test_default_engine_is_columnar(self):
+        db = Database()
+        assert Engine(db).engine_name == DEFAULT_ENGINE == "columnar"
+        assert EnforcerOptions().engine_name == "columnar"
+
+    def test_cli_no_vectorized_flag_warns_and_maps(self):
+        from repro.cli import _engine_from_args, make_parser
+
+        args = make_parser().parse_args(
+            ["check", "--query", "SELECT 1", "--no-vectorized"]
+        )
+        with pytest.warns(DeprecationWarning, match="--engine row"):
+            assert _engine_from_args(args) == "row"
+        args = make_parser().parse_args(
+            ["check", "--query", "SELECT 1", "--engine", "columnar"]
+        )
+        assert _engine_from_args(args) == "columnar"
+
+
+def make_service_enforcer() -> Enforcer:
+    db = Database()
+    db.load_table("navteq", ["id", "lat"], [(i, float(i)) for i in range(8)])
+    policy = Policy.from_sql(
+        "no-joins",
+        "SELECT DISTINCT 'no external joins' FROM schema p1, schema p2 "
+        "WHERE p1.ts = p2.ts AND p1.irid = 'navteq' AND p2.irid <> 'navteq'",
+    )
+    return Enforcer(
+        db,
+        [policy],
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(),
+    )
+
+
+class TestServiceEngineSurface:
+    def test_stats_and_metrics_expose_engine(self):
+        service = ShardedEnforcerService(
+            make_service_enforcer(),
+            ServiceConfig(shards=2, routing="modulo", engine="columnar"),
+        )
+        try:
+            service.submit(
+                "SELECT n.id FROM navteq n WHERE n.id >= 2 AND n.id < 5",
+                uid=1,
+            )
+            stats = service.stats()
+            assert [s["engine"] for s in stats["per_shard"]] == [
+                "columnar",
+                "columnar",
+            ]
+            body = service.render_metrics()
+            assert 'repro_engine_info{shard="0",engine="columnar"} 1' in body
+            assert "repro_engine_chunks_scanned_total" in body
+            assert "repro_engine_chunks_skipped_total" in body
+        finally:
+            service.drain()
+
+    def test_config_engine_overrides_seed_enforcer(self):
+        enforcer = make_service_enforcer()
+        assert enforcer.engine.engine_name == "columnar"
+        service = ShardedEnforcerService(
+            enforcer, ServiceConfig(shards=1, engine="row")
+        )
+        try:
+            assert service.shards[0].enforcer.engine.engine_name == "row"
+            assert service.shards[0].enforcer.options.engine == "row"
+        finally:
+            service.drain()
+
+    def test_config_rejects_unknown_engine(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="unknown engine"):
+            ServiceConfig(engine="turbo")

@@ -69,11 +69,16 @@ CONFIGS = {
     "no-preemptive": EnforcerOptions.datalawyer(preemptive_compaction=False),
     "improved-partial": EnforcerOptions.datalawyer(improved_partial=True),
     "everything-off-but-compaction": EnforcerOptions.noopt(log_compaction=True),
-    # Row-at-a-time engine under full optimizations: the vectorized batch
-    # path (the baseline runs it, every other config above inherits it)
-    # must be invisible in the decision stream.
-    "row-engine": EnforcerOptions.datalawyer(vectorized=False),
-    "row-engine-noopt": EnforcerOptions.noopt(vectorized=False),
+    # Execution engines: the baseline runs the default (columnar); every
+    # explicit discipline — row-at-a-time, vectorized batches, columnar
+    # vectors — must be invisible in the decision stream, with and
+    # without the other optimizations.
+    "row-engine": EnforcerOptions.datalawyer(engine="row"),
+    "row-engine-noopt": EnforcerOptions.noopt(engine="row"),
+    "vectorized-engine": EnforcerOptions.datalawyer(engine="vectorized"),
+    "vectorized-engine-noopt": EnforcerOptions.noopt(engine="vectorized"),
+    "columnar-engine": EnforcerOptions.datalawyer(engine="columnar"),
+    "columnar-engine-noopt": EnforcerOptions.noopt(engine="columnar"),
 }
 
 

@@ -1,8 +1,8 @@
 """Vectorized execution: batch path ≡ row path ≡ SQLite, predicate
 pushdown, and the version-keyed hash-join build cache.
 
-The referee property: for every query, ``Engine(db, vectorized=True)``
-and ``Engine(db, vectorized=False)`` return bit-identical results —
+The referee property: for every query, ``Engine(db, engine="vectorized")``
+and ``Engine(db, engine="row")`` return bit-identical results —
 including lineage-mode runs (which always take the row path) and
 mid-stream mutations that bump table versions under a cached plan.
 """
@@ -33,7 +33,7 @@ def build_db(r_rows, s_rows) -> Database:
 def build_pair(r_rows, s_rows):
     """Two engines — batch and row discipline — over one shared catalog."""
     db = build_db(r_rows, s_rows)
-    return Engine(db, vectorized=True), Engine(db, vectorized=False)
+    return Engine(db, engine="vectorized"), Engine(db, engine="row")
 
 
 def to_sqlite(db: Database) -> sqlite3.Connection:
@@ -167,7 +167,7 @@ class TestComparisonSpecializations:
 class TestJoinBuildCache:
     def setup_pair(self):
         db = build_db([(i % 5, i) for i in range(40)], [(i, i * 10) for i in range(5)])
-        return Engine(db, vectorized=True), db
+        return Engine(db, engine="vectorized"), db
 
     def test_second_execution_hits(self):
         engine, db = self.setup_pair()
@@ -319,7 +319,7 @@ class TestVectorCounters:
 
     def test_row_engine_leaves_counters_alone(self):
         db = build_db([(1, 1)], [])
-        engine = Engine(db, vectorized=False)
+        engine = Engine(db, engine="row")
         engine.execute("SELECT r.a FROM r")
         assert engine.vector_batches == 0
         assert engine.vector_rows == 0
@@ -334,8 +334,8 @@ class TestMimicWorkload:
     def engines(self):
         database = build_mimic_database(MimicConfig(n_patients=40))
         return (
-            Engine(database, vectorized=True),
-            Engine(database, vectorized=False),
+            Engine(database, engine="vectorized"),
+            Engine(database, engine="row"),
             make_workload(MimicConfig(n_patients=40)),
         )
 

@@ -1,0 +1,105 @@
+"""Consolidate per-bench JSON artifacts into one perf-history file.
+
+Each machine-readable bench drops a ``results/BENCH_<name>.json``
+snapshot of its headline numbers. This script merges every such file
+into ``results/BENCH_trajectory.json``, keyed by commit, so the perf
+trajectory across the PR sequence stays machine-readable:
+
+    {
+      "<short-sha>": {
+        "commit": "<short-sha>",
+        "subject": "<commit subject>",
+        "date": "<committer date, ISO>",
+        "benchmarks": {"engine": {...}, "policy_dag": {...}, ...}
+      },
+      ...
+    }
+
+Run it after a full bench pass (``pytest benchmarks/``)::
+
+    python benchmarks/collect_trajectory.py
+
+Re-running on the same commit overwrites that commit's entry; history
+for other commits is preserved. ``--key`` overrides the commit key
+(e.g. a PR number) when consolidating off-commit results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TRAJECTORY = RESULTS_DIR / "BENCH_trajectory.json"
+
+
+def git_describe() -> dict:
+    """Commit identity for the key and entry metadata."""
+    def line(*args: str) -> str:
+        return subprocess.run(
+            ["git", *args],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+
+    return {
+        "commit": line("rev-parse", "--short", "HEAD"),
+        "subject": line("log", "-1", "--format=%s"),
+        "date": line("log", "-1", "--format=%cI"),
+    }
+
+
+def collect() -> dict:
+    """Every BENCH_*.json payload, keyed by bench name."""
+    benchmarks = {}
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY.name:
+            continue
+        name = path.stem[len("BENCH_"):]
+        try:
+            benchmarks[name] = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            print(f"skipping {path.name}: {error}", file=sys.stderr)
+    return benchmarks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--key",
+        default=None,
+        help="trajectory key (defaults to the current short commit sha)",
+    )
+    args = parser.parse_args(argv)
+
+    identity = git_describe()
+    key = args.key or identity["commit"]
+    benchmarks = collect()
+    if not benchmarks:
+        print("no BENCH_*.json artifacts found; run the benches first",
+              file=sys.stderr)
+        return 1
+
+    history = {}
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+    history[key] = {**identity, "benchmarks": benchmarks}
+    TRAJECTORY.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"{TRAJECTORY.name}: {len(history)} entr"
+        f"{'y' if len(history) == 1 else 'ies'}, "
+        f"{len(benchmarks)} benchmark(s) under key {key!r}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,11 +29,11 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
-import warnings
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .core import Enforcer, EnforcerOptions, Policy, explain_decision
+from .deprecation import warn_deprecated
 from .engine import ENGINES, Database, SqlValue
 from .errors import ReproError
 from .log import SimulatedClock
@@ -96,11 +96,7 @@ def _engine_from_args(args) -> Optional[str]:
     """The ``--engine`` selection, honoring deprecated ``--no-vectorized``."""
     engine = getattr(args, "engine", None)
     if getattr(args, "no_vectorized", False):
-        warnings.warn(
-            "--no-vectorized is deprecated; use --engine row",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        warn_deprecated("--no-vectorized is deprecated; use --engine row")
         if engine is None:
             engine = "row"
     return engine

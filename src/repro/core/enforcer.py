@@ -16,7 +16,7 @@ toggles each optimization independently so the benchmarks can ablate them:
 
 from __future__ import annotations
 
-import warnings
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
@@ -34,7 +34,10 @@ from ..analysis import (
     unify_policies,
     witness_queries,
 )
+from ..analysis.unification import _CONST_ALIAS, UnifiedGroup
+from ..deprecation import warn_deprecated
 from ..engine import DEFAULT_ENGINE, ENGINES, Database, Engine, Result
+from ..engine.dag import PolicyDag
 from ..errors import ReproError
 from ..incremental import (
     IncrementalMaintainer,
@@ -80,6 +83,14 @@ class EnforcerOptions:
     #: Policy evaluation strategy when ``interleaved`` is off:
     #: "serial" (one statement per policy) or "union" (one big statement).
     eval_strategy: str = "union"
+    #: Evaluate the "union" strategy through a cross-policy shared-subplan
+    #: DAG (see :mod:`repro.engine.dag`): identical scans, pushed-filter
+    #: scans, join builds, and group-bys across policy branches execute
+    #: once per check, branches run cheapest-first, and the check
+    #: short-circuits on the first firing policy. Decisions and the usage
+    #: log are bit-identical either way. Off in the NoOpt baseline, which
+    #: models the paper's branch-at-a-time UNION statement.
+    plan_sharing: bool = True
     #: Run the mark/delete phases only every k-th query (§5.2: "DataLawyer
     #: could compact the log less frequently or whenever the system has
     #: idle resources"). Increments are still persisted every query, so
@@ -124,11 +135,9 @@ class EnforcerOptions:
 
     def __post_init__(self) -> None:
         if self.vectorized is not None:
-            warnings.warn(
+            warn_deprecated(
                 "EnforcerOptions.vectorized is deprecated; use "
-                "engine='vectorized' or engine='row'",
-                DeprecationWarning,
-                stacklevel=3,
+                "engine='vectorized' or engine='row'"
             )
             if self.engine is None:
                 object.__setattr__(
@@ -162,6 +171,7 @@ class EnforcerOptions:
             preemptive_compaction=False,
             improved_partial=False,
             eval_strategy="union",
+            plan_sharing=False,
         )
         defaults.update(overrides)
         return cls(**defaults)
@@ -186,12 +196,52 @@ class RuntimePolicy:
     improved_partial_safe: bool = False
     #: For unified groups: the names of the original member policies.
     member_names: list[str] = field(default_factory=list)
+    #: For unified groups: whitespace-normalized violation message → the
+    #: member policy it belongs to, so firings (and their eval seconds)
+    #: are attributed to the real policy instead of the joined name.
+    member_messages: dict[str, str] = field(default_factory=dict)
     #: Offline cacheability classification (stable/versioned/uncacheable).
     cache_profile: Optional[CachePolicyProfile] = None
     #: Incremental-maintenance plan, when the shape qualifies.
     incremental_plan: Optional[IncrementalPlan] = None
     #: Human-readable classification verdict (always set by _analyze).
     incremental_reason: str = ""
+
+
+def _member_messages(group: UnifiedGroup) -> dict[str, str]:
+    """Map each member policy's violation message back to its name.
+
+    A unified group selects its message from the generated constants
+    table (``__c.c<j>``), so member *i*'s message is literally row *i*,
+    column *j* of the group's constant rows. Messages two members share
+    are dropped: attribution would be a guess, and the caller falls back
+    to the joined group name.
+    """
+    expr = group.select.items[0].expr
+    if not (
+        isinstance(expr, ast.ColumnRef)
+        and expr.table == _CONST_ALIAS
+        and expr.name.startswith("c")
+    ):
+        return {}
+    try:
+        index = int(expr.name[1:])
+    except ValueError:
+        return {}
+    messages: dict[str, str] = {}
+    ambiguous: set[str] = set()
+    for member, row in zip(group.member_names, group.rows):
+        value = row[index]
+        if not isinstance(value, str):
+            continue
+        key = " ".join(value.split())
+        if key in messages:
+            ambiguous.add(key)
+        else:
+            messages[key] = member
+    for key in ambiguous:
+        del messages[key]
+    return messages
 
 
 class Enforcer:
@@ -228,6 +278,10 @@ class Enforcer:
         self._cache_plan = None
         self._incremental: Optional[IncrementalMaintainer] = None
         self._union_residual: Optional[ast.Query] = None
+        #: Branch-name tuple → (plan epoch, PolicyDag). Rebuilt whenever
+        #: the engine's plan epoch moves past the cached one, so
+        #: ``invalidate_plans()`` also drops every memoized DAG node.
+        self._policy_dags: dict[tuple, tuple[int, PolicyDag]] = {}
         self.store.attach_observer(self)
         self._prepare()
 
@@ -286,6 +340,7 @@ class Enforcer:
                         select=group.select,
                         original=group.select,
                         member_names=group.member_names,
+                        member_messages=_member_messages(group),
                     )
                 )
             for name, select in unified.singletons:
@@ -314,6 +369,8 @@ class Enforcer:
             self._analyze(runtime)
 
         self._runtime = effective
+        self._policy_dags = {}
+        self.engine.dag_shared_nodes = 0
         self._persist_relations = set()
         for runtime in effective:
             if self.options.log_compaction:
@@ -736,8 +793,11 @@ class Enforcer:
                             self._violation_for(runtime, metrics)
                         )
                     continue
-            with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
-                empty = self.engine.is_empty(runtime.select)
+            started = time.perf_counter()
+            empty = self.engine.is_empty(runtime.select)
+            self._attribute_policy_seconds(
+                metrics, runtime, time.perf_counter() - started
+            )
             metrics.add_count("statements")
             if not empty:
                 violations.append(self._violation_for(runtime, metrics))
@@ -766,13 +826,16 @@ class Enforcer:
             and not is_full
             and bool(referenced_log_relations(partial, self.registry))
         )
-        with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
-            if use_lineage:
-                result = self.engine.execute(partial, lineage=True)
-                empty = not result.rows
-            else:
-                result = None
-                empty = self.engine.is_empty(partial)
+        started = time.perf_counter()
+        if use_lineage:
+            result = self.engine.execute(partial, lineage=True)
+            empty = not result.rows
+        else:
+            result = None
+            empty = self.engine.is_empty(partial)
+        self._attribute_policy_seconds(
+            metrics, runtime, time.perf_counter() - started
+        )
         metrics.add_count("statements")
 
         if empty:
@@ -825,16 +888,36 @@ class Enforcer:
             and union_query is not None
             and residual
         ):
-            with metrics.timed(PHASE_POLICY, span="policy:union"):
-                result = self.engine.execute(union_query)
-            metrics.add_count("statements")
-            for row in result.rows:
-                message = row[0] if row and isinstance(row[0], str) else "violated"
-                violations.append(Violation("policy-set", " ".join(message.split())))
+            if self.options.plan_sharing:
+                # Shared-subplan DAG: one pass over the log for the whole
+                # residual set, cheapest branches first, stopping at the
+                # first firing policy. Counted as one statement, like the
+                # UNION form it replaces.
+                dag = self._policy_dag(residual)
+                fired, timings = dag.evaluate()
+                for runtime, seconds in timings:
+                    self._attribute_policy_seconds(metrics, runtime, seconds)
+                metrics.add_count("statements")
+                if fired is not None:
+                    violations.append(self._violation_for(fired, metrics))
+            else:
+                with metrics.timed(PHASE_POLICY, span="policy:union"):
+                    result = self.engine.execute(union_query)
+                metrics.add_count("statements")
+                for row in result.rows:
+                    message = (
+                        row[0] if row and isinstance(row[0], str) else "violated"
+                    )
+                    violations.append(
+                        Violation("policy-set", " ".join(message.split()))
+                    )
         else:
             for runtime in residual:
-                with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
-                    empty = self.engine.is_empty(runtime.select)
+                started = time.perf_counter()
+                empty = self.engine.is_empty(runtime.select)
+                self._attribute_policy_seconds(
+                    metrics, runtime, time.perf_counter() - started
+                )
                 metrics.add_count("statements")
                 if not empty:
                     violations.append(self._violation_for(runtime, metrics))
@@ -845,28 +928,75 @@ class Enforcer:
                     continue
                 verdict = maintainer.check(runtime.name)
                 if verdict is None:
-                    with metrics.timed(
-                        PHASE_POLICY, span=f"policy:{runtime.name}"
-                    ):
-                        empty = self.engine.is_empty(runtime.select)
+                    started = time.perf_counter()
+                    empty = self.engine.is_empty(runtime.select)
+                    self._attribute_policy_seconds(
+                        metrics, runtime, time.perf_counter() - started
+                    )
                     metrics.add_count("statements")
                     verdict = not empty
                 if verdict:
                     violations.append(self._violation_for(runtime, metrics))
         return violations
 
+    def _policy_dag(self, residual: list[RuntimePolicy]) -> PolicyDag:
+        """The shared-subplan DAG for this branch set, epoch-checked.
+
+        Keyed by the branch names; an entry whose recorded plan epoch
+        trails the engine's is stale — ``invalidate_plans()`` bumped the
+        epoch, so both the cached branch plans and every memoized
+        :class:`~repro.engine.dag.SharedNode` batch must be dropped.
+        """
+        key = tuple(runtime.name for runtime in residual)
+        cached = self._policy_dags.get(key)
+        if cached is not None and cached[0] == self.engine.plan_epoch:
+            return cached[1]
+        branches = [
+            (runtime, self.engine.plan(runtime.select)) for runtime in residual
+        ]
+        dag = PolicyDag(self.engine, branches)
+        self._policy_dags[key] = (self.engine.plan_epoch, dag)
+        self.engine.dag_shared_nodes = sum(
+            entry.shared_count for _, entry in self._policy_dags.values()
+        )
+        return dag
+
+    def _attribute_policy_seconds(
+        self, metrics: QueryMetrics, runtime: RuntimePolicy, seconds: float
+    ) -> None:
+        """Account policy-eval time under per-member ``policy:`` spans.
+
+        A unified group's latency is split evenly across its member
+        policies so ``repro_policy_eval_seconds`` keeps its per-policy
+        breakdown; the shares sum to the measured time, so the phase
+        total still reconciles with the trace exactly.
+        """
+        members = runtime.member_names or [runtime.name]
+        share = seconds / len(members)
+        for name in members:
+            metrics.add_seconds(PHASE_POLICY, share, span=f"policy:{name}")
+
     def _violation_for(
         self, runtime: RuntimePolicy, metrics: QueryMetrics
     ) -> Violation:
-        """Build the violation report, re-running the policy for evidence."""
-        with metrics.timed(PHASE_POLICY, span=f"policy:{runtime.name}"):
-            result = self.engine.execute(runtime.select)
+        """Build the violation report, re-running the policy for evidence.
+
+        For unified groups the firing is attributed to the member policy
+        whose message matches the evidence (joined name when ambiguous),
+        so reports, traces, and the decision cache speak in terms of the
+        policies the operator actually registered.
+        """
+        started = time.perf_counter()
+        result = self.engine.execute(runtime.select)
+        elapsed = time.perf_counter() - started
         metrics.add_count("statements")
         message = runtime.message
         if result.rows and isinstance(result.rows[0][0], str):
             message = " ".join(result.rows[0][0].split())
+        policy_name = runtime.member_messages.get(message, runtime.name)
+        self._attribute_policy_seconds(metrics, runtime, elapsed)
         return Violation(
-            policy_name=runtime.name,
+            policy_name=policy_name,
             message=message or f"policy {runtime.name!r} violated",
             evidence_rows=len(result.rows),
         )

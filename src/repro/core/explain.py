@@ -141,7 +141,8 @@ def explain_decision(
             matching = [
                 v
                 for v in decision.violations
-                if v.policy_name in (runtime.name, "policy-set")
+                if v.policy_name
+                in (runtime.name, "policy-set", *runtime.member_names)
             ]
             violation = matching[0] if matching else Violation(
                 runtime.name, runtime.message

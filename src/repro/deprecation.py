@@ -1,0 +1,42 @@
+"""Deprecation warnings that blame caller code.
+
+A fixed ``stacklevel`` breaks as soon as a deprecated knob can be
+reached through more than one internal path — ``EnforcerOptions(...)``
+directly vs ``EnforcerOptions.datalawyer(...)``, ``Engine(...)`` vs the
+CLI front-end: the warning then lands on one of repro's own frames and
+the user cannot tell which of *their* lines to fix.
+:func:`warn_deprecated` instead walks the stack past every frame that
+belongs to this package and attributes the warning to the first
+external frame.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+_PACKAGE = __name__.split(".")[0]
+
+
+def _is_internal(frame) -> bool:
+    name = frame.f_globals.get("__name__", "")
+    return name == _PACKAGE or name.startswith(_PACKAGE + ".")
+
+
+def warn_deprecated(message: str) -> None:
+    """Emit a :class:`DeprecationWarning` pointing at external code.
+
+    The blamed frame is the nearest caller outside the ``repro``
+    package (dataclass-generated ``__init__`` methods inherit their
+    class's module globals, so they count as internal). If the whole
+    stack is internal — the CLI entry point — the outermost frame is
+    blamed.
+    """
+    level = 2
+    frame = sys._getframe(1)
+    while frame is not None and _is_internal(frame):
+        frame = frame.f_back
+        level += 1
+    if frame is None:
+        level -= 1
+    warnings.warn(message, DeprecationWarning, stacklevel=level)

@@ -16,10 +16,10 @@ per-node ``rows=… time=…`` annotations.
 from __future__ import annotations
 
 import copy
-import warnings
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from ..deprecation import warn_deprecated
 from ..errors import LexError
 from ..obs import TraceContext
 from ..sql import ast, canonical_sql, parse
@@ -135,11 +135,9 @@ def resolve_engine(
     ``engine`` always wins over the legacy knob.
     """
     if vectorized is not None:
-        warnings.warn(
+        warn_deprecated(
             f"{owner}(vectorized=...) is deprecated; use "
-            f"engine='vectorized' or engine='row'",
-            DeprecationWarning,
-            stacklevel=3,
+            f"engine='vectorized' or engine='row'"
         )
         if engine is None:
             engine = "vectorized" if vectorized else "row"
@@ -199,6 +197,15 @@ class Engine:
         #: Columnar-path volume counters (``/metrics``).
         self.columnar_batches = 0
         self.columnar_rows = 0
+        #: Bumped by :meth:`invalidate_plans`; holders of derived plan
+        #: structures (the enforcer's shared-subplan DAGs) compare it to
+        #: decide whether their rewrites are stale.
+        self.plan_epoch = 0
+        #: Shared-subplan DAG gauges/counters (``/metrics``): nodes
+        #: merged in the current DAG set, and subtree executions avoided
+        #: by replaying a memoized node.
+        self.dag_shared_nodes = 0
+        self.dag_saved_execs = 0
 
     @property
     def vectorized(self) -> bool:
@@ -242,10 +249,16 @@ class Engine:
         return plan
 
     def invalidate_plans(self) -> None:
-        """Drop cached plans (after schema changes); counters persist."""
+        """Drop cached plans (after schema changes); counters persist.
+
+        The epoch bump also retires every structure *derived* from those
+        plans — in particular the enforcer's shared-subplan DAGs and the
+        batches their :class:`~repro.engine.dag.SharedNode`\\ s memoized.
+        """
         self._plan_cache.clear()
         self._canonical_memo.clear()
         self._ast_plan_cache.clear()
+        self.plan_epoch += 1
 
     def execute(
         self,
@@ -283,20 +296,27 @@ class Engine:
 
     def is_empty(self, query: Union[str, ast.Query]) -> bool:
         """True if the query returns no rows (stops at the first chunk)."""
-        plan = self.plan(query)
+        return self.plan_is_empty(self.plan(query).op)
+
+    def plan_is_empty(self, op: Operator) -> bool:
+        """Emptiness check over an already-built operator tree.
+
+        Used directly by :class:`~repro.engine.dag.PolicyDag`, whose
+        rewritten branch roots never pass through the plan caches.
+        """
         if self.engine_name == "columnar":
-            for cbatch in plan.op.execute_columnar(self.database):
+            for cbatch in op.execute_columnar(self.database):
                 self.columnar_batches += 1
                 self.columnar_rows += cbatch.length
                 return False
             return True
         if self.engine_name == "vectorized":
-            for batch in plan.op.execute_batch(self.database):
+            for batch in op.execute_batch(self.database):
                 self.vector_batches += 1
                 self.vector_rows += len(batch)
                 return False
             return True
-        for _ in plan.op.execute(self.database, False):
+        for _ in op.execute(self.database, False):
             return False
         return True
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .dag import SharedNode
 from .operators import (
     DistinctOnOp,
     DistinctOp,
@@ -55,6 +56,10 @@ def describe(op: Operator) -> str:
     """One-line label for a physical operator node."""
     if isinstance(op, TracedOp):
         return describe(op.inner)
+    if isinstance(op, SharedNode):
+        # Same appended-bracket convention as [pushed=…]/[build-cache=…]:
+        # the label stays the wrapped operator's.
+        return describe(op.child) + f" [shared={op.consumers}]"
     if isinstance(op, ScanOp):
         return f"Scan {op.table_name}"
     if isinstance(op, IndexScanOp):

@@ -47,6 +47,7 @@ keeps alive across evaluations; hit/miss tallies accumulate on the
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import Counter
 from typing import Callable, Iterator, Optional, Sequence
@@ -276,6 +277,9 @@ class FilterOp(Operator):
         self.range_probe = range_probe
         self.prune_complete = prune_complete
         self.out_needed: Optional[frozenset] = None
+        #: Planner-recorded canonical identity for cross-plan sharing
+        #: (see :mod:`repro.engine.dag`); ``None`` = never shared.
+        self.origin: Optional[tuple] = None
         #: Compiled inline prune kernel (False = statically ineligible).
         self._inline_kernel = None
 
@@ -626,10 +630,21 @@ class HashJoinOp(Operator):
     # -- probe side ---------------------------------------------------------
 
     def execute(self, database: Database, lineage: bool) -> Stream:
+        # Probe-first lazy build: pull one probe tuple before building.
+        # Policy subplans routinely have empty probe sides (the guarded
+        # event never happened), and the build side can be the expensive
+        # half — a filtered scan over a growing log table.
+        left_iter = self.left.execute(database, lineage)
+        first = next(left_iter, None)
+        if first is None:
+            return
+        left_iter = itertools.chain((first,), left_iter)
         buckets = self._right_buckets(database, lineage)
+        if not buckets:
+            return
         left_key = self._key_fn(self.left_tuple_fn, self.left_keys)
         if lineage:
-            for row, lin in self.left.execute(database, True):
+            for row, lin in left_iter:
                 key = left_key(row)
                 if None in key:
                     continue
@@ -641,7 +656,7 @@ class HashJoinOp(Operator):
                         right_lin or frozenset()
                     )
         else:
-            for row, _ in self.left.execute(database, False):
+            for row, _ in left_iter:
                 key = left_key(row)
                 if None in key:
                     continue
@@ -652,6 +667,12 @@ class HashJoinOp(Operator):
                     yield row + right_row, None
 
     def execute_batch(self, database: Database) -> BatchStream:
+        # Probe-first lazy build (see execute()).
+        left_batches = self.left.execute_batch(database)
+        first = next(left_batches, None)
+        if first is None:
+            return
+        left_batches = itertools.chain((first,), left_batches)
         buckets = self._right_buckets(database, False)
         if not buckets:
             return
@@ -659,7 +680,7 @@ class HashJoinOp(Operator):
         probe = self._probe_kernel
         out: list = []
         if probe is not None:
-            for batch in self.left.execute_batch(database):
+            for batch in left_batches:
                 out += probe(batch, get)
                 if len(out) >= BATCH_SIZE:
                     yield out
@@ -669,7 +690,7 @@ class HashJoinOp(Operator):
             # never admit keys containing NULL, so a NULL key misses.
             left_key = self._key_fn(self.left_tuple_fn, self.left_keys)
             empty: tuple = ()
-            for batch in self.left.execute_batch(database):
+            for batch in left_batches:
                 out += [
                     row + right_row
                     for row in batch
@@ -766,11 +787,17 @@ class HashJoinOp(Operator):
         if self.left_positions is None or self.right_positions is None:
             yield from Operator.execute_columnar(self, database)
             return
+        # Probe-first lazy build (see execute()).
+        left_cbatches = self.left.execute_columnar(database)
+        first = next(left_cbatches, None)
+        if first is None:
+            return
+        left_cbatches = itertools.chain((first,), left_cbatches)
         right_columns, buckets, unique_map = self._columnar_build(database)
         if not buckets:
             return
         left_positions = self.left_positions
-        for cbatch in self.left.execute_columnar(database):
+        for cbatch in left_cbatches:
             columns = cbatch.columns
             keys = self._key_column(columns, left_positions)
             if unique_map is not None:
@@ -989,6 +1016,9 @@ class GroupOp(Operator):
         #: back to the batch discipline for the whole subtree.
         self.key_slots = list(key_slots) if key_slots is not None else None
         self.agg_specs = list(agg_specs) if agg_specs is not None else None
+        #: Planner-recorded canonical identity for cross-plan sharing
+        #: (see :mod:`repro.engine.dag`); ``None`` = never shared.
+        self.origin: Optional[tuple] = None
 
     def execute(self, database: Database, lineage: bool) -> Stream:
         groups: dict[tuple, list] = {}

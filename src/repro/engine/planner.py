@@ -417,7 +417,7 @@ class Planner:
             None,
             False,
         )
-        return FilterOp(
+        filter_op = FilterOp(
             child,
             predicate,
             kernel=kernel,
@@ -428,6 +428,24 @@ class Planner:
             range_probe=range_probe,
             prune_complete=prune_complete,
         )
+        # Canonical identity for cross-plan sharing: the fully qualified
+        # predicate plus the child-relative position of every column it
+        # reads pins the compiled closures' behavior exactly (see
+        # :func:`repro.engine.dag.fingerprint`).
+        try:
+            origin = (
+                normalize_expr(expr, layout),
+                tuple(
+                    layout.resolve_position(ref) - base
+                    for ref in ast.column_refs(expr)
+                ),
+            )
+            hash(origin)
+        except (BindError, TypeError):
+            pass
+        else:
+            filter_op.origin = origin
+        return filter_op
 
     def _attach_unit_filters(
         self,
@@ -883,9 +901,38 @@ class Planner:
             key_slots=key_slots,
             agg_specs=agg_specs,
         )
+        # Sharing identity: normalized keys and aggregates plus the input
+        # positions they resolve to (positions disambiguate self-joins
+        # where distinct aliases normalize to the same qualified names).
+        try:
+            origin = (
+                tuple(key_exprs),
+                tuple(agg_order),
+                tuple(
+                    layout.resolve_position(ref)
+                    for expr in list(key_exprs) + list(agg_order)
+                    for ref in ast.column_refs(expr)
+                ),
+            )
+            hash(origin)
+        except (BindError, TypeError):
+            pass
+        else:
+            op.origin = origin
         if select.having is not None:
             having_fn = compile_grouped(select.having)
-            op = FilterOp(op, lambda row: having_fn(row) is True)
+            having_op = FilterOp(op, lambda row: having_fn(row) is True)
+            # The HAVING predicate is compiled against the group-row
+            # layout, which the child GroupOp's fingerprint already pins;
+            # the normalized expression alone completes the identity.
+            try:
+                origin = ("having", normalize_expr(select.having, layout))
+                hash(origin)
+            except (BindError, TypeError):
+                pass
+            else:
+                having_op.origin = origin
+            op = having_op
 
         fns: list[RowFn] = []
         names: list[str] = []

@@ -59,8 +59,13 @@ class Table:
         self._tids: list[int] = []
         self._next_tid = 0
         #: Lazily built hash indexes: column position → value → row indexes.
-        #: Any mutation invalidates them; static tables keep them forever.
+        #: Appends extend them in place (log tables grow once per query;
+        #: rebuilding per mutation made every index probe O(table));
+        #: structural mutations (delete/clear/replace) drop them.
         self._indexes: dict[int, dict] = {}
+        #: False while the inner index dicts are shared with a clone; the
+        #: next append copies them before extending in place.
+        self._indexes_owned = True
         #: Lazy tid → row position map (see :meth:`tid_positions`).
         self._tid_pos: Optional[dict[int, int]] = None
         #: Monotone mutation counter; see the module docstring.
@@ -309,6 +314,31 @@ class Table:
         self._tid_pos = None
         if self._indexes:
             self._indexes = {}
+            self._indexes_owned = True
+
+    def _note_append(self, added: list, base: int) -> None:
+        """Version bump for an append-only mutation.
+
+        Hash indexes are extended in place with the appended rows instead
+        of being dropped — the probe cost stays O(matches) as the log
+        grows. Inner dicts shared with a clone are copied first (see
+        :meth:`clone`).
+        """
+        self._version += 1
+        self._tid_pos = None
+        if not self._indexes:
+            return
+        if not self._indexes_owned:
+            self._indexes = {
+                column: {key: list(positions) for key, positions in index.items()}
+                for column, index in self._indexes.items()
+            }
+            self._indexes_owned = True
+        for column, index in self._indexes.items():
+            for offset, row in enumerate(added):
+                key = row[column]
+                if key is not None:
+                    index.setdefault(key, []).append(base + offset)
 
     # -- mutation --------------------------------------------------------------
 
@@ -329,9 +359,11 @@ class Table:
             )
         tid = self._next_tid
         self._next_tid += 1
-        self._append_rows([tuple(row)])
+        added = [tuple(row)]
+        base = self._length
+        self._append_rows(added)
         self._tids.append(tid)
-        self._invalidate_indexes()
+        self._note_append(added, base)
         return tid
 
     def insert_many(self, rows: Iterable[Sequence[SqlValue]]) -> list[int]:
@@ -350,9 +382,10 @@ class Table:
         first = self._next_tid
         tids = list(range(first, first + len(added)))
         self._next_tid = first + len(added)
+        base = self._length
         self._append_rows(added)
         self._tids.extend(tids)
-        self._invalidate_indexes()
+        self._note_append(added, base)
         return tids
 
     def insert_with_tids(
@@ -377,11 +410,12 @@ class Table:
                     f"expected {self.schema.arity} values, got {len(row)}"
                 )
             added.append(tuple(row))
+        base = self._length
         self._append_rows(added)
         self._tids.extend(tids)
         if tids:
             self._next_tid = max(self._next_tid, max(tids) + 1)
-        self._invalidate_indexes()
+        self._note_append(added, base)
 
     @property
     def next_tid(self) -> int:
@@ -471,10 +505,11 @@ class Table:
 
         Derived structures ride along: the hash indexes, tid map and
         version carry over, so per-shard clones of a static catalog don't
-        re-pay index builds. Inner index dicts are built-then-assigned and
-        never mutated in place, so sharing them is safe; the row-tuple
-        cache is *not* shared (appends extend it in place) and rebuilds
-        lazily on the clone.
+        re-pay index builds. The inner index dicts are shared
+        copy-on-write — both sides drop ownership here and the next
+        append on either side copies before extending in place; the
+        row-tuple cache is *not* shared (appends extend it in place) and
+        rebuilds lazily on the clone.
         """
         copy = Table(self.schema)
         copy._columns = [vec.clone() for vec in self._columns]
@@ -482,6 +517,8 @@ class Table:
         copy._tids = list(self._tids)
         copy._next_tid = self._next_tid
         copy._indexes = dict(self._indexes)
+        copy._indexes_owned = False
+        self._indexes_owned = False
         copy._tid_pos = self._tid_pos
         copy._version = self._version
         copy._zone_maps = dict(self._zone_maps)

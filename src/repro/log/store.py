@@ -118,8 +118,9 @@ class LogStore:
 
     def current_time(self) -> Optional[int]:
         clock = self.database.table(CLOCK_TABLE)
-        rows = clock.rows()
-        return rows[0][0] if rows else None
+        if not len(clock):
+            return None
+        return clock.column_values(0)[0]
 
     # -- staging ---------------------------------------------------------------
 

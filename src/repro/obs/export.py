@@ -36,6 +36,8 @@ Metric names and labels (all prefixed ``repro_``):
 ``repro_join_build_cache_misses_total``  counter  ``{shard}``
 ``repro_vector_batches_total``        counter    ``{shard}``
 ``repro_vector_rows_total``           counter    ``{shard}``
+``repro_dag_shared_nodes``            gauge      ``{shard}`` merged subtrees
+``repro_dag_saved_execs_total``       counter    ``{shard}`` memo replays
 ``repro_policy_eval_seconds``         histogram  ``{shard,policy}``
 ``repro_policy_violations_total``     counter    ``{shard,policy}``
 ``repro_phase_seconds_total``         counter    ``{shard,phase}``
@@ -210,6 +212,16 @@ def collect_service(service) -> "list[MetricFamily]":
         "repro_engine_range_probes_total", "counter",
         "Pushed-down range predicates answered from a sorted index.",
     )
+    dag_shared = MetricFamily(
+        "repro_dag_shared_nodes", "gauge",
+        "Plan subtrees merged across policy branches in the current "
+        "shared-subplan DAG set.",
+    )
+    dag_saved = MetricFamily(
+        "repro_dag_saved_execs_total", "counter",
+        "Subtree executions avoided by replaying a memoized shared "
+        "DAG node.",
+    )
     policy_hist = MetricFamily(
         "repro_policy_eval_seconds", "histogram",
         "Per-policy evaluation time within one check.",
@@ -305,6 +317,8 @@ def collect_service(service) -> "list[MetricFamily]":
         chunks_scanned.add(label, engine.get("chunks_scanned", 0))
         chunks_skipped.add(label, engine.get("chunks_skipped", 0))
         range_probes.add(label, engine.get("range_probes", 0))
+        dag_shared.add(label, engine.get("dag_shared_nodes", 0))
+        dag_saved.add(label, engine.get("dag_saved_execs", 0))
         for policy, hist_snap in sorted(snap["policy_eval"].items()):
             policy_hist.add_histogram(
                 {"shard": str(shard.index), "policy": policy},
@@ -395,6 +409,7 @@ def collect_service(service) -> "list[MetricFamily]":
         build_hits, build_misses, vector_batches, vector_rows,
         engine_info, columnar_batches, columnar_rows,
         chunks_scanned, chunks_skipped, range_probes,
+        dag_shared, dag_saved,
     ]
     if durable:
         families.extend([wal_appends, wal_fsyncs, wal_bytes, wal_seq])

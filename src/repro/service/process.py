@@ -602,6 +602,7 @@ def _empty_export_state() -> dict:
             "columnar_batches": 0, "columnar_rows": 0,
             "chunks_scanned": 0, "chunks_skipped": 0,
             "range_probes": 0,
+            "dag_shared_nodes": 0, "dag_saved_execs": 0,
         },
         "wal": None,
     }

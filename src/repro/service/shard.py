@@ -305,6 +305,8 @@ class Shard:
             "chunks_scanned": engine.database.zone_chunks_scanned,
             "chunks_skipped": engine.database.zone_chunks_skipped,
             "range_probes": engine.database.range_probes,
+            "dag_shared_nodes": engine.dag_shared_nodes,
+            "dag_saved_execs": engine.dag_saved_execs,
         }
         durability = self.durability
         if durability is not None:

@@ -38,9 +38,13 @@ def write_table(table: Table, path: Path, keep_tids: bool = False) -> None:
         header["tids"] = list(table.tids())
         header["next_tid"] = table._next_tid  # noqa: SLF001 - same package
     path.parent.mkdir(parents=True, exist_ok=True)
+    # Stream tuples straight off the decoded columns instead of rows():
+    # serializing should not build (and pin) the table's row cache.
+    columns = table.columns_decoded()
+    tuples = zip(*columns) if columns else iter([()] * len(table))
     with path.open("w", encoding="utf-8") as handle:
         handle.write(json.dumps(header) + "\n")
-        for row in table.rows():
+        for row in tuples:
             handle.write(json.dumps(list(row)) + "\n")
 
 

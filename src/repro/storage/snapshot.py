@@ -177,8 +177,9 @@ def restore_enforcer(
     for name in sorted(stored_logs):
         stored = read_table(directory / f"__log_{name}.jsonl")
         live = enforcer.database.table(name)
-        live.replace_contents(stored.rows(), stored.tids(), stored.next_tid)
-        by_tid = dict(zip(live.tids(), live.rows()))
+        stored_rows = [row for _, row in stored.scan()]
+        live.replace_contents(stored_rows, stored.tids(), stored.next_tid)
+        by_tid = dict(live.scan())
         enforcer.store._disk[name] = [  # noqa: SLF001
             (tid, by_tid[tid])
             for tid in manifest["disk_tids"].get(name, [])

@@ -1,0 +1,361 @@
+"""Shared-subplan DAG execution: sharing is invisible to users.
+
+Covers the :mod:`repro.engine.dag` executor end to end: memoization and
+cross-discipline reuse of :class:`SharedNode`, DAG construction over the
+mimic P1-P6 set, EXPLAIN annotations, per-member metric attribution for
+unified union groups, and a randomized equivalence property where
+unified groups run under ``engine="columnar"`` with policies added and
+removed mid-stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Enforcer, EnforcerOptions, Policy
+from repro.engine import Database, Engine
+from repro.engine.columnar import ColumnBatch
+from repro.engine.dag import SharedNode
+from repro.engine.explain import describe
+from repro.engine.operators import Operator
+from repro.log import SimulatedClock
+from repro.workloads import (
+    MimicConfig,
+    PolicyParams,
+    build_mimic_database,
+    make_all_policies,
+    make_workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# SharedNode: memoization, invalidation, cross-discipline reuse
+# ---------------------------------------------------------------------------
+
+
+class CountingOp(Operator):
+    """A table-reading leaf that counts its actual executions."""
+
+    def __init__(self, table_name):
+        self.table_name = table_name
+        self.execs = 0
+
+    def execute(self, database, lineage):
+        self.execs += 1
+        for row in database.table(self.table_name).rows():
+            yield row, None
+
+    def execute_batch(self, database):
+        self.execs += 1
+        yield list(database.table(self.table_name).rows())
+
+    def execute_columnar(self, database):
+        self.execs += 1
+        yield ColumnBatch.from_rows(database.table(self.table_name).rows())
+
+
+@pytest.fixture
+def shared_setup():
+    db = Database()
+    db.load_table("t", ["a"], [(1,), (2,)])
+    engine = Engine(db)
+    child = CountingOp("t")
+    node = SharedNode(child, engine, frozenset({"t"}))
+    return db, engine, child, node
+
+
+def test_shared_node_memoizes_within_version(shared_setup):
+    db, engine, child, node = shared_setup
+    first = list(node.execute_columnar(db))
+    again = list(node.execute_columnar(db))
+    assert child.execs == 1
+    assert [b.to_rows() for b in first] == [b.to_rows() for b in again]
+    assert engine.dag_saved_execs == 1
+
+
+def test_shared_node_invalidates_on_table_mutation(shared_setup):
+    db, engine, child, node = shared_setup
+    list(node.execute_columnar(db))
+    db.table("t").insert((3,))
+    list(node.execute_columnar(db))
+    assert child.execs == 2
+
+
+def test_shared_node_converts_across_disciplines(shared_setup):
+    """A batch consumer reuses a fresh columnar memo (and vice versa)
+    instead of re-executing the subtree — the nested-loop operators run
+    on the batch path, and without conversion they would rebuild every
+    shared join a second time per check."""
+    db, engine, child, node = shared_setup
+    columnar = list(node.execute_columnar(db))
+    batches = list(node.execute_batch(db))
+    assert child.execs == 1
+    assert [row for batch in batches for row in batch] == [
+        row for cb in columnar for row in cb.to_rows()
+    ]
+    assert engine.dag_saved_execs == 1
+
+    # And batch -> columnar after an invalidating mutation.
+    db.table("t").insert((3,))
+    list(node.execute_batch(db))
+    assert child.execs == 2
+    rebuilt = list(node.execute_columnar(db))
+    assert child.execs == 2
+    assert [row for cb in rebuilt for row in cb.to_rows()] == [
+        (1,),
+        (2,),
+        (3,),
+    ]
+
+
+def test_shared_node_explain_annotation(shared_setup):
+    _, _, _, node = shared_setup
+    node.consumers = 3
+    assert describe(node).endswith("[shared=3]")
+
+
+# ---------------------------------------------------------------------------
+# End to end over the mimic P1-P6 set
+# ---------------------------------------------------------------------------
+
+
+def make_mimic_enforcer(**option_overrides):
+    config = MimicConfig(n_patients=20)
+    options = EnforcerOptions.noopt(plan_sharing=True, **option_overrides)
+    return (
+        Enforcer(
+            build_mimic_database(config),
+            make_all_policies(PolicyParams.for_config(config)),
+            clock=SimulatedClock(default_step_ms=10),
+            options=options,
+        ),
+        make_workload(config),
+    )
+
+
+def test_dag_merges_mimic_subplans_and_replays_memos():
+    enforcer, workload = make_mimic_enforcer()
+    enforcer.submit(workload["W1"], uid=1)
+    # P1-P6 share the clock scan, the restricted-user index scan, the
+    # users-provenance join, and the windowed nested loop.
+    assert enforcer.engine.dag_shared_nodes >= 3
+    saved = enforcer.engine.dag_saved_execs
+    assert saved > 0
+    enforcer.submit(workload["W1"], uid=2)
+    assert enforcer.engine.dag_saved_execs > saved
+
+
+def test_invalidate_plans_drops_memoized_dag_nodes():
+    enforcer, workload = make_mimic_enforcer()
+    enforcer.submit(workload["W1"], uid=1)
+    (epoch, dag), = enforcer._policy_dags.values()
+    assert any(node._memo for node in dag.nodes.values())
+
+    enforcer.engine.invalidate_plans()
+    assert enforcer.engine.plan_epoch > epoch
+    enforcer.submit(workload["W1"], uid=2)
+    (_, rebuilt), = enforcer._policy_dags.values()
+    # A stale epoch rebuilds the DAG from scratch: fresh SharedNodes,
+    # no memo carried over from before the invalidation.
+    assert rebuilt is not dag
+
+
+def test_policy_add_remove_resets_dag_cache():
+    enforcer, workload = make_mimic_enforcer()
+    enforcer.submit(workload["W1"], uid=1)
+    assert enforcer._policy_dags
+    enforcer.add_policy(
+        Policy.from_sql(
+            "P7",
+            "SELECT DISTINCT 'P7 violated' FROM users u "
+            "WHERE u.uid = 9 HAVING COUNT(DISTINCT u.ts) > 100000",
+        )
+    )
+    assert enforcer._policy_dags == {}
+    enforcer.submit(workload["W1"], uid=1)
+    assert enforcer._policy_dags
+    enforcer.remove_policy("P7")
+    assert enforcer._policy_dags == {}
+
+
+# ---------------------------------------------------------------------------
+# Per-member attribution for unified union groups (regression)
+# ---------------------------------------------------------------------------
+
+GROUP_POLICIES = [
+    Policy.from_sql(
+        "g1-limit",
+        "SELECT DISTINCT 'g1 limit' FROM users u, memberships m "
+        "WHERE u.uid = m.uid AND m.grp = 'g1' HAVING COUNT(DISTINCT u.ts) > 2",
+    ),
+    Policy.from_sql(
+        "g2-limit",
+        "SELECT DISTINCT 'g2 limit' FROM users u, memberships m "
+        "WHERE u.uid = m.uid AND m.grp = 'g2' HAVING COUNT(DISTINCT u.ts) > 2",
+    ),
+]
+
+
+def make_unified_enforcer():
+    db = Database()
+    db.load_table("items", ["iid"], [(1,), (2,)])
+    db.load_table(
+        "memberships", ["uid", "grp"], [(1, "g1"), (2, "g2"), (3, "g1")]
+    )
+    enforcer = Enforcer(
+        db,
+        list(GROUP_POLICIES),
+        clock=SimulatedClock(default_step_ms=10),
+        options=EnforcerOptions.datalawyer(
+            interleaved=False, eval_strategy="union", plan_sharing=True
+        ),
+    )
+    # The two template instances must actually have been unified.
+    assert any("+" in runtime.name for runtime in enforcer._runtime)
+    return enforcer
+
+
+def span_names(root):
+    names = []
+    stack = [root]
+    while stack:
+        span = stack.pop()
+        names.append(span.name)
+        stack.extend(span.children)
+    return names
+
+
+def test_unified_group_latency_split_across_members():
+    enforcer = make_unified_enforcer()
+    decision = enforcer.submit("SELECT * FROM items", uid=1)
+    names = span_names(decision.span)
+    # Eval latency lands on the member policies, never the joined name.
+    assert "policy:g1-limit" in names
+    assert "policy:g2-limit" in names
+    assert not any("+" in name for name in names if name.startswith("policy:"))
+    # And the time was actually accounted.
+    assert decision.metrics.seconds["policy_eval"] > 0
+
+
+def test_unified_group_firing_names_the_member():
+    enforcer = make_unified_enforcer()
+    decision = None
+    for _ in range(4):
+        decision = enforcer.submit("SELECT * FROM items", uid=1)
+    assert decision is not None and not decision.allowed
+    assert [v.policy_name for v in decision.violations] == ["g1-limit"]
+    assert "g1" in decision.violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# Equivalence property: unification x columnar x mid-stream add/remove
+# ---------------------------------------------------------------------------
+
+QUERIES = [
+    "SELECT * FROM items",
+    "SELECT iid FROM items WHERE iid = 1",
+    "SELECT COUNT(*) FROM items",
+]
+
+EXTRA_POLICIES = [
+    Policy.from_sql(
+        "g3-limit",
+        "SELECT DISTINCT 'g3 limit' FROM users u, memberships m "
+        "WHERE u.uid = m.uid AND m.grp = 'g3' HAVING COUNT(DISTINCT u.ts) > 2",
+    ),
+    Policy.from_sql(
+        "items-cap",
+        "SELECT DISTINCT 'too much items' FROM provenance p "
+        "WHERE p.irid = 'items' GROUP BY p.ts "
+        "HAVING COUNT(DISTINCT p.otid) > 1",
+    ),
+]
+
+LANES = {
+    "shared": EnforcerOptions.datalawyer(
+        interleaved=False,
+        eval_strategy="union",
+        plan_sharing=True,
+        engine="columnar",
+    ),
+    "unshared": EnforcerOptions.datalawyer(
+        interleaved=False,
+        eval_strategy="union",
+        plan_sharing=False,
+        engine="columnar",
+    ),
+    "row-naive": EnforcerOptions.noopt(engine="row"),
+}
+
+
+def build_property_db():
+    db = Database()
+    db.load_table("items", ["iid"], [(1,), (2,), (3,)])
+    db.load_table(
+        "memberships",
+        ["uid", "grp"],
+        [(1, "g1"), (2, "g2"), (3, "g1"), (3, "g3")],
+    )
+    return db
+
+
+def run_lane(options, events):
+    enforcer = Enforcer(
+        build_property_db(),
+        list(GROUP_POLICIES),
+        clock=SimulatedClock(default_step_ms=10),
+        options=options,
+    )
+    added: list[str] = []
+    decisions = []
+    for event in events:
+        if event[0] == "query":
+            _, query_index, uid = event
+            decision = enforcer.submit(
+                QUERIES[query_index], uid=uid, execute=True
+            )
+            decisions.append(decision.allowed)
+        elif event[0] == "add":
+            _, policy_index = event
+            policy = EXTRA_POLICIES[policy_index]
+            if policy.name not in added:
+                enforcer.add_policy(policy)
+                added.append(policy.name)
+        elif event[0] == "remove" and added:
+            enforcer.remove_policy(added.pop())
+    state = tuple(
+        (name, tuple(enforcer.database.table(name).scan()))
+        for name in ("users", "provenance", "schema")
+    )
+    return decisions, state
+
+
+event_strategy = st.one_of(
+    st.tuples(
+        st.just("query"),
+        st.integers(min_value=0, max_value=len(QUERIES) - 1),
+        st.integers(min_value=1, max_value=3),
+    ),
+    st.tuples(
+        st.just("add"),
+        st.integers(min_value=0, max_value=len(EXTRA_POLICIES) - 1),
+    ),
+    st.tuples(st.just("remove")),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(events=st.lists(event_strategy, min_size=4, max_size=16))
+def test_sharing_invisible_under_add_remove(events):
+    shared_decisions, shared_state = run_lane(LANES["shared"], events)
+    unshared_decisions, unshared_state = run_lane(LANES["unshared"], events)
+    naive_decisions, _ = run_lane(LANES["row-naive"], events)
+    assert shared_decisions == unshared_decisions == naive_decisions
+    # Identical options except sharing -> identical usage-log state.
+    assert shared_state == unshared_state
